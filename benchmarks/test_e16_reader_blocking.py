@@ -1,0 +1,69 @@
+"""E16 — extension: reader blocking under refresh policies (future work 3).
+
+Section 7 closes with "what are the problems related to concurrency
+control in the presence of materialized views?"  Using the measured
+lock-section volumes from E6's policies and the blocking simulation of
+`repro.extensions.concurrency`, quantify how many readers each policy
+actually delays over a simulated day.
+"""
+
+from benchmarks.common import ExperimentResult, drive_retail, retail_setup, write_report
+from repro.core.policies import PeriodicRefresh, Policy1, Policy2
+from repro.core.scenarios import BaseLogScenario, CombinedScenario
+from repro.extensions.concurrency import BlockingSimulation
+
+HORIZON = 24
+TXNS_PER_TICK = 5
+SECONDS_PER_TICK = 3600.0
+OPS_PER_SECOND = 10.0  # 1996-scale executor; conclusions are ordering-only
+READER_RATE = 0.2  # readers per simulated second (~17k over the day)
+
+
+def run_policy(label, scenario_cls, policy):
+    db, view, workload = retail_setup()
+    scenario = scenario_cls(db, view)
+    drive_retail(scenario, policy, workload, horizon=HORIZON, txns_per_tick=TXNS_PER_TICK)
+    sections = BlockingSimulation.sections_from_ledger(
+        scenario.ledger,
+        view.mv_table,
+        interval=SECONDS_PER_TICK,
+        ops_per_second=OPS_PER_SECOND,
+    )
+    simulation = BlockingSimulation(
+        reader_rate=READER_RATE, horizon=HORIZON * SECONDS_PER_TICK, seed=11
+    )
+    stats = simulation.run(sections)
+    return {
+        "policy": label,
+        "readers": stats.readers,
+        "blocked": stats.blocked,
+        "max_wait_s": round(stats.max_wait(), 2),
+        "total_wait_s": round(stats.total_wait(), 2),
+    }
+
+
+def run_experiment():
+    return [
+        run_policy("refresh_BL nightly", BaseLogScenario, PeriodicRefresh(m=HORIZON)),
+        run_policy("Policy 1, k=1", CombinedScenario, Policy1(k=1, m=HORIZON)),
+        run_policy("Policy 2, k=1", CombinedScenario, Policy2(k=1, m=HORIZON)),
+    ]
+
+
+def test_e16_reader_blocking(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    result = ExperimentResult("E16", "readers blocked by refresh locks over one simulated day")
+    for row in rows:
+        result.add(**row)
+    write_report(result)
+
+    by_policy = {row["policy"]: row for row in rows}
+    # Same reader stream everywhere.
+    assert len({row["readers"] for row in rows}) == 1
+    # The downtime ordering translates directly into reader impact.
+    assert (
+        by_policy["Policy 2, k=1"]["total_wait_s"]
+        <= by_policy["Policy 1, k=1"]["total_wait_s"]
+        <= by_policy["refresh_BL nightly"]["total_wait_s"]
+    )
+    assert by_policy["Policy 2, k=1"]["max_wait_s"] < by_policy["refresh_BL nightly"]["max_wait_s"]

@@ -1,0 +1,50 @@
+"""E1 — Example 1.2: the state bug on a join view with duplicates.
+
+Paper claim: the pre-update incremental query, evaluated post-update,
+computes {[a1] x 4} where the correct answer is {[a1] x 2}.  Our
+post-update algorithm is exact; the benchmark times both refresh paths.
+"""
+
+from benchmarks.common import ExperimentResult, write_report
+from repro.baselines.preupdate_bug import buggy_post_update_refresh
+from repro.core import BaseLogScenario, UserTransaction
+from repro.sqlfront import sql_to_view
+from repro.storage.database import Database
+
+
+def build():
+    db = Database()
+    db.create_table("R", ["A", "B"], rows=[("a1", "b1")])
+    db.create_table("S", ["B", "C"], rows=[("b1", "c1")])
+    view = sql_to_view("CREATE VIEW U (A) AS SELECT r.A FROM R r, S s WHERE r.B = s.B", db)
+    scenario = BaseLogScenario(db, view)
+    scenario.install()
+    scenario.execute(UserTransaction(db).insert("R", [("a1", "b2")]).insert("S", [("b2", "c2")]))
+    return db, view, scenario
+
+
+def test_e1_state_bug_join(benchmark):
+    db, view, scenario = build()
+    buggy = buggy_post_update_refresh(scenario.log, db, view.query, view.mv_table)
+
+    def correct_refresh():
+        snap = db.snapshot()
+        scenario.refresh()
+        refreshed = db[view.mv_table]
+        db.restore(snap)
+        return refreshed
+
+    correct = benchmark(correct_refresh)
+
+    truth = db.evaluate(view.query)
+    result = ExperimentResult("E1", "Example 1.2 — join view, post- vs pre-update refresh")
+    result.add(variant="ground truth Q(s)", a1_count=truth.multiplicity(("a1",)), total=len(truth))
+    result.add(variant="post-update (ours)", a1_count=correct.multiplicity(("a1",)), total=len(correct))
+    result.add(variant="pre-update-in-post (bug)", a1_count=buggy.multiplicity(("a1",)), total=len(buggy))
+    write_report(result)
+
+    # Paper's exact numbers: correct multiplicity 2, buggy multiplicity 4.
+    assert correct == truth
+    assert correct.multiplicity(("a1",)) == 2
+    assert buggy.multiplicity(("a1",)) == 4
+    assert buggy != truth

@@ -1,0 +1,52 @@
+"""E2 — Example 1.3: the state bug on a monus (difference) view.
+
+Paper claim: after moving tuple [b] from R to S, the pre-update delete
+query evaluates to the empty bag in the post-update state, leaving the
+stale tuple [b] in MU.  The post-update algorithm removes it.
+"""
+
+from benchmarks.common import ExperimentResult, write_report
+from repro.algebra.bag import Bag
+from repro.algebra.expr import Monus
+from repro.baselines.preupdate_bug import buggy_post_update_delta, buggy_post_update_refresh
+from repro.core import BaseLogScenario, UserTransaction, ViewDefinition
+from repro.storage.database import Database
+
+
+def build():
+    db = Database()
+    db.create_table("R", ["x"], rows=[("a",), ("b",), ("c",)])
+    db.create_table("S", ["x"], rows=[("c",), ("d",)])
+    view = ViewDefinition("U", Monus(db.ref("R"), db.ref("S")))
+    scenario = BaseLogScenario(db, view)
+    scenario.install()
+    scenario.execute(UserTransaction(db).delete("R", [("b",)]).insert("S", [("b",)]))
+    return db, view, scenario
+
+
+def test_e2_state_bug_monus(benchmark):
+    db, view, scenario = build()
+    buggy = buggy_post_update_refresh(scenario.log, db, view.query, view.mv_table)
+    buggy_delete, __ = buggy_post_update_delta(scenario.log, db, view.query)
+    buggy_delete_value = db.evaluate(buggy_delete)
+
+    def correct_refresh():
+        snap = db.snapshot()
+        scenario.refresh()
+        refreshed = db[view.mv_table]
+        db.restore(snap)
+        return refreshed
+
+    correct = benchmark(correct_refresh)
+
+    result = ExperimentResult("E2", "Example 1.3 — monus view, deleted tuple must not survive")
+    result.add(variant="ground truth Q(s)", rows=sorted(db.evaluate(view.query)))
+    result.add(variant="post-update (ours)", rows=sorted(correct))
+    result.add(variant="pre-update-in-post (bug)", rows=sorted(buggy))
+    write_report(result)
+
+    # Paper's exact outcome: ∇MU evaluates to {} post-update, so the buggy
+    # view keeps [b]; the correct view is {[a]}.
+    assert buggy_delete_value == Bag.empty()
+    assert correct == Bag([("a",)])
+    assert buggy == Bag([("a",), ("b",)])

@@ -1,0 +1,74 @@
+"""E4 — Theorem 5 / Lemma 4: the Figure 3 algorithms meet their specs.
+
+Over random views and random transaction streams, check for every
+scenario that (i) ``makesafe`` preserves the scenario invariant after
+every transaction, (ii) ``refresh`` reestablishes ``Q ≡ MV``, and
+(iii) the minimality invariants hold throughout.  ``propagate_C`` and
+``partial_refresh_C`` are checked against their own Hoare triples.
+"""
+
+from benchmarks.common import ExperimentResult, write_report
+from repro.core import invariants
+from repro.core.scenarios import (
+    BaseLogScenario,
+    CombinedScenario,
+    DiffTableScenario,
+    ImmediateScenario,
+)
+from repro.core.timetravel import past_query
+from repro.core.views import ViewDefinition
+from repro.workloads.randgen import RandomExpressionGenerator
+
+SCENARIOS = [ImmediateScenario, BaseLogScenario, DiffTableScenario, CombinedScenario]
+STREAMS = 12
+TXNS_PER_STREAM = 4
+
+
+def run_stream(scenario_cls, seed: int) -> dict:
+    generator = RandomExpressionGenerator(seed)
+    db = generator.database()
+    view = ViewDefinition("V", generator.query(db, depth=3))
+    scenario = scenario_cls(db, view)
+    scenario.install()
+    violations = 0
+    checks = 0
+    for step in range(TXNS_PER_STREAM):
+        scenario.execute(generator.transaction(db, allow_over_delete=True))
+        checks += 1
+        violations += not scenario.invariant_holds()
+        if scenario_cls is CombinedScenario and step == 1:
+            scenario.propagate()
+            checks += 2
+            violations += not invariants.diff_table_invariant(db, view)
+            violations += not scenario.log.is_empty()
+            scenario.partial_refresh()
+            checks += 1
+            past = db.evaluate(past_query(view.query, scenario.log))
+            violations += past != scenario.read_view()
+    scenario.refresh()
+    checks += 1
+    violations += not scenario.is_consistent()
+    return {"checks": checks, "violations": violations}
+
+
+def run_all():
+    rows = []
+    for scenario_cls in SCENARIOS:
+        checks = violations = 0
+        for seed in range(STREAMS):
+            outcome = run_stream(scenario_cls, seed)
+            checks += outcome["checks"]
+            violations += outcome["violations"]
+        rows.append({"scenario": scenario_cls.tag, "hoare_checks": checks, "violations": violations})
+    return rows
+
+
+def test_e4_scenario_correctness(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    result = ExperimentResult(
+        "E4", f"Theorem 5 over {STREAMS} random streams x {TXNS_PER_STREAM} txns per scenario"
+    )
+    for row in rows:
+        result.add(**row)
+    write_report(result)
+    assert all(row["violations"] == 0 for row in rows)

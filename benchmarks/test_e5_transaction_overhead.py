@@ -1,0 +1,86 @@
+"""E5 — per-transaction overhead across maintenance scenarios.
+
+Paper claims (Sections 3.2–3.5):
+
+* immediate (IM) and differential-table (DT) maintenance pay the
+  incremental-query evaluation on *every* transaction;
+* base-log (BL) and combined (C) maintenance only record changes —
+  overhead close to running the transaction with no views at all;
+* Hanson-style suspended updates additionally slow down every *query*
+  against base tables.
+
+We measure tuple-ops per transaction over a retail day, plus the
+base-table query slowdown for Hanson.
+"""
+
+from benchmarks.common import ExperimentResult, drive_retail, retail_setup, write_report
+from repro.baselines.hanson import HansonDifferentialFiles
+from repro.baselines.recompute import RecomputeScenario
+from repro.core.policies import OnDemandPolicy
+from repro.core.scenarios import (
+    BaseLogScenario,
+    CombinedScenario,
+    DiffTableScenario,
+    ImmediateScenario,
+)
+
+HORIZON = 24
+TXNS_PER_TICK = 5
+
+
+def measure_scenario(scenario_cls):
+    db, view, workload = retail_setup()
+    scenario = scenario_cls(db, view)
+    driver = drive_retail(scenario, OnDemandPolicy(), workload, horizon=HORIZON, txns_per_tick=TXNS_PER_TICK)
+    stats = driver.stats
+    base_query_ratio = 1.0
+    return {
+        "scenario": scenario.tag,
+        "txns": stats.transactions,
+        "ops_per_txn": stats.transaction_cost // stats.transactions,
+        "base_query_slowdown": round(base_query_ratio, 2),
+    }
+
+
+def measure_hanson():
+    db, view, workload = retail_setup()
+    system = HansonDifferentialFiles(db, view)
+    system.install()
+    count = 0
+    cost_before = system.counter.tuples_out
+    for txn in workload.transactions(db, HORIZON * TXNS_PER_TICK):
+        system.execute(txn)
+        count += 1
+    per_txn = (system.counter.tuples_out - cost_before) // count
+    return {
+        "scenario": system.tag,
+        "txns": count,
+        "ops_per_txn": per_txn,
+        "base_query_slowdown": round(system.query_cost_ratio("sales"), 2),
+    }
+
+
+def run_experiment():
+    rows = [measure_scenario(cls) for cls in
+            (RecomputeScenario, ImmediateScenario, BaseLogScenario, DiffTableScenario, CombinedScenario)]
+    rows.append(measure_hanson())
+    return rows
+
+
+def test_e5_transaction_overhead(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    result = ExperimentResult("E5", "per-transaction maintenance overhead (tuple ops), retail day")
+    for row in rows:
+        result.add(**row)
+    write_report(result)
+
+    by_tag = {row["scenario"]: row for row in rows}
+    # Log-only scenarios are within a small factor of no-maintenance...
+    assert by_tag["BL"]["ops_per_txn"] < 3 * by_tag["RC"]["ops_per_txn"]
+    assert by_tag["C"]["ops_per_txn"] == by_tag["BL"]["ops_per_txn"]
+    # ...while incremental-query-per-transaction scenarios pay much more.
+    assert by_tag["IM"]["ops_per_txn"] > 5 * by_tag["BL"]["ops_per_txn"]
+    assert by_tag["DT"]["ops_per_txn"] > 5 * by_tag["BL"]["ops_per_txn"]
+    # Hanson's per-transaction cost is log-like, but base-table queries slow down.
+    assert by_tag["HAN"]["base_query_slowdown"] > 1.0
+    assert by_tag["BL"]["base_query_slowdown"] == 1.0

@@ -1,0 +1,94 @@
+"""E6 — view downtime under the Section 5.3 policies (Example 5.4).
+
+Paper claims:
+
+* Policy 2 has the *least* downtime: partial refresh merely applies
+  precomputed differential tables.
+* Policy 1's refresh is far below the plain base-log scenario's, since
+  propagation already did most of the incremental work (the log holds
+  at most k hours of changes instead of a day's worth).
+* Policy 2's view is at most k time units out of date after a refresh.
+* Smaller k shrinks the refresh-time gap further (sweep over k).
+"""
+
+from benchmarks.common import ExperimentResult, drive_retail, retail_setup, write_report
+from repro.baselines.recompute import RecomputeScenario
+from repro.core.policies import PeriodicRefresh, Policy1, Policy2
+from repro.core.scenarios import BaseLogScenario, CombinedScenario
+
+HORIZON = 24  # one day, m = 24
+TXNS_PER_TICK = 5
+
+
+def run_one(label, scenario_cls, policy, seed=96):
+    db, view, workload = retail_setup(seed=seed)
+    scenario = scenario_cls(db, view)
+    driver = drive_retail(scenario, policy, workload, horizon=HORIZON, txns_per_tick=TXNS_PER_TICK)
+    mv = view.mv_table
+    return {
+        "policy": label,
+        "lock_ops_worst": scenario.ledger.max_section_tuple_ops(mv),
+        "lock_ops_total": scenario.ledger.downtime_tuple_ops(mv),
+        "lock_sections": scenario.ledger.section_count(mv),
+        "offlock_propagate_ops": driver.stats.propagate_cost,
+        "consistent_at_eod": scenario.is_consistent(),
+    }
+
+
+def run_experiment():
+    rows = [
+        run_one("recompute @ m=24", RecomputeScenario, PeriodicRefresh(m=HORIZON)),
+        run_one("refresh_BL @ m=24", BaseLogScenario, PeriodicRefresh(m=HORIZON)),
+    ]
+    for k in (1, 2, 4, 8):
+        rows.append(run_one(f"Policy 1, k={k}", CombinedScenario, Policy1(k=k, m=HORIZON)))
+    for k in (1, 2, 4, 8):
+        rows.append(run_one(f"Policy 2, k={k}", CombinedScenario, Policy2(k=k, m=HORIZON)))
+    return rows
+
+
+def staleness_run():
+    """Policy 2 staleness bound: queries right after each partial refresh."""
+    db, view, workload = retail_setup()
+    scenario = CombinedScenario(db, view)
+    scenario.install()
+    from repro.core.policies import MaintenanceDriver
+
+    driver = MaintenanceDriver(scenario, Policy2(k=2, m=6))
+    for tick, txns in workload.schedule(db, horizon=24, txns_per_tick=2):
+        driver.tick(txns)
+        if driver.now % 6 == 0:
+            driver.query()
+    return driver.stats.max_staleness()
+
+
+def test_e6_downtime_policies(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    result = ExperimentResult("E6", "view downtime (exclusive-lock tuple ops), m=24, k swept")
+    for row in rows:
+        result.add(**row)
+    write_report(result)
+
+    by_policy = {row["policy"]: row for row in rows}
+    recompute = by_policy["recompute @ m=24"]["lock_ops_worst"]
+    base_log = by_policy["refresh_BL @ m=24"]["lock_ops_worst"]
+    policy1_k1 = by_policy["Policy 1, k=1"]["lock_ops_worst"]
+    policy2_k1 = by_policy["Policy 2, k=1"]["lock_ops_worst"]
+
+    # The paper's ordering: Policy 2 ≪ Policy 1 < refresh_BL < recompute.
+    assert policy2_k1 <= policy1_k1
+    assert policy2_k1 < base_log / 5
+    assert policy1_k1 < base_log / 2
+    assert base_log < recompute
+    # Larger k leaves more log work inside Policy 1's refresh.
+    assert (
+        by_policy["Policy 1, k=1"]["lock_ops_worst"]
+        <= by_policy["Policy 1, k=8"]["lock_ops_worst"]
+    )
+    # Policy 2's downtime does not grow with k (it never computes deltas
+    # under the lock).
+    assert by_policy["Policy 2, k=8"]["lock_ops_worst"] <= policy2_k1 * 2
+
+    # Staleness bound: with k=2, a query right after a partial refresh is
+    # at most k ticks stale.
+    assert staleness_run() <= 2

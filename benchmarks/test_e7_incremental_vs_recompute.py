@@ -1,0 +1,70 @@
+"""E7 — incremental refresh vs full recomputation: the crossover.
+
+Paper claim (Section 3.3): "in most cases this incremental approach
+will be much less expensive than recomputing Q from scratch".  The
+incremental refresh cost scales with the *pending change volume* (the
+log), while recomputation scales with the base tables; incremental wins
+until the pending changes approach the table size, after which
+recomputation catches up.
+
+Sweep: pending insertions as a fraction of the initial ``sales`` table,
+measuring the tuple-op cost of ``refresh_BL`` vs recompute on identical
+databases.
+"""
+
+from benchmarks.common import ExperimentResult, retail_setup, write_report
+from repro.baselines.recompute import RecomputeScenario
+from repro.core.scenarios import BaseLogScenario
+
+FRACTIONS = (0.01, 0.05, 0.25, 1.0, 3.0)
+INITIAL_SALES = 1500
+
+
+def refresh_cost(scenario_cls, pending: int, seed: int = 96) -> int:
+    db, view, workload = retail_setup(initial_sales=INITIAL_SALES, txn_inserts=25, seed=seed)
+    scenario = scenario_cls(db, view)
+    scenario.install()
+    applied = 0
+    while applied < pending:
+        scenario.execute(workload.next_transaction(db))
+        applied += 25
+    before = scenario.counter.tuples_out
+    scenario.refresh()
+    assert scenario.is_consistent()
+    return scenario.counter.tuples_out - before
+
+
+def run_experiment():
+    rows = []
+    for fraction in FRACTIONS:
+        pending = int(INITIAL_SALES * fraction)
+        incremental = refresh_cost(BaseLogScenario, pending)
+        recompute = refresh_cost(RecomputeScenario, pending)
+        rows.append(
+            {
+                "pending_fraction": fraction,
+                "pending_rows": pending,
+                "incremental_ops": incremental,
+                "recompute_ops": recompute,
+                "speedup": round(recompute / incremental, 2),
+            }
+        )
+    return rows
+
+
+def test_e7_incremental_vs_recompute(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    result = ExperimentResult("E7", "refresh cost vs pending-change volume (tuple ops)")
+    for row in rows:
+        result.add(**row)
+    write_report(result)
+
+    # Incremental wins decisively at small pending volumes...
+    assert rows[0]["speedup"] > 10
+    assert rows[1]["speedup"] > 4
+    # ...and the advantage monotonically erodes as pending volume grows.
+    speedups = [row["speedup"] for row in rows]
+    assert all(a >= b for a, b in zip(speedups, speedups[1:]))
+    # By 3x table size in pending changes, recompute is competitive
+    # (within ~3x, vs >10x at the small end).
+    assert speedups[-1] < 3

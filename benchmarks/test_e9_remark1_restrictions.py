@@ -1,0 +1,103 @@
+"""E9 — Remark 1: exactly when pre-update equations survive post-update.
+
+Paper claim (Section 4.2): for SPJ views *without self-joins* updated by
+a *single-table* weakly minimal transaction, the pre-update incremental
+equations happen to evaluate correctly in the post-update state; relax
+either restriction and counterexamples appear.
+
+Grid: {SPJ, self-join, monus} views x {single-table, multi-table}
+updates, comparing the buggy baseline's refresh against ground truth on
+randomized instances.
+"""
+
+from benchmarks.common import ExperimentResult, write_report
+from repro.algebra.expr import Monus
+from repro.baselines.preupdate_bug import buggy_post_update_refresh
+from repro.core import BaseLogScenario, UserTransaction, ViewDefinition
+from repro.sqlfront import sql_to_view
+from repro.storage.database import Database
+from repro.workloads.randgen import RandomExpressionGenerator
+
+TRIALS = 20
+
+
+def build_db(generator):
+    db = Database()
+    db.create_table("R", ["a", "b"], rows=[generator.row(2) for __ in range(8)])
+    db.create_table("S", ["b", "c"], rows=[generator.row(2) for __ in range(8)])
+    return db
+
+
+def make_view(db, shape: str):
+    if shape == "SPJ":
+        return sql_to_view(
+            "CREATE VIEW U (a, c) AS SELECT r.a, s.c FROM R r, S s WHERE r.b = s.b", db
+        )
+    if shape == "self-join":
+        return sql_to_view(
+            "CREATE VIEW U (x, y) AS SELECT r1.a, r2.a FROM R r1, R r2 WHERE r1.b = r2.b", db
+        )
+    if shape == "monus":
+        return ViewDefinition(
+            "U", Monus(db.ref("R").project(["a"]), db.ref("S").project(["c"], ["a"]))
+        )
+    raise ValueError(shape)
+
+
+def make_txn(db, generator, update: str) -> UserTransaction:
+    txn = UserTransaction(db)
+    txn.insert("R", [generator.row(2) for __ in range(3)])
+    if update == "multi-table":
+        txn.insert("S", [generator.row(2) for __ in range(2)])
+        txn.delete("S", generator.subbag_of(db["S"]))
+    return txn
+
+
+def run_cell(shape: str, update: str) -> int:
+    """Number of trials where the buggy baseline got the wrong view."""
+    wrong = 0
+    for seed in range(TRIALS):
+        generator = RandomExpressionGenerator(seed)
+        db = build_db(generator)
+        view = make_view(db, shape)
+        scenario = BaseLogScenario(db, view)
+        scenario.install()
+        scenario.execute(make_txn(db, generator, update))
+        buggy = buggy_post_update_refresh(scenario.log, db, view.query, view.mv_table)
+        scenario.refresh()
+        assert scenario.is_consistent()
+        wrong += buggy != db[view.mv_table]
+    return wrong
+
+
+def run_experiment():
+    rows = []
+    for shape in ("SPJ", "self-join", "monus"):
+        for update in ("single-table", "multi-table"):
+            wrong = run_cell(shape, update)
+            rows.append(
+                {
+                    "view_shape": shape,
+                    "update": update,
+                    "in_restricted_class": shape == "SPJ" and update == "single-table",
+                    "wrong_refreshes": f"{wrong}/{TRIALS}",
+                    "wrong_count": wrong,
+                }
+            )
+    return rows
+
+
+def test_e9_remark1_restrictions(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    result = ExperimentResult("E9", "Remark 1 grid: pre-update equations evaluated post-update")
+    for row in rows:
+        result.add(**{key: value for key, value in row.items() if key != "wrong_count"})
+    write_report(result)
+
+    by_cell = {(row["view_shape"], row["update"]): row["wrong_count"] for row in rows}
+    # Inside the restricted class the old equations are coincidentally safe...
+    assert by_cell[("SPJ", "single-table")] == 0
+    # ...and every relaxation produces real counterexamples.
+    assert by_cell[("SPJ", "multi-table")] > 0
+    assert by_cell[("self-join", "single-table")] > 0
+    assert by_cell[("monus", "multi-table")] > 0

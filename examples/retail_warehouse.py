@@ -1,0 +1,80 @@
+"""Example 5.4 — a 24-hour retail warehouse day under four policies.
+
+Point-of-sale transactions stream into ``sales`` all day.  The analysts'
+view ``V`` is refreshed once per "day" (m = 24 ticks); the combined
+scenario propagates hourly (k = 1).  We compare:
+
+* base-log scenario with a nightly refresh (``refresh_BL``),
+* combined scenario, Policy 1 (propagate hourly, full nightly refresh),
+* combined scenario, Policy 2 (propagate hourly, nightly *partial*
+  refresh — minimal downtime, view at most one hour stale),
+* full recomputation as the naive baseline.
+
+The table printed at the end shows the paper's Section 5.3 claims:
+per-transaction overhead is log-only for BL and combined, and Policy 2
+achieves the smallest exclusive-lock work on the view by orders of
+magnitude.
+
+Run:  python examples/retail_warehouse.py
+"""
+
+from repro.baselines.recompute import RecomputeScenario
+from repro.bench.report import format_table
+from repro.core import (
+    BaseLogScenario,
+    CombinedScenario,
+    MaintenanceDriver,
+    PeriodicRefresh,
+    Policy1,
+    Policy2,
+)
+from repro.sqlfront import sql_to_view
+from repro.storage.database import Database
+from repro.workloads.retail import VIEW_SQL, RetailConfig, RetailWorkload
+
+HORIZON = 24  # "hours"
+TXNS_PER_TICK = 5
+
+
+def run_day(label, scenario_cls, policy, **scenario_kwargs):
+    config = RetailConfig(customers=150, initial_sales=3000, txn_inserts=12, seed=96)
+    workload = RetailWorkload(config)
+    db = Database()
+    workload.setup_database(db)
+    view = sql_to_view(VIEW_SQL, db)
+    scenario = scenario_cls(db, view, **scenario_kwargs)
+    scenario.install()
+    driver = MaintenanceDriver(scenario, policy)
+    schedule = workload.schedule(db, horizon=HORIZON, txns_per_tick=TXNS_PER_TICK)
+    stats = driver.run(schedule, horizon=HORIZON, query_every=6)
+    mv = view.mv_table
+    return {
+        "setup": label,
+        "per_txn_ops": stats.transaction_cost // stats.transactions,
+        "propagate_ops": stats.propagate_cost,
+        "lock_ops_total": scenario.ledger.downtime_tuple_ops(mv),
+        "lock_ops_worst": scenario.ledger.max_section_tuple_ops(mv),
+        "max_staleness_h": stats.max_staleness(),
+        "consistent": scenario.is_consistent(),
+    }
+
+
+def main() -> None:
+    rows = [
+        run_day("recompute nightly", RecomputeScenario, PeriodicRefresh(m=HORIZON)),
+        run_day("base log nightly", BaseLogScenario, PeriodicRefresh(m=HORIZON)),
+        run_day("combined, Policy 1 (k=1)", CombinedScenario, Policy1(k=1, m=HORIZON)),
+        run_day("combined, Policy 2 (k=1)", CombinedScenario, Policy2(k=1, m=HORIZON)),
+    ]
+    print("Example 5.4 — one simulated day, m=24, k=1")
+    print(format_table(rows))
+    print(
+        "\nReading the table: 'lock_ops_worst' is the view's worst-case"
+        "\ndowntime (exclusive-lock work).  Policy 2 pays only the"
+        "\nprecomputed-differential application; the base-log scenario"
+        "\ncomputes a full day of incremental changes under the lock."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""The bag algebra :math:`\\mathcal{BA}`: values, expressions, evaluation.
+
+This subpackage is the query-language substrate of the reproduction:
+
+* :mod:`repro.algebra.bag` — counted multisets (the value domain),
+* :mod:`repro.algebra.schema` — named attributes over positional tuples,
+* :mod:`repro.algebra.predicates` — quantifier-free selection predicates,
+* :mod:`repro.algebra.expr` — the expression AST and derived operations,
+* :mod:`repro.algebra.evaluation` — memoizing evaluator with cost counters.
+"""
+
+from repro.algebra.bag import Bag, Row
+from repro.algebra.evaluation import CostCounter, evaluate
+from repro.algebra.expr import (
+    DupElim,
+    Expr,
+    Literal,
+    Monus,
+    Product,
+    Project,
+    Select,
+    TableRef,
+    UnionAll,
+    empty,
+    except_expr,
+    join,
+    max_expr,
+    min_expr,
+    rename,
+    singleton,
+    table,
+)
+from repro.algebra.predicates import (
+    And,
+    Attr,
+    Comparison,
+    Const,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    attr,
+    const,
+)
+from repro.algebra.rewrite import optimize, simplify_predicate
+from repro.algebra.schema import Schema
+
+__all__ = [
+    "Bag",
+    "Row",
+    "Schema",
+    "Expr",
+    "TableRef",
+    "Literal",
+    "Select",
+    "Project",
+    "DupElim",
+    "UnionAll",
+    "Monus",
+    "Product",
+    "empty",
+    "singleton",
+    "table",
+    "join",
+    "min_expr",
+    "max_expr",
+    "except_expr",
+    "rename",
+    "evaluate",
+    "CostCounter",
+    "optimize",
+    "simplify_predicate",
+    "Predicate",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "Attr",
+    "Const",
+    "attr",
+    "const",
+]

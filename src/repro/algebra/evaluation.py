@@ -1,0 +1,311 @@
+"""Evaluation of bag-algebra expressions against database states.
+
+``evaluate(expr, state)`` computes :math:`Q(s)` for a state ``s`` given as
+a mapping from table names to :class:`~repro.algebra.bag.Bag` values.
+
+Two production concerns are handled here rather than in the AST:
+
+* **Common-subexpression memoization.**  The differential rewrite of
+  Figure 2 produces expressions with heavily shared subtrees (``E``,
+  ``Del(η,E)`` and ``E ∸ Del(η,E)`` all appear repeatedly).  The
+  evaluator memoizes on structural equality within one call, so each
+  distinct subexpression is computed once.
+
+* **Cost accounting.**  A :class:`CostCounter` tallies the number of
+  tuples flowing through each operator.  Wall-clock timings on a laptop
+  are noisy; the tuple-operation counts give the experiments a
+  deterministic second signal, mirroring how the paper argues about
+  per-transaction overhead and refresh work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.algebra.bag import Bag, Row
+from repro.algebra.expr import (
+    DupElim,
+    Expr,
+    Literal,
+    MapProject,
+    Monus,
+    Product,
+    Project,
+    Select,
+    TableRef,
+    UnionAll,
+)
+from repro.algebra.predicates import And, Attr, Comparison, Predicate
+from repro.errors import ReproError, SchemaError, UnknownTableError
+
+__all__ = ["evaluate", "CostCounter"]
+
+
+@dataclass
+class CostCounter:
+    """Accumulates tuple-operation counts across evaluations.
+
+    ``tuples_out`` counts tuples produced by every operator application
+    (memoized hits are not recounted — shared work is shared).
+    ``by_operator`` breaks the same total down per operator name.
+    """
+
+    tuples_out: int = 0
+    evaluations: int = 0
+    by_operator: dict[str, int] = field(default_factory=dict)
+
+    def record(self, operator: str, produced: int) -> None:
+        self.tuples_out += produced
+        self.evaluations += 1
+        self.by_operator[operator] = self.by_operator.get(operator, 0) + produced
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict summary (useful for report tables)."""
+        return {"tuples_out": self.tuples_out, "evaluations": self.evaluations, **self.by_operator}
+
+    def reset(self) -> None:
+        self.tuples_out = 0
+        self.evaluations = 0
+        self.by_operator.clear()
+
+
+def evaluate(
+    expr: Expr,
+    state: Mapping[str, Bag],
+    *,
+    counter: CostCounter | None = None,
+    memo: dict[Expr, Bag] | None = None,
+) -> Bag:
+    """Evaluate ``expr`` in ``state`` and return the resulting bag.
+
+    ``memo`` may be supplied to share memoized results across several
+    ``evaluate`` calls against the *same* state (e.g. when a transaction
+    evaluates many assignment right-hand sides simultaneously).
+    """
+    if memo is None:
+        memo = {}
+    return _eval(expr, state, counter, memo)
+
+
+# ----------------------------------------------------------------------
+# Hash-join fast path
+# ----------------------------------------------------------------------
+
+
+def _conjuncts(predicate: Predicate) -> list[Predicate]:
+    """Flatten a conjunction into its conjuncts."""
+    if isinstance(predicate, And):
+        return _conjuncts(predicate.left) + _conjuncts(predicate.right)
+    return [predicate]
+
+
+def _equijoin_keys(
+    predicate: Predicate, schema, left_arity: int
+) -> tuple[list[tuple[int, int]], list[Predicate]]:
+    """Split a predicate into cross-operand equality keys and a residual.
+
+    Each key is ``(left_position, right_position)`` with the right
+    position relative to the right operand.  Conjuncts that are not
+    attribute equalities spanning the two operands stay in the residual.
+    """
+    keys: list[tuple[int, int]] = []
+    residual: list[Predicate] = []
+    for conjunct in _conjuncts(predicate):
+        if (
+            isinstance(conjunct, Comparison)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, Attr)
+            and isinstance(conjunct.right, Attr)
+        ):
+            try:
+                first = schema.index_of(conjunct.left.name)
+                second = schema.index_of(conjunct.right.name)
+            except SchemaError:  # ambiguous in the joint schema: leave it
+                residual.append(conjunct)
+                continue
+            if first < left_arity <= second:
+                keys.append((first, second - left_arity))
+                continue
+            if second < left_arity <= first:
+                keys.append((second, first - left_arity))
+                continue
+        residual.append(conjunct)
+    return keys, residual
+
+
+def _hash_join(
+    expr: Select,
+    product: Product,
+    state: Mapping[str, Bag],
+    counter: CostCounter | None,
+    memo: dict[Expr, Bag],
+) -> Bag | None:
+    """Evaluate ``σ_p(E × F)`` as a hash join when ``p`` has equi-keys.
+
+    Returns ``None`` when no cross-operand equality exists (caller falls
+    back to materializing the product).  Cost model: inputs plus the
+    *join output* — and when the build side is a stored (indexable)
+    table while the probe side is not, the build side's scan is not
+    charged at all; the recorded ``probe`` cost is one unit per probe
+    key, as an indexed nested-loop join would pay.
+    """
+    schema = product.schema()
+    left_arity = product.left.schema().arity
+    keys, residual = _equijoin_keys(expr.predicate, schema, left_arity)
+    if not keys:
+        return None
+
+    left = _eval(product.left, state, counter, memo)
+    right = _eval(product.right, state, counter, memo)
+    left_positions = tuple(position for position, __ in keys)
+    right_positions = tuple(position for __, position in keys)
+
+    buckets: dict[tuple, list[tuple[Row, int]]] = {}
+    for row, count in right.items():
+        buckets.setdefault(tuple(row[position] for position in right_positions), []).append((row, count))
+
+    residual_check = None
+    if residual:
+        residual_predicate = residual[0]
+        for extra in residual[1:]:
+            residual_predicate = And(residual_predicate, extra)
+        residual_check = residual_predicate.bind(schema)
+
+    counts: dict[Row, int] = {}
+    for left_row, left_count in left.items():
+        bucket = buckets.get(tuple(left_row[position] for position in left_positions))
+        if not bucket:
+            continue
+        for right_row, right_count in bucket:
+            joined = left_row + right_row
+            if residual_check is not None and not residual_check(joined):
+                continue
+            counts[joined] = counts.get(joined, 0) + left_count * right_count
+    result = Bag(counts=counts)
+    if counter is not None:
+        counter.record("hash_join", len(result))
+    return result
+
+
+def _runtime_empty(expr: Expr, state: Mapping[str, Bag]) -> bool:
+    """Conservatively decide, without evaluating, that ``expr`` is empty.
+
+    This models executor short-circuiting: a nested-loop or hash join
+    whose outer operand is an empty (log) table never touches the inner
+    operand.  Only emptiness provable from literals and current table
+    sizes is used; ``False`` means "unknown".
+    """
+    if isinstance(expr, Literal):
+        return not expr.bag
+    if isinstance(expr, TableRef):
+        value = state.get(expr.name)
+        return value is not None and not value
+    if isinstance(expr, (Select, Project, MapProject, DupElim)):
+        return _runtime_empty(expr.child, state)
+    if isinstance(expr, Product):
+        return _runtime_empty(expr.left, state) or _runtime_empty(expr.right, state)
+    if isinstance(expr, Monus):
+        return _runtime_empty(expr.left, state)
+    if isinstance(expr, UnionAll):
+        return _runtime_empty(expr.left, state) and _runtime_empty(expr.right, state)
+    return False
+
+
+def _eval(
+    expr: Expr,
+    state: Mapping[str, Bag],
+    counter: CostCounter | None,
+    memo: dict[Expr, Bag],
+) -> Bag:
+    cached = memo.get(expr)
+    if cached is not None:
+        return cached
+
+    if not isinstance(expr, (TableRef, Literal)) and _runtime_empty(expr, state):
+        result = Bag.empty()
+        memo[expr] = result
+        return result
+
+    if isinstance(expr, TableRef):
+        try:
+            result = state[expr.name]
+        except KeyError:
+            raise UnknownTableError(f"table {expr.name!r} is not present in the database state") from None
+        if counter is not None:
+            counter.record("scan", len(result))
+    elif isinstance(expr, Literal):
+        result = expr.bag
+        if counter is not None:
+            counter.record("literal", len(result))
+    elif isinstance(expr, Select):
+        result = None
+        if isinstance(expr.child, Product) and expr.child not in memo:
+            result = _hash_join(expr, expr.child, state, counter, memo)
+        if result is None:
+            child = _eval(expr.child, state, counter, memo)
+            predicate = expr.predicate.bind(expr.child.schema())
+            result = child.select(predicate)
+            if counter is not None:
+                counter.record("select", len(result))
+    elif isinstance(expr, Project):
+        child = _eval(expr.child, state, counter, memo)
+        result = child.project(expr.positions())
+        if counter is not None:
+            counter.record("project", len(result))
+    elif isinstance(expr, MapProject):
+        child = _eval(expr.child, state, counter, memo)
+        functions = [term.bind(expr.child.schema()) for term in expr.terms]
+        counts: dict[Row, int] = {}
+        for row, count in child.items():
+            image = tuple(function(row) for function in functions)
+            counts[image] = counts.get(image, 0) + count
+        result = Bag(counts=counts)
+        if counter is not None:
+            counter.record("map", len(result))
+    elif isinstance(expr, DupElim):
+        child = _eval(expr.child, state, counter, memo)
+        result = child.dedup()
+        if counter is not None:
+            counter.record("dedup", len(result))
+    elif isinstance(expr, UnionAll):
+        left = _eval(expr.left, state, counter, memo)
+        right = _eval(expr.right, state, counter, memo)
+        result = left.union_all(right)
+        if counter is not None:
+            counter.record("union_all", len(result))
+    elif isinstance(expr, Monus):
+        if _runtime_empty(expr.right, state):
+            # ``E ∸ φ`` is ``E``: an executor skips the anti-join entirely.
+            result = _eval(expr.left, state, counter, memo)
+            memo[expr] = result
+            return result
+        left = _eval(expr.left, state, counter, memo)
+        if isinstance(expr.right, TableRef) and expr.right not in memo:
+            # Probe optimization: ``E ∸ R`` needs only per-row lookups in
+            # the stored (hashed) table, not a scan — a real engine would
+            # probe R's index once per row of E.  Cost: the probes.
+            try:
+                right = state[expr.right.name]
+            except KeyError:
+                raise UnknownTableError(
+                    f"table {expr.right.name!r} is not present in the database state"
+                ) from None
+            if counter is not None:
+                counter.record("probe", left.distinct_count())
+        else:
+            right = _eval(expr.right, state, counter, memo)
+        result = left.monus(right)
+        if counter is not None:
+            counter.record("monus", len(result))
+    elif isinstance(expr, Product):
+        left = _eval(expr.left, state, counter, memo)
+        right = _eval(expr.right, state, counter, memo)
+        result = left.product(right)
+        if counter is not None:
+            counter.record("product", len(result))
+    else:
+        raise ReproError(f"unknown expression node: {type(expr).__name__}")
+
+    memo[expr] = result
+    return result

@@ -1,0 +1,466 @@
+"""The bag-algebra expression language :math:`\\mathcal{BA}` (Section 2.1).
+
+The grammar of the paper is::
+
+    Q ::= phi | {x} | R_i | sigma_p(Q) | Pi_A(Q) | eps(Q)
+        | Q1 (+) Q2        -- additive union, ⊎
+        | Q1 (-) Q2        -- monus, ∸
+        | Q1 x Q2          -- product
+
+Seven *core* node types implement exactly this grammar (``phi`` and
+``{x}`` are both :class:`Literal`).  The derived operations the paper
+defines on top of the core — ``min``, ``max``, ``EXCEPT``, θ-join — are
+provided as *smart constructors* (:func:`min_expr`, :func:`max_expr`,
+:func:`except_expr`, :func:`join`) that expand into core-operator trees,
+so the differential algorithm of Figure 2 needs rules only for the core.
+
+Expressions are immutable and structurally hashable; common subtrees
+introduced by the differential rewrite are shared, and the evaluator
+memoizes on structural equality so they are computed once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.algebra.bag import Bag
+from repro.algebra.predicates import And, Attr, Comparison, Predicate, Term, TruePredicate
+from repro.algebra.schema import Schema
+from repro.errors import SchemaError
+
+__all__ = [
+    "Expr",
+    "TableRef",
+    "Literal",
+    "Select",
+    "Project",
+    "MapProject",
+    "DupElim",
+    "UnionAll",
+    "Monus",
+    "Product",
+    "empty",
+    "singleton",
+    "table",
+    "join",
+    "min_expr",
+    "max_expr",
+    "except_expr",
+    "rename",
+]
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class of all bag-algebra expressions."""
+
+    def schema(self) -> Schema:
+        """The result schema of this expression."""
+        raise NotImplementedError
+
+    def children(self) -> tuple[Expr, ...]:
+        """Immediate subexpressions."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        """Simultaneously replace table references per ``mapping``.
+
+        This is the substitution :math:`\\eta(Q)` of Section 2.4: every
+        occurrence of a table name in ``mapping`` is replaced by the
+        associated expression.  References to the *replacement*
+        expressions are not rewritten again (the substitution is
+        simultaneous, not iterated).
+        """
+        raise NotImplementedError
+
+    def tables(self) -> frozenset[str]:
+        """Names of all tables referenced anywhere in the expression."""
+        names: set[str] = set()
+        stack: list[Expr] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, TableRef):
+                names.add(node.name)
+            stack.extend(node.children())
+        return frozenset(names)
+
+    def size(self) -> int:
+        """Number of AST nodes (shared subtrees counted once per edge)."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def walk(self) -> Iterator[Expr]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    # Operator sugar ----------------------------------------------------
+
+    def union_all(self, other: Expr) -> UnionAll:
+        return UnionAll(self, other)
+
+    def monus(self, other: Expr) -> Monus:
+        return Monus(self, other)
+
+    def product(self, other: Expr) -> Product:
+        return Product(self, other)
+
+    def where(self, predicate: Predicate) -> Select:
+        return Select(predicate, self)
+
+    def project(self, attrs: Iterable[Union[str, int]], names: Iterable[str] | None = None) -> Project:
+        return Project(tuple(attrs), self, tuple(names) if names is not None else None)
+
+    def dedup(self) -> DupElim:
+        return DupElim(self)
+
+
+@dataclass(frozen=True)
+class TableRef(Expr):
+    """A reference to a named base table (external or internal)."""
+
+    name: str
+    table_schema: Schema
+
+    def schema(self) -> Schema:
+        return self.table_schema
+
+    def children(self) -> tuple[Expr, ...]:
+        return ()
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        replacement = mapping.get(self.name)
+        if replacement is None:
+            return self
+        if replacement.schema().arity != self.table_schema.arity:
+            raise SchemaError(
+                f"substitution for {self.name!r} has arity {replacement.schema().arity}, "
+                f"expected {self.table_schema.arity}"
+            )
+        return replacement
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant bag — the grammar's :math:`\\phi` and :math:`\\{x\\}`.
+
+    Literals are unaffected by substitution, so their Del/Add changes are
+    both empty (Figure 2 base cases).
+    """
+
+    bag: Bag
+    literal_schema: Schema
+
+    def __post_init__(self) -> None:
+        if self.bag.arity is not None and self.bag.arity != self.literal_schema.arity:
+            raise SchemaError(
+                f"literal bag arity {self.bag.arity} does not match schema arity {self.literal_schema.arity}"
+            )
+
+    def schema(self) -> Schema:
+        return self.literal_schema
+
+    def children(self) -> tuple[Expr, ...]:
+        return ()
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return self
+
+    def __str__(self) -> str:
+        return "phi" if not self.bag else repr(self.bag)
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """Selection :math:`\\sigma_p(E)`."""
+
+    predicate: Predicate
+    child: Expr
+
+    def __post_init__(self) -> None:
+        # Validate that every referenced attribute resolves unambiguously.
+        child_schema = self.child.schema()
+        for name in self.predicate.attributes():
+            child_schema.index_of(name)
+
+    def schema(self) -> Schema:
+        return self.child.schema()
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return Select(self.predicate, self.child.substitute(mapping))
+
+    def __str__(self) -> str:
+        return f"sigma[{self.predicate}]({self.child})"
+
+
+@dataclass(frozen=True)
+class Project(Expr):
+    """Projection :math:`\\Pi_A(E)` (duplicate-preserving).
+
+    ``attrs`` may mix attribute names and 0-based positions; positions
+    allow renaming columns of a schema with duplicate names (as produced
+    by self-joins).  ``names`` optionally renames the output columns.
+    """
+
+    attrs: tuple[Union[str, int], ...]
+    child: Expr
+    names: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.names is not None and len(self.names) != len(self.attrs):
+            raise SchemaError(f"project: {len(self.attrs)} attributes but {len(self.names)} output names")
+        self.positions()  # validate eagerly
+
+    def positions(self) -> tuple[int, ...]:
+        """Resolve ``attrs`` to input positions."""
+        child_schema = self.child.schema()
+        resolved: list[int] = []
+        for item in self.attrs:
+            if isinstance(item, int):
+                if not 0 <= item < child_schema.arity:
+                    raise SchemaError(f"project: position {item} out of range for arity {child_schema.arity}")
+                resolved.append(item)
+            else:
+                resolved.append(child_schema.index_of(item))
+        return tuple(resolved)
+
+    def schema(self) -> Schema:
+        if self.names is not None:
+            return Schema(self.names)
+        child_schema = self.child.schema()
+        out: list[str] = []
+        for item in self.attrs:
+            out.append(child_schema.attributes[item] if isinstance(item, int) else item)
+        return Schema(out)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return Project(self.attrs, self.child.substitute(mapping), self.names)
+
+    def __str__(self) -> str:
+        cols = ", ".join(str(attr) for attr in self.attrs)
+        return f"pi[{cols}]({self.child})"
+
+
+@dataclass(frozen=True)
+class MapProject(Expr):
+    """Generalized projection: per-row computed terms.
+
+    Each output column is an arbitrary :class:`~repro.algebra.predicates.Term`
+    (attribute, constant, arithmetic) evaluated against the input row —
+    SQL's expression select-list, and the engine behind ``UPDATE``.
+    Like :class:`Project`, it preserves duplicates (rows mapping to the
+    same image add their multiplicities).
+
+    Not part of the paper's grammar, but differentiation extends to it
+    soundly: for any multiplicity-summing row map ``f`` and ``D ⊆ E``,
+    ``f((E ∸ D) ⊎ A) = (f(E) ∸ f(D)) ⊎ f(A)`` — the same argument that
+    justifies Figure 2's Π rule (weak minimality keeps the per-image
+    subtraction from flooring).  The Del/Add rules therefore push ``f``
+    through exactly like a projection.
+    """
+
+    terms: tuple[Term, ...]
+    child: Expr
+    names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.terms) != len(self.names):
+            raise SchemaError(f"map: {len(self.terms)} terms but {len(self.names)} output names")
+        if not self.terms:
+            raise SchemaError("map needs at least one output column")
+        child_schema = self.child.schema()
+        for term in self.terms:
+            for name in term.attributes():
+                child_schema.index_of(name)
+
+    def schema(self) -> Schema:
+        return Schema(self.names)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return MapProject(self.terms, self.child.substitute(mapping), self.names)
+
+    def __str__(self) -> str:
+        cols = ", ".join(f"{term} AS {name}" for term, name in zip(self.terms, self.names))
+        return f"map[{cols}]({self.child})"
+
+
+@dataclass(frozen=True)
+class DupElim(Expr):
+    """Duplicate elimination :math:`\\epsilon(E)`."""
+
+    child: Expr
+
+    def schema(self) -> Schema:
+        return self.child.schema()
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return DupElim(self.child.substitute(mapping))
+
+    def __str__(self) -> str:
+        return f"eps({self.child})"
+
+
+def _check_union_compatible(left: Expr, right: Expr, op: str) -> None:
+    if left.schema().arity != right.schema().arity:
+        raise SchemaError(
+            f"{op}: operand arities differ ({left.schema().arity} vs {right.schema().arity})"
+        )
+
+
+@dataclass(frozen=True)
+class UnionAll(Expr):
+    """Additive union :math:`E \\uplus F`."""
+
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        _check_union_compatible(self.left, self.right, "union_all")
+
+    def schema(self) -> Schema:
+        return self.left.schema()
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return UnionAll(self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def __str__(self) -> str:
+        return f"({self.left} (+) {self.right})"
+
+
+@dataclass(frozen=True)
+class Monus(Expr):
+    """Monus :math:`E \\dot{-} F` (truncated bag difference)."""
+
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        _check_union_compatible(self.left, self.right, "monus")
+
+    def schema(self) -> Schema:
+        return self.left.schema()
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return Monus(self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def __str__(self) -> str:
+        return f"({self.left} (-) {self.right})"
+
+
+@dataclass(frozen=True)
+class Product(Expr):
+    """Cartesian product :math:`E \\times F`."""
+
+    left: Expr
+    right: Expr
+
+    def schema(self) -> Schema:
+        return self.left.schema().concat(self.right.schema())
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return Product(self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def __str__(self) -> str:
+        return f"({self.left} x {self.right})"
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+
+
+def table(name: str, attrs: Iterable[str]) -> TableRef:
+    """A table reference with the given attribute names."""
+    return TableRef(name, Schema(attrs))
+
+
+def empty(schema: Schema) -> Literal:
+    """The empty bag :math:`\\phi` at the given schema."""
+    return Literal(Bag.empty(), schema)
+
+
+def singleton(row: tuple, schema: Schema) -> Literal:
+    """The singleton bag :math:`\\{x\\}`."""
+    return Literal(Bag.singleton(row), schema)
+
+
+def join(left: Expr, right: Expr, on: Predicate | None = None) -> Expr:
+    """θ-join: :math:`\\sigma_p(E \\times F)` (cross product if ``on`` is None)."""
+    product = Product(left, right)
+    if on is None:
+        return product
+    return Select(on, product)
+
+
+def min_expr(left: Expr, right: Expr) -> Expr:
+    """Minimal intersection, expanded per the paper:
+    :math:`Q_1 \\min Q_2 = Q_1 \\dot{-} (Q_1 \\dot{-} Q_2)`."""
+    return Monus(left, Monus(left, right))
+
+
+def max_expr(left: Expr, right: Expr) -> Expr:
+    """Maximal union, expanded per the paper:
+    :math:`Q_1 \\max Q_2 = Q_1 \\uplus (Q_2 \\dot{-} Q_1)`."""
+    return UnionAll(left, Monus(right, left))
+
+
+def rename(child: Expr, names: Iterable[str]) -> Project:
+    """Rename all columns of ``child`` positionally to ``names``."""
+    names = tuple(names)
+    if len(names) != child.schema().arity:
+        raise SchemaError(f"rename: {len(names)} names for arity {child.schema().arity}")
+    return Project(tuple(range(len(names))), child, names)
+
+
+def except_expr(left: Expr, right: Expr) -> Expr:
+    """SQL ``EXCEPT``, expanded into core operators per the paper:
+
+    .. math::
+
+        Q_1 \\text{ EXCEPT } Q_2 =
+            \\Pi_1(\\sigma_{1=2}(Q_1 \\times (\\epsilon(Q_1) \\dot{-} Q_2)))
+
+    The "keep set" :math:`\\epsilon(Q_1) \\dot{-} Q_2` contains one copy of
+    each row of ``left`` absent from ``right``; joining ``left`` against it
+    on full-row equality retains the original multiplicities.
+    """
+    _check_union_compatible(left, right, "except")
+    arity = left.schema().arity
+    left_names = tuple(f"__exl{index}" for index in range(arity))
+    right_names = tuple(f"__exr{index}" for index in range(arity))
+    renamed_left = rename(left, left_names)
+    keep_set = rename(Monus(DupElim(left), right), right_names)
+    pairing = Product(renamed_left, keep_set)
+    predicate: Predicate = TruePredicate()
+    for left_name, right_name in zip(left_names, right_names):
+        equality = Comparison("=", Attr(left_name), Attr(right_name))
+        predicate = equality if isinstance(predicate, TruePredicate) else And(predicate, equality)
+    filtered = Select(predicate, pairing)
+    original_names = left.schema().attributes
+    return Project(tuple(range(arity)), filtered, original_names)

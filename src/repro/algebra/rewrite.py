@@ -1,0 +1,279 @@
+"""Algebraic simplification of bag-algebra expressions.
+
+The differential algorithm produces expressions whose shape mirrors the
+Figure 2 rules; many subterms are statically empty, tautological, or
+collapsible.  :func:`optimize` applies a terminating set of
+semantics-preserving rewrites, bottom-up:
+
+* **empty folding** — ``E ⊎ φ → E``, ``φ ∸ E → φ``, ``E ∸ φ → E``,
+  ``E × φ → φ``, ``σ_p(φ) → φ``, ``Π(φ) → φ``, ``ε(φ) → φ``;
+* **self-cancellation** — ``E ∸ E → φ`` (structural equality);
+* **constant folding** — any operator whose operands are all literals is
+  evaluated at rewrite time; predicates over constants fold to
+  true/false, and ``σ_true(E) → E``, ``σ_false(E) → φ``;
+* **selection fusion** — ``σ_p(σ_q(E)) → σ_{p∧q}(E)``;
+* **projection fusion** — ``Π_A(Π_B(E)) → Π_{B∘A}(E)``;
+* **identity projection** — a projection that keeps all columns in order
+  under their original names disappears;
+* **idempotent ε** — ``ε(ε(E)) → ε(E)``.
+
+Every rule strictly decreases expression size, so a single bottom-up
+pass with local fixpointing terminates.  ``optimize`` never changes the
+result schema (names included) or the value of the expression in any
+state — properties the test suite checks by construction and by
+randomized evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.bag import Bag
+from repro.algebra.evaluation import evaluate
+from repro.algebra.expr import (
+    DupElim,
+    Expr,
+    Literal,
+    MapProject,
+    Monus,
+    Product,
+    Project,
+    Select,
+    TableRef,
+    UnionAll,
+)
+from repro.algebra.predicates import (
+    And,
+    Comparison,
+    Const,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+
+__all__ = ["optimize", "simplify_predicate", "is_empty_literal"]
+
+#: Canonical "false" — the predicate module has no False node.
+_FALSE = Not(TruePredicate())
+
+
+def is_empty_literal(expr: Expr) -> bool:
+    """Whether ``expr`` is statically the empty bag."""
+    return isinstance(expr, Literal) and not expr.bag
+
+
+def _is_literal(expr: Expr) -> bool:
+    return isinstance(expr, Literal)
+
+
+def _empty_like(expr: Expr) -> Literal:
+    return Literal(Bag.empty(), expr.schema())
+
+
+# ----------------------------------------------------------------------
+# Predicate simplification
+# ----------------------------------------------------------------------
+
+
+def _constant_truth(predicate: Predicate) -> bool | None:
+    """The constant truth value of a predicate, or ``None`` if data-dependent."""
+    if isinstance(predicate, TruePredicate):
+        return True
+    if isinstance(predicate, Comparison):
+        if isinstance(predicate.left, Const) and isinstance(predicate.right, Const):
+            return predicate.bind_constants()
+        return None
+    if isinstance(predicate, Not):
+        inner = _constant_truth(predicate.operand)
+        return None if inner is None else not inner
+    if isinstance(predicate, And):
+        left = _constant_truth(predicate.left)
+        right = _constant_truth(predicate.right)
+        if left is False or right is False:
+            return False
+        if left is True and right is True:
+            return True
+        return None
+    if isinstance(predicate, Or):
+        left = _constant_truth(predicate.left)
+        right = _constant_truth(predicate.right)
+        if left is True or right is True:
+            return True
+        if left is False and right is False:
+            return False
+        return None
+    return None
+
+
+def simplify_predicate(predicate: Predicate) -> Predicate:
+    """Fold constant subformulas; shrink AND/OR with known sides."""
+    if isinstance(predicate, And):
+        left = simplify_predicate(predicate.left)
+        right = simplify_predicate(predicate.right)
+        left_truth = _constant_truth(left)
+        right_truth = _constant_truth(right)
+        if left_truth is False or right_truth is False:
+            return _FALSE
+        if left_truth is True:
+            return right
+        if right_truth is True:
+            return left
+        return And(left, right)
+    if isinstance(predicate, Or):
+        left = simplify_predicate(predicate.left)
+        right = simplify_predicate(predicate.right)
+        left_truth = _constant_truth(left)
+        right_truth = _constant_truth(right)
+        if left_truth is True or right_truth is True:
+            return TruePredicate()
+        if left_truth is False:
+            return right
+        if right_truth is False:
+            return left
+        return Or(left, right)
+    if isinstance(predicate, Not):
+        inner = simplify_predicate(predicate.operand)
+        truth = _constant_truth(inner)
+        if truth is True:
+            return _FALSE
+        if truth is False:
+            return TruePredicate()
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+    truth = _constant_truth(predicate)
+    if truth is True:
+        return TruePredicate()
+    if truth is False:
+        return _FALSE
+    return predicate
+
+
+# ----------------------------------------------------------------------
+# Expression rewriting
+# ----------------------------------------------------------------------
+
+
+def optimize(expr: Expr) -> Expr:
+    """Rewrite ``expr`` into a semantically identical, no-larger form."""
+    memo: dict[Expr, Expr] = {}
+    return _rewrite(expr, memo)
+
+
+def _fold_literal(expr: Expr) -> Expr:
+    """Evaluate an all-literal operator application at rewrite time."""
+    value = evaluate(expr, {})
+    return Literal(value, expr.schema())
+
+
+def _rewrite(expr: Expr, memo: dict[Expr, Expr]) -> Expr:
+    cached = memo.get(expr)
+    if cached is not None:
+        return cached
+    result = _rewrite_node(expr, memo)
+    memo[expr] = result
+    return result
+
+
+def _rewrite_node(expr: Expr, memo: dict[Expr, Expr]) -> Expr:
+    if isinstance(expr, (TableRef, Literal)):
+        return expr
+
+    if isinstance(expr, Select):
+        child = _rewrite(expr.child, memo)
+        predicate = simplify_predicate(expr.predicate)
+        truth = _constant_truth(predicate)
+        if truth is True:
+            return child
+        if truth is False or is_empty_literal(child):
+            return _empty_like(expr)
+        if _is_literal(child):
+            return _fold_literal(Select(predicate, child))
+        if isinstance(child, Select):
+            return _rewrite(Select(simplify_predicate(And(predicate, child.predicate)), child.child), memo)
+        return Select(predicate, child)
+
+    if isinstance(expr, Project):
+        child = _rewrite(expr.child, memo)
+        if is_empty_literal(child):
+            return Literal(Bag.empty(), expr.schema())
+        rebuilt = Project(expr.attrs, child, expr.names)
+        if _is_literal(child):
+            return _fold_literal(rebuilt)
+        positions = rebuilt.positions()
+        if isinstance(child, Project):
+            inner_positions = child.positions()
+            fused = tuple(inner_positions[position] for position in positions)
+            return _rewrite(Project(fused, child.child, rebuilt.schema().attributes), memo)
+        child_schema = child.schema()
+        identity = (
+            positions == tuple(range(child_schema.arity))
+            and rebuilt.schema().attributes == child_schema.attributes
+        )
+        if identity:
+            return child
+        return rebuilt
+
+    if isinstance(expr, MapProject):
+        child = _rewrite(expr.child, memo)
+        if is_empty_literal(child):
+            return Literal(Bag.empty(), expr.schema())
+        rebuilt_map = MapProject(expr.terms, child, expr.names)
+        if _is_literal(child):
+            return _fold_literal(rebuilt_map)
+        return rebuilt_map
+
+    if isinstance(expr, DupElim):
+        child = _rewrite(expr.child, memo)
+        if is_empty_literal(child):
+            return child
+        if _is_literal(child):
+            return _fold_literal(DupElim(child))
+        if isinstance(child, DupElim):
+            return child
+        return DupElim(child)
+
+    if isinstance(expr, UnionAll):
+        left = _rewrite(expr.left, memo)
+        right = _rewrite(expr.right, memo)
+        if is_empty_literal(left):
+            return _coerce_schema(right, expr)
+        if is_empty_literal(right):
+            return _coerce_schema(left, expr)
+        if _is_literal(left) and _is_literal(right):
+            return _fold_literal(UnionAll(left, right))
+        return UnionAll(left, right)
+
+    if isinstance(expr, Monus):
+        left = _rewrite(expr.left, memo)
+        right = _rewrite(expr.right, memo)
+        if is_empty_literal(left) or left == right:
+            return _empty_like(expr)
+        if is_empty_literal(right):
+            return _coerce_schema(left, expr)
+        if _is_literal(left) and _is_literal(right):
+            return _fold_literal(Monus(left, right))
+        return Monus(left, right)
+
+    if isinstance(expr, Product):
+        left = _rewrite(expr.left, memo)
+        right = _rewrite(expr.right, memo)
+        if is_empty_literal(left) or is_empty_literal(right):
+            return Literal(Bag.empty(), expr.schema())
+        if _is_literal(left) and _is_literal(right):
+            return _fold_literal(Product(left, right))
+        return Product(left, right)
+
+    return expr
+
+
+def _coerce_schema(expr: Expr, template: Expr) -> Expr:
+    """Keep the original node's schema names after dropping an operand.
+
+    ``E ⊎ F`` takes its names from ``E``; rewriting it to bare ``F`` must
+    not change the visible schema, so attach a rename when names differ.
+    """
+    if expr.schema() == template.schema():
+        return expr
+    from repro.algebra.expr import rename
+
+    return rename(expr, template.schema().attributes)

@@ -1,0 +1,106 @@
+"""Schemas: ordered attribute names for tables and query results.
+
+The bag kernel (:mod:`repro.algebra.bag`) is purely positional; schemas
+attach *names* to positions so that selections and projections can be
+written against attribute names and resolved to positions once, when an
+expression is built.
+
+Product concatenates schemas.  Duplicate attribute names may legally
+arise from a self-join; resolution of such a name then raises
+:class:`~repro.errors.SchemaError` (ambiguous reference) — the SQL front
+end avoids this by qualifying attributes with range-variable prefixes
+(``c.custId``), exactly like the paper's Example 1.1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import SchemaError
+
+__all__ = ["Schema"]
+
+
+class Schema:
+    """An immutable, ordered sequence of attribute names."""
+
+    __slots__ = ("_attrs", "_positions")
+
+    def __init__(self, attrs: Iterable[str]) -> None:
+        attrs = tuple(attrs)
+        for attr in attrs:
+            if not isinstance(attr, str) or not attr:
+                raise SchemaError(f"attribute names must be non-empty strings, got {attr!r}")
+        self._attrs = attrs
+        positions: dict[str, int | None] = {}
+        for index, attr in enumerate(attrs):
+            # A name seen twice maps to None: resolvable only by position.
+            positions[attr] = index if attr not in positions else None
+        self._positions = positions
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The attribute names, in order."""
+        return self._attrs
+
+    @property
+    def arity(self) -> int:
+        return len(self._attrs)
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attrs)
+
+    def __contains__(self, attr: str) -> bool:
+        return attr in self._positions
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attrs == other._attrs
+
+    def __hash__(self) -> int:
+        return hash(self._attrs)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._attrs)!r})"
+
+    def index_of(self, attr: str) -> int:
+        """Resolve an attribute name to its position.
+
+        Raises :class:`SchemaError` when the name is absent or ambiguous.
+        """
+        if attr not in self._positions:
+            raise SchemaError(f"unknown attribute {attr!r}; schema has {list(self._attrs)}")
+        position = self._positions[attr]
+        if position is None:
+            raise SchemaError(f"ambiguous attribute {attr!r} in schema {list(self._attrs)}")
+        return position
+
+    def positions_of(self, attrs: Iterable[str]) -> tuple[int, ...]:
+        """Resolve a sequence of attribute names to positions, in order."""
+        return tuple(self.index_of(attr) for attr in attrs)
+
+    def concat(self, other: Schema) -> Schema:
+        """The schema of a product: this schema followed by ``other``."""
+        return Schema(self._attrs + other._attrs)
+
+    def project(self, attrs: Iterable[str]) -> Schema:
+        """The schema after projecting onto ``attrs`` (validates names)."""
+        attrs = tuple(attrs)
+        self.positions_of(attrs)
+        return Schema(attrs)
+
+    def rename(self, mapping: dict[str, str]) -> Schema:
+        """A schema with attributes renamed per ``mapping`` (others kept)."""
+        return Schema(tuple(mapping.get(attr, attr) for attr in self._attrs))
+
+    def qualify(self, prefix: str) -> Schema:
+        """Prefix every attribute with ``prefix.`` (range-variable naming)."""
+        return Schema(tuple(f"{prefix}.{attr}" for attr in self._attrs))
+
+    def union_compatible(self, other: Schema) -> bool:
+        """Whether two schemas may be combined by ⊎ / ∸ (same arity)."""
+        return self.arity == other.arity

@@ -1,0 +1,15 @@
+"""Baseline algorithms the paper compares against or improves upon.
+
+* :mod:`repro.baselines.recompute` — refresh by full recomputation;
+* :mod:`repro.baselines.preupdate_bug` — the pre-update incremental
+  algorithm naively evaluated in the post-update state (the *state bug*
+  victim, Section 1.2);
+* :mod:`repro.baselines.hanson` — Hanson-style suspended updates via
+  differential files on base tables [Han87, SL76].
+"""
+
+from repro.baselines.hanson import HansonDifferentialFiles
+from repro.baselines.preupdate_bug import buggy_post_update_refresh
+from repro.baselines.recompute import RecomputeScenario
+
+__all__ = ["RecomputeScenario", "buggy_post_update_refresh", "HansonDifferentialFiles"]

@@ -1,0 +1,58 @@
+"""The *state bug* victim: pre-update incremental queries evaluated
+post-update.
+
+Prior work ([BLT86, Han87, QW91, GL95]) derives incremental queries that
+are correct when evaluated in the **pre-update** state.  Section 1.2 of
+the paper shows that evaluating those same queries **after** the base
+tables have changed — the natural thing to do in deferred maintenance —
+yields wrong multiplicities (Example 1.2) and even wrong tuples
+(Example 1.3).
+
+This module implements exactly that faulty procedure, for experiments
+E1, E2 and E9: treat the log's recorded deletions/insertions as if they
+were a transaction's :math:`\\nabla R / \\triangle R`, differentiate with
+the *pre-update* rules, and evaluate the resulting deltas in the current
+(post-update) state.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.bag import Bag
+from repro.algebra.expr import Expr, Monus, UnionAll
+from repro.core.differential import differentiate
+from repro.core.logs import Log
+from repro.core.substitution import FactoredSubstitution
+from repro.storage.database import Database
+
+__all__ = ["buggy_post_update_delta", "buggy_post_update_refresh"]
+
+
+def _log_as_transaction_substitution(log: Log, db: Database) -> FactoredSubstitution:
+    """Misread the log as a pending transaction: ∇R := ▼R, ΔR := ▲R.
+
+    (The correct post-update construction uses the *reversed* roles —
+    that reversal is exactly what the duality of Section 4 provides and
+    what this baseline omits.)
+    """
+    entries = {name: (log.delete_ref(name), log.insert_ref(name)) for name in log.tables}
+    schemas = {name: db.schema_of(name) for name in log.tables}
+    return FactoredSubstitution(entries, schemas)
+
+
+def buggy_post_update_delta(log: Log, db: Database, query: Expr) -> tuple[Expr, Expr]:
+    """The pre-update incremental queries, as prior work would build them."""
+    eta = _log_as_transaction_substitution(log, db)
+    return differentiate(eta, query)
+
+
+def buggy_post_update_refresh(log: Log, db: Database, query: Expr, mv_table: str) -> Bag:
+    """Compute what ``MV`` *would* contain after the faulty refresh.
+
+    Evaluates the pre-update deltas in the current (post-update) state
+    and applies them to ``MV``.  Returns the resulting bag without
+    committing it, so experiments can compare it against the correct
+    refresh on the same database.
+    """
+    delete, insert = buggy_post_update_delta(log, db, query)
+    mv_ref = db.ref(mv_table)
+    return db.evaluate(UnionAll(Monus(mv_ref, delete), insert))

@@ -1,0 +1,6 @@
+"""Experiment harness: measurement helpers and report formatting."""
+
+from repro.bench.harness import ExperimentResult, measure_cost, measure_wall
+from repro.bench.report import format_table
+
+__all__ = ["ExperimentResult", "measure_cost", "measure_wall", "format_table"]

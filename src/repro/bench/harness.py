@@ -1,0 +1,55 @@
+"""Measurement helpers shared by the experiment benchmarks.
+
+Every experiment reports two cost signals:
+
+* wall-clock seconds (`measure_wall`) — what the paper means by refresh
+  time / downtime, on our hardware;
+* tuple-operation counts (`measure_cost`) — deterministic, so the
+  comparative *shape* of results is reproducible across machines.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.algebra.evaluation import CostCounter
+
+__all__ = ["measure_wall", "measure_cost", "ExperimentResult"]
+
+
+def measure_wall(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``fn`` and return ``(result, elapsed_seconds)``."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def measure_cost(counter: CostCounter, fn: Callable[[], Any]) -> tuple[Any, int]:
+    """Run ``fn`` and return ``(result, tuple_ops_delta)`` on ``counter``."""
+    before = counter.tuples_out
+    result = fn()
+    return result, counter.tuples_out - before
+
+
+@dataclass
+class ExperimentResult:
+    """Accumulates the rows of one experiment's report table."""
+
+    experiment: str
+    description: str = ""
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def add(self, **cells: Any) -> None:
+        self.rows.append(cells)
+
+    def column(self, name: str) -> list[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def report(self) -> str:
+        from repro.bench.report import format_table
+
+        header = f"== {self.experiment} ==" + (f"  {self.description}" if self.description else "")
+        return header + "\n" + format_table(self.rows)

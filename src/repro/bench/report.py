@@ -1,0 +1,42 @@
+"""Plain-text table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+__all__ = ["format_table", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Render one cell: floats get 4 significant digits, rest ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict[str, Any]], columns: Sequence[str] | None = None) -> str:
+    """Format dict rows as an aligned text table.
+
+    Column order follows first appearance unless ``columns`` is given.
+    Missing cells render as ``-``.
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        seen: dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key)
+        columns = list(seen)
+    rendered = [[format_cell(row.get(column, "-")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    rule = "  ".join("-" * width for width in widths)
+    body = "\n".join("  ".join(line[index].ljust(widths[index]) for index in range(len(columns))) for line in rendered)
+    return f"{header}\n{rule}\n{body}"

@@ -1,0 +1,44 @@
+"""Regenerate every experiment table: ``python -m repro.bench.run_all``.
+
+A thin convenience wrapper over the benchmark suite — runs
+``pytest benchmarks/ --benchmark-only`` and then concatenates the
+report tables from ``benchmarks/reports/`` in experiment order, so a
+single command reproduces everything quoted in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    repo_root = Path(__file__).resolve().parents[3]
+    benchmarks = repo_root / "benchmarks"
+    if not benchmarks.is_dir():
+        print(f"benchmarks directory not found at {benchmarks}", file=sys.stderr)
+        return 2
+    command = [sys.executable, "-m", "pytest", str(benchmarks), "--benchmark-only", "-q"]
+    print("$", " ".join(command))
+    completed = subprocess.run(command, cwd=repo_root)
+    reports = benchmarks / "reports"
+    if reports.is_dir():
+        def experiment_number(path: Path) -> int:
+            match = re.match(r"E(\d+)", path.stem)
+            return int(match.group(1)) if match else 999
+
+        print("\n" + "=" * 70)
+        print("EXPERIMENT TABLES")
+        print("=" * 70)
+        for path in sorted(reports.glob("E*.txt"), key=experiment_number):
+            print()
+            print(path.read_text().rstrip())
+    return completed.returncode
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

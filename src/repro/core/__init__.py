@@ -1,0 +1,69 @@
+"""The paper's contribution: deferred view maintenance.
+
+* :mod:`repro.core.views` — view definitions,
+* :mod:`repro.core.transactions` — simple transactions (∇R / ΔR pairs),
+* :mod:`repro.core.substitution` — factored substitutions and minimality,
+* :mod:`repro.core.logs` — base-table logs (▼R / ▲R),
+* :mod:`repro.core.timetravel` — PAST and FUTURE queries,
+* :mod:`repro.core.differential` — the Figure 2 Del/Add algorithm and the
+  pre-/post-update incremental queries,
+* :mod:`repro.core.invariants` — the Figure 1 invariants as checks,
+* :mod:`repro.core.scenarios` — the Figure 3 maintenance algorithms,
+* :mod:`repro.core.policies` — refresh policies and the simulated driver.
+"""
+
+from repro.core.differential import (
+    differentiate,
+    post_update_delta,
+    pre_update_delta,
+    strongly_minimal_pair,
+)
+from repro.core.logs import Log
+from repro.core.policies import (
+    LogThresholdPolicy,
+    MaintenanceDriver,
+    MaintenancePolicy,
+    OnDemandPolicy,
+    OnQueryPolicy,
+    PeriodicRefresh,
+    Policy1,
+    Policy2,
+)
+from repro.core.scenarios import (
+    BaseLogScenario,
+    CombinedScenario,
+    DiffTableScenario,
+    ImmediateScenario,
+    Scenario,
+)
+from repro.core.substitution import FactoredSubstitution
+from repro.core.timetravel import future_query, past_query, transaction_substitution
+from repro.core.transactions import UserTransaction
+from repro.core.views import ViewDefinition
+
+__all__ = [
+    "ViewDefinition",
+    "UserTransaction",
+    "FactoredSubstitution",
+    "Log",
+    "future_query",
+    "past_query",
+    "transaction_substitution",
+    "differentiate",
+    "pre_update_delta",
+    "post_update_delta",
+    "strongly_minimal_pair",
+    "Scenario",
+    "ImmediateScenario",
+    "BaseLogScenario",
+    "DiffTableScenario",
+    "CombinedScenario",
+    "MaintenancePolicy",
+    "LogThresholdPolicy",
+    "Policy1",
+    "Policy2",
+    "PeriodicRefresh",
+    "OnDemandPolicy",
+    "OnQueryPolicy",
+    "MaintenanceDriver",
+]

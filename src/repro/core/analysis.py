@@ -1,0 +1,93 @@
+"""Static analysis of view definitions.
+
+Section 1.2 notes that select-project views are *self-maintainable*
+[GJM96]: "such views can be maintained without looking at base tables",
+which is why earlier deferred-maintenance work restricted to them never
+met the state bug.  This module makes that observation executable:
+
+* :func:`is_select_project` — syntactic membership in the SP class;
+* :func:`maintenance_footprint` — the set of base tables the
+  *post-update incremental queries* actually read.  For SP views the
+  footprint is empty (refresh touches only the log); for joins it
+  contains the joined tables; for monus views both operands.
+* :func:`is_self_maintainable` — empty footprint.
+
+The footprint is computed from the real differential rewrite, not a
+re-derivation, so it is exact by construction: whatever tables the
+deltas mention are exactly the tables refresh will scan.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expr import Expr, Literal, MapProject, Project, Select, TableRef
+from repro.core import naming
+from repro.core.differential import differentiate
+from repro.core.substitution import FactoredSubstitution
+from repro.core.views import ViewDefinition
+from repro.storage.database import Database
+
+__all__ = [
+    "is_select_project",
+    "maintenance_footprint",
+    "is_self_maintainable",
+    "relevant_tables",
+]
+
+
+def is_select_project(expr: Expr) -> bool:
+    """Whether ``expr`` is a select-project query over a single table.
+
+    Duplicate elimination is allowed on top (it is still maintainable
+    from deltas plus the view itself in the original literature, but it
+    breaks *delta-only* self-maintenance, so it is excluded here).
+    """
+    node = expr
+    while isinstance(node, (Select, Project, MapProject)):
+        node = node.child
+    return isinstance(node, (TableRef, Literal))
+
+
+def maintenance_footprint(view: ViewDefinition, db: Database) -> frozenset[str]:
+    """Base tables the post-update incremental queries read.
+
+    Builds the view's log substitution symbolically (no log tables are
+    actually created), differentiates, and collects every base-table
+    reference in the resulting delta expressions — symbolic log tables
+    excluded.
+    """
+    owner = f"__analysis__{view.name}"
+    entries: dict[str, tuple[TableRef, TableRef]] = {}
+    schemas = {}
+    log_tables: set[str] = set()
+    for table in sorted(view.base_tables()):
+        schema = db.schema_of(table)
+        log_delete = TableRef(naming.log_delete_name(owner, table), schema)
+        log_insert = TableRef(naming.log_insert_name(owner, table), schema)
+        log_tables.update((log_delete.name, log_insert.name))
+        # L̂: the delete component is the log's insert table and vice versa.
+        entries[table] = (log_insert, log_delete)
+        schemas[table] = schema
+    eta = FactoredSubstitution(entries, schemas)
+    delete, insert = differentiate(eta, view.query)
+    referenced = set(delete.tables()) | set(insert.tables())
+    return frozenset(referenced - log_tables)
+
+
+def is_self_maintainable(view: ViewDefinition, db: Database) -> bool:
+    """Whether refreshing the view never reads base tables.
+
+    True exactly when the post-update deltas are expressible over the
+    log alone — the [GJM96] self-maintainability property for our
+    insert/delete transaction class.
+    """
+    return not maintenance_footprint(view, db)
+
+
+def relevant_tables(view: ViewDefinition, txn_tables: frozenset[str]) -> frozenset[str]:
+    """The subset of a transaction's tables that can affect the view.
+
+    A transaction touching none of these is *irrelevant* to the view
+    (the classic relevant-update test [BLT86]); the maintenance
+    machinery skips log extension for such transactions automatically.
+    """
+    return view.base_tables() & txn_tables

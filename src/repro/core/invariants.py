@@ -1,0 +1,81 @@
+"""The four database invariants of Figure 1, as checkable objects.
+
+Each invariant relates the view's defining query ``Q``, its materialized
+table ``MV``, and the auxiliary tables of the scenario:
+
+========  =====================================================================
+scenario  invariant
+========  =====================================================================
+``IM``    :math:`Q \\equiv MV`
+``BL``    :math:`\\mathrm{PAST}(\\mathcal{L}, Q) \\equiv MV`
+``DT``    :math:`Q \\equiv (MV \\dot{-} \\triangledown MV) \\uplus \\triangle MV`
+``C``     :math:`\\mathrm{PAST}(\\mathcal{L}, Q) \\equiv
+          (MV \\dot{-} \\triangledown MV) \\uplus \\triangle MV`
+========  =====================================================================
+
+Plus the *minimality invariants* of Section 5.2:
+:math:`\\blacktriangle R_i \\subseteq R_i` for every logged table, and
+:math:`\\triangledown MV \\subseteq MV` when differential tables are used.
+
+These checks recompute queries from scratch, so they are intended for
+tests, assertions, and fault-injection experiments — not the hot path.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.evaluation import evaluate
+from repro.core.logs import Log
+from repro.core.timetravel import past_query
+from repro.core.views import ViewDefinition
+from repro.errors import InvariantViolation
+from repro.storage.database import Database
+
+__all__ = [
+    "immediate_invariant",
+    "base_log_invariant",
+    "diff_table_invariant",
+    "combined_invariant",
+    "log_minimality_invariant",
+    "dt_minimality_invariant",
+    "require",
+]
+
+
+def require(holds: bool, message: str) -> None:
+    """Raise :class:`InvariantViolation` when ``holds`` is false."""
+    if not holds:
+        raise InvariantViolation(message)
+
+
+def immediate_invariant(db: Database, view: ViewDefinition) -> bool:
+    """:math:`\\mathbb{INV}_{IM}`: the view table is always consistent."""
+    return evaluate(view.query, db.state) == db[view.mv_table]
+
+
+def base_log_invariant(db: Database, view: ViewDefinition, log: Log) -> bool:
+    """:math:`\\mathbb{INV}_{BL}`: ``MV`` holds the past value of ``Q``."""
+    return evaluate(past_query(view.query, log), db.state) == db[view.mv_table]
+
+
+def diff_table_invariant(db: Database, view: ViewDefinition) -> bool:
+    """:math:`\\mathbb{INV}_{DT}`: ``Q ≡ (MV ∸ ∇MV) ⊎ ΔMV``."""
+    current = evaluate(view.query, db.state)
+    patched = db[view.mv_table].monus(db[view.dt_delete_table]).union_all(db[view.dt_insert_table])
+    return current == patched
+
+
+def combined_invariant(db: Database, view: ViewDefinition, log: Log) -> bool:
+    """:math:`\\mathbb{INV}_{C}`: ``PAST(L,Q) ≡ (MV ∸ ∇MV) ⊎ ΔMV``."""
+    past = evaluate(past_query(view.query, log), db.state)
+    patched = db[view.mv_table].monus(db[view.dt_delete_table]).union_all(db[view.dt_insert_table])
+    return past == patched
+
+
+def log_minimality_invariant(db: Database, log: Log) -> bool:
+    """Weak minimality of the log: :math:`\\blacktriangle R \\subseteq R`."""
+    return log.is_weakly_minimal()
+
+
+def dt_minimality_invariant(db: Database, view: ViewDefinition) -> bool:
+    """Weak minimality of the differential tables: :math:`\\triangledown MV \\subseteq MV`."""
+    return db[view.dt_delete_table].issubbag(db[view.mv_table])

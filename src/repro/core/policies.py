@@ -1,0 +1,307 @@
+"""Refresh policies and the simulated-time maintenance driver (Section 5.3).
+
+A *policy* is a scheme by which propagate/refresh operations are invoked
+for a view.  The paper presents two for the ``INV_C`` scenario:
+
+* **Policy 1** — every ``k`` time units run ``propagate_C``; every ``m``
+  (``m > k``) bring the view fully up to date with ``refresh_C``.
+* **Policy 2** — every ``k`` run ``propagate_C``; every ``m`` run only
+  ``partial_refresh_C``.  Downtime is minimal (just applying the
+  precomputed differentials) and the view is at most ``k`` out of date.
+
+We add the obvious companions: periodic full refresh (for ``BL``/``DT``),
+refresh-on-query, and on-demand.  :class:`MaintenanceDriver` advances an
+integer simulated clock, feeds user transactions to the scenario,
+invokes the policy's actions at each tick, and records staleness and
+operation counts — the raw material for the downtime experiments.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.scenarios import CombinedScenario, Scenario
+from repro.core.transactions import UserTransaction
+from repro.errors import PolicyError
+
+__all__ = [
+    "MaintenancePolicy",
+    "LogThresholdPolicy",
+    "Policy1",
+    "Policy2",
+    "PeriodicRefresh",
+    "OnDemandPolicy",
+    "OnQueryPolicy",
+    "MaintenanceDriver",
+    "DriverStats",
+]
+
+
+class MaintenancePolicy(ABC):
+    """Decides which maintenance actions run at each simulated tick."""
+
+    #: Action names understood by the driver.
+    ACTIONS = ("propagate", "partial_refresh", "refresh")
+
+    @abstractmethod
+    def actions_at(self, tick: int) -> tuple[str, ...]:
+        """The ordered maintenance actions to run at integer time ``tick``."""
+
+    def actions_for(self, tick: int, scenario: Scenario) -> tuple[str, ...]:
+        """Like :meth:`actions_at`, but may inspect the scenario's state.
+
+        The default ignores the scenario; *adaptive* policies (the
+        paper's "whenever any free cycles are available" variation)
+        override this to react to log volume.
+        """
+        return self.actions_at(tick)
+
+    def refresh_on_query(self) -> bool:
+        """Whether the view must be refreshed before serving a query."""
+        return False
+
+
+@dataclass(frozen=True)
+class Policy1(MaintenancePolicy):
+    """Propagate every ``k``; full ``refresh`` every ``m`` (``m > k``)."""
+
+    k: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if not (0 < self.k < self.m):
+            raise PolicyError(f"Policy 1 requires 0 < k < m, got k={self.k}, m={self.m}")
+
+    def actions_at(self, tick: int) -> tuple[str, ...]:
+        if tick % self.m == 0:
+            return ("refresh",)  # refresh_C subsumes the propagation
+        if tick % self.k == 0:
+            return ("propagate",)
+        return ()
+
+
+@dataclass(frozen=True)
+class Policy2(MaintenancePolicy):
+    """Propagate every ``k``; only ``partial_refresh`` every ``m`` (``m > k``).
+
+    The view is refreshed to a state at most ``k`` time units old, with
+    the minimal possible downtime.
+    """
+
+    k: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if not (0 < self.k < self.m):
+            raise PolicyError(f"Policy 2 requires 0 < k < m, got k={self.k}, m={self.m}")
+
+    def actions_at(self, tick: int) -> tuple[str, ...]:
+        actions: list[str] = []
+        if tick % self.k == 0:
+            actions.append("propagate")
+        if tick % self.m == 0:
+            actions.append("partial_refresh")
+        return tuple(actions)
+
+
+@dataclass(frozen=True)
+class PeriodicRefresh(MaintenancePolicy):
+    """Full refresh every ``m`` ticks (the natural policy for BL and DT)."""
+
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.m <= 0:
+            raise PolicyError(f"PeriodicRefresh requires m > 0, got {self.m}")
+
+    def actions_at(self, tick: int) -> tuple[str, ...]:
+        return ("refresh",) if tick % self.m == 0 else ()
+
+
+@dataclass(frozen=True)
+class OnDemandPolicy(MaintenancePolicy):
+    """No scheduled maintenance; the application calls ``refresh`` itself."""
+
+    def actions_at(self, tick: int) -> tuple[str, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class OnQueryPolicy(MaintenancePolicy):
+    """Refresh lazily, immediately before each query against the view."""
+
+    def actions_at(self, tick: int) -> tuple[str, ...]:
+        return ()
+
+    def refresh_on_query(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class LogThresholdPolicy(MaintenancePolicy):
+    """Adaptive propagation (Section 5.3's closing remark).
+
+    Rather than propagating on a fixed interval ``k``, propagate
+    whenever the log has accumulated at least ``threshold`` recorded
+    changes — a stand-in for "whenever any free cycles are available" —
+    and partially refresh the view every ``m`` ticks.  Requires the
+    combined (``INV_C``) scenario.
+    """
+
+    threshold: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0 or self.m <= 0:
+            raise PolicyError("LogThresholdPolicy needs threshold > 0 and m > 0")
+
+    def actions_at(self, tick: int) -> tuple[str, ...]:
+        return ("partial_refresh",) if tick % self.m == 0 else ()
+
+    def actions_for(self, tick: int, scenario: Scenario) -> tuple[str, ...]:
+        actions: list[str] = []
+        log = getattr(scenario, "log", None)
+        if log is not None and log.recorded_changes() >= self.threshold:
+            actions.append("propagate")
+        actions.extend(self.actions_at(tick))
+        return tuple(actions)
+
+
+@dataclass
+class DriverStats:
+    """Counters and samples accumulated by a :class:`MaintenanceDriver` run."""
+
+    transactions: int = 0
+    propagates: int = 0
+    partial_refreshes: int = 0
+    full_refreshes: int = 0
+    queries: int = 0
+    #: ``tick - mv_reflects`` sampled at each query.
+    staleness_samples: list[int] = field(default_factory=list)
+    #: Tuple-operation cost of user transactions (maintenance overhead included).
+    transaction_cost: int = 0
+    #: Tuple-operation cost of propagate operations.
+    propagate_cost: int = 0
+    #: Tuple-operation cost of refresh/partial-refresh operations.
+    refresh_cost: int = 0
+
+    def max_staleness(self) -> int:
+        return max(self.staleness_samples, default=0)
+
+    def mean_staleness(self) -> float:
+        if not self.staleness_samples:
+            return 0.0
+        return sum(self.staleness_samples) / len(self.staleness_samples)
+
+
+class MaintenanceDriver:
+    """Advances simulated time, applying transactions and policy actions.
+
+    The driver tracks two logical timestamps:
+
+    * ``mv_reflects`` — the simulated time of the database state the view
+      table currently equals (staleness = now − this);
+    * ``dt_reflects`` — the time through which base-table changes have
+      been propagated into the differential tables (``INV_C`` only).
+    """
+
+    def __init__(self, scenario: Scenario, policy: MaintenancePolicy) -> None:
+        self.scenario = scenario
+        self.policy = policy
+        self.stats = DriverStats()
+        self.now = 0
+        self.mv_reflects = 0
+        self.dt_reflects = 0
+        if self._needs_combined() and not isinstance(scenario, CombinedScenario):
+            raise PolicyError(
+                f"policy {type(policy).__name__} requires the combined (INV_C) scenario, "
+                f"got {type(scenario).__name__}"
+            )
+
+    def _needs_combined(self) -> bool:
+        return isinstance(self.policy, (Policy1, Policy2, LogThresholdPolicy))
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def _cost(self) -> int:
+        return self.scenario.counter.tuples_out
+
+    def submit(self, txn: UserTransaction) -> None:
+        """Apply one user transaction (with maintenance extensions) now."""
+        before = self._cost()
+        self.scenario.execute(txn)
+        self.stats.transactions += 1
+        self.stats.transaction_cost += self._cost() - before
+        if self.scenario.tag == "IM":
+            self.mv_reflects = self.now
+
+    def _run_action(self, action: str) -> None:
+        scenario = self.scenario
+        before = self._cost()
+        if action == "propagate":
+            if not isinstance(scenario, CombinedScenario):
+                raise PolicyError("propagate requires the combined (INV_C) scenario")
+            scenario.propagate()
+            self.stats.propagates += 1
+            self.stats.propagate_cost += self._cost() - before
+            self.dt_reflects = self.now
+        elif action == "partial_refresh":
+            if not isinstance(scenario, CombinedScenario):
+                raise PolicyError("partial_refresh requires the combined (INV_C) scenario")
+            scenario.partial_refresh()
+            self.stats.partial_refreshes += 1
+            self.stats.refresh_cost += self._cost() - before
+            self.mv_reflects = self.dt_reflects
+        elif action == "refresh":
+            scenario.refresh()
+            self.stats.full_refreshes += 1
+            self.stats.refresh_cost += self._cost() - before
+            self.mv_reflects = self.now
+            self.dt_reflects = self.now
+        else:
+            raise PolicyError(f"unknown maintenance action {action!r}")
+
+    def tick(self, txns: Sequence[UserTransaction] = ()) -> None:
+        """Advance the clock one unit: apply ``txns``, then policy actions."""
+        self.now += 1
+        for txn in txns:
+            self.submit(txn)
+        for action in self.policy.actions_for(self.now, self.scenario):
+            self._run_action(action)
+
+    def query(self):
+        """Read the view as an application would, recording staleness."""
+        if self.policy.refresh_on_query():
+            self._run_action("refresh")
+        self.stats.queries += 1
+        self.stats.staleness_samples.append(self.now - self.mv_reflects)
+        return self.scenario.read_view()
+
+    def refresh_now(self) -> None:
+        """Explicit on-demand refresh."""
+        self._run_action("refresh")
+
+    def run(
+        self,
+        schedule: Iterable[tuple[int, Sequence[UserTransaction]]],
+        *,
+        horizon: int,
+        query_every: int | None = None,
+    ) -> DriverStats:
+        """Run to ``horizon`` ticks with transactions from ``schedule``.
+
+        ``schedule`` yields ``(tick, transactions)`` pairs in increasing
+        tick order; ticks not mentioned carry no transactions.  When
+        ``query_every`` is given, the view is queried at that period.
+        """
+        pending = dict(schedule)
+        for _ in range(horizon):
+            txns = pending.get(self.now + 1, ())
+            self.tick(txns)
+            if query_every and self.now % query_every == 0:
+                self.query()
+        return self.stats

@@ -1,0 +1,379 @@
+"""The view-maintenance scenarios and their algorithms (Figure 3).
+
+Four scenario classes, one per invariant of Figure 1:
+
+* :class:`ImmediateScenario` — ``INV_IM``; every user transaction is
+  extended with the incremental view update (pre-update deltas).
+* :class:`BaseLogScenario` — ``INV_BL``; transactions only extend the
+  log, ``refresh`` applies post-update deltas and clears the log.
+* :class:`DiffTableScenario` — ``INV_DT``; transactions fold pre-update
+  deltas into the view differential tables, ``refresh`` just applies
+  them (minimal work under the view's write lock).
+* :class:`CombinedScenario` — ``INV_C``; transactions only extend the
+  log, ``propagate`` moves log contents into the differential tables
+  *without locking the view*, and ``partial_refresh`` applies the
+  differential tables under the lock.  This combination achieves both
+  low per-transaction overhead and low view downtime (Section 5.3).
+
+Each ``makesafe``/refresh operation is expressed as a
+:class:`~repro.core.plan.MaintenancePlan` whose table updates run as
+*patches* — delta-proportional indexed updates — so the cost accounting
+matches the paper's argument: log extension costs O(|ΔT|), applying
+differential tables costs O(|∇MV| + |ΔMV|), and only the computation of
+incremental queries pays join-shaped costs.
+
+All maintenance work is accounted in a
+:class:`~repro.algebra.evaluation.CostCounter` and all view-locking
+critical sections in a :class:`~repro.storage.locks.LockLedger`, so the
+experiments can compare overhead and downtime across scenarios.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.algebra.bag import Bag
+from repro.algebra.evaluation import CostCounter
+from repro.algebra.expr import Expr, Literal, Monus, min_expr
+from repro.core import invariants
+from repro.core.differential import post_update_delta, pre_update_delta
+from repro.core.logs import Log
+from repro.core.plan import MaintenancePlan
+from repro.core.transactions import UserTransaction
+from repro.core.views import ViewDefinition
+from repro.errors import InvariantViolation
+from repro.storage.database import Database
+from repro.storage.locks import LockLedger
+
+__all__ = [
+    "Scenario",
+    "ImmediateScenario",
+    "BaseLogScenario",
+    "DiffTableScenario",
+    "CombinedScenario",
+]
+
+
+class Scenario(ABC):
+    """Common machinery for one materialized view under one scenario."""
+
+    #: Short scenario tag matching the paper's invariant subscripts.
+    tag: str = "?"
+
+    def __init__(
+        self,
+        db: Database,
+        view: ViewDefinition,
+        *,
+        counter: CostCounter | None = None,
+        ledger: LockLedger | None = None,
+    ) -> None:
+        self.db = db
+        self.view = view
+        self.counter = counter if counter is not None else CostCounter()
+        self.ledger = ledger if ledger is not None else LockLedger()
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def install(self) -> None:
+        """Create and initialize ``MV`` and the scenario's auxiliary tables."""
+        if self._installed:
+            return
+        initial = self.db.evaluate(self.view.query, counter=self.counter)
+        self.db.create_table(self.view.mv_table, self.view.schema, rows=initial, internal=True)
+        self._install_auxiliary()
+        self._installed = True
+
+    def _install_auxiliary(self) -> None:
+        """Create scenario-specific auxiliary tables (default: none)."""
+
+    def uninstall(self) -> None:
+        """Drop ``MV`` and every auxiliary table this scenario created."""
+        if not self._installed:
+            return
+        self._uninstall_auxiliary()
+        self.db.drop_table(self.view.mv_table)
+        self._installed = False
+
+    def _uninstall_auxiliary(self) -> None:
+        """Drop scenario-specific auxiliary tables (default: none)."""
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def make_safe(self, txn: UserTransaction) -> MaintenancePlan:
+        """``makesafe[T]``: the plan combining T with auxiliary updates."""
+
+    def execute(self, txn: UserTransaction) -> None:
+        """Run ``makesafe[T]`` against the database."""
+        self.make_safe(txn).execute(self.db, counter=self.counter)
+        self.post_execute()
+
+    def post_execute(self) -> None:
+        """Optional normalization run after each transaction (default: none)."""
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def refresh(self) -> None:
+        """Bring ``MV`` up to date: afterwards :math:`Q \\equiv MV`."""
+
+    def read_view(self) -> Bag:
+        """The current contents of ``MV`` (what a reader sees)."""
+        return self.db[self.view.mv_table]
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def invariant_holds(self) -> bool:
+        """Check this scenario's Figure 1 invariant (full recomputation)."""
+
+    def check_invariant(self) -> None:
+        """Raise :class:`InvariantViolation` when the invariant is broken."""
+        if not self.invariant_holds():
+            raise InvariantViolation(
+                f"scenario {self.tag}: invariant violated for view {self.view.name!r}"
+            )
+
+    def is_consistent(self) -> bool:
+        """Whether ``MV`` currently equals ``Q`` (i.e. no refresh pending)."""
+        return invariants.immediate_invariant(self.db, self.view)
+
+    # Shared helpers ----------------------------------------------------
+
+    def _mv_ref(self):
+        return self.db.ref(self.view.mv_table)
+
+
+class ImmediateScenario(Scenario):
+    """Immediate maintenance: ``INV_IM`` (Section 3.2).
+
+    ``makesafe_IM[T]`` augments ``T`` with
+    :math:`MV := (MV \\dot{-} \\nabla(T,Q)) \\uplus \\Delta(T,Q)`, the
+    incremental queries being evaluated in the pre-update state — which
+    is exactly what simultaneous-assignment execution provides.
+    """
+
+    tag = "IM"
+
+    def make_safe(self, txn: UserTransaction) -> MaintenancePlan:
+        txn = txn.weakly_minimal()
+        plan = MaintenancePlan(patches=txn.patches())
+        nabla, delta = pre_update_delta(txn, self.db, self.view.query)
+        plan.add_patch(self.view.mv_table, nabla, delta)
+        return plan
+
+    def refresh(self) -> None:
+        """No-op: the view is consistent after every transaction."""
+
+    def invariant_holds(self) -> bool:
+        return invariants.immediate_invariant(self.db, self.view)
+
+
+class BaseLogScenario(Scenario):
+    """Deferred maintenance with base logs: ``INV_BL`` (Section 3.3)."""
+
+    tag = "BL"
+
+    def __init__(self, db, view, *, counter=None, ledger=None) -> None:
+        super().__init__(db, view, counter=counter, ledger=ledger)
+        self.log = Log(db, view.base_tables(), owner=view.name)
+
+    def _install_auxiliary(self) -> None:
+        self.log.install()
+
+    def _uninstall_auxiliary(self) -> None:
+        self.log.uninstall()
+
+    def make_safe(self, txn: UserTransaction) -> MaintenancePlan:
+        """``makesafe_BL[T]``: T plus the weakly-minimal log extension."""
+        txn = txn.weakly_minimal()
+        plan = MaintenancePlan(patches=txn.patches())
+        for table, (delete, insert) in self.log.extend_patches(txn).items():
+            plan.add_patch(table, delete, insert)
+        return plan
+
+    def refresh(self) -> None:
+        """``refresh_BL``: apply post-update deltas to ``MV``, clear the log.
+
+        The incremental queries are computed here, under the view's
+        exclusive lock — this is why refresh time can be high in this
+        scenario (motivating ``INV_C``).
+        """
+        view_delete, view_insert = post_update_delta(self.log, self.view.query)
+        plan = MaintenancePlan(assignments=self.log.clear_assignments())
+        plan.add_patch(self.view.mv_table, view_delete, view_insert)
+        with self.ledger.exclusive(self.view.mv_table, label="refresh_BL", counter=self.counter):
+            plan.execute(self.db, counter=self.counter)
+
+    def invariant_holds(self) -> bool:
+        return invariants.base_log_invariant(self.db, self.view, self.log) and self.log.is_weakly_minimal()
+
+
+class DiffTableScenario(Scenario):
+    """Deferred maintenance with view differential tables: ``INV_DT`` (Section 3.4).
+
+    With ``strong_minimality=True``, a normalization step after each
+    fold removes the common part of :math:`\\triangledown MV` and
+    :math:`\\triangle MV` (no tuple both deleted and reinserted),
+    shrinking refresh work further (Section 5.3).
+    """
+
+    tag = "DT"
+
+    def __init__(self, db, view, *, counter=None, ledger=None, strong_minimality: bool = False) -> None:
+        super().__init__(db, view, counter=counter, ledger=ledger)
+        self.strong_minimality = strong_minimality
+
+    def _install_auxiliary(self) -> None:
+        self.db.create_table(self.view.dt_delete_table, self.view.schema, internal=True)
+        self.db.create_table(self.view.dt_insert_table, self.view.schema, internal=True)
+
+    def _uninstall_auxiliary(self) -> None:
+        self.db.drop_table(self.view.dt_delete_table)
+        self.db.drop_table(self.view.dt_insert_table)
+
+    def _empty_literal(self) -> Literal:
+        return Literal(Bag.empty(), self.view.schema)
+
+    def _fold_into_dt(self, plan: MaintenancePlan, delete: Expr, insert: Expr) -> None:
+        """Fold a ``(delete, insert)`` view delta into ∇MV/ΔMV (Lemma 3).
+
+        .. math::
+
+            \\triangledown MV := \\triangledown MV \\uplus
+                (del \\dot{-} \\triangle MV), \\qquad
+            \\triangle MV := (\\triangle MV \\dot{-} del) \\uplus ins
+        """
+        dt_insert = self.db.ref(self.view.dt_insert_table)
+        plan.add_patch(self.view.dt_delete_table, self._empty_literal(), Monus(delete, dt_insert))
+        plan.add_patch(self.view.dt_insert_table, delete, insert)
+
+    def post_execute(self) -> None:
+        """Strong-minimality normalization: cancel ∇MV ∩ ΔMV (Section 4.1)."""
+        if not self.strong_minimality:
+            return
+        common = min_expr(self.db.ref(self.view.dt_delete_table), self.db.ref(self.view.dt_insert_table))
+        plan = MaintenancePlan()
+        plan.add_patch(self.view.dt_delete_table, common, self._empty_literal())
+        plan.add_patch(self.view.dt_insert_table, common, self._empty_literal())
+        plan.execute(self.db, counter=self.counter)
+
+    def make_safe(self, txn: UserTransaction) -> MaintenancePlan:
+        """``makesafe_DT[T]``: T plus folding of pre-update deltas into ∇MV/ΔMV."""
+        txn = txn.weakly_minimal()
+        plan = MaintenancePlan(patches=txn.patches())
+        nabla, delta = pre_update_delta(txn, self.db, self.view.query)
+        self._fold_into_dt(plan, nabla, delta)
+        return plan
+
+    def _apply_dt_plan(self) -> MaintenancePlan:
+        """``refresh_DT``'s plan: apply and clear the differentials."""
+        dt_delete = self.db.ref(self.view.dt_delete_table)
+        dt_insert = self.db.ref(self.view.dt_insert_table)
+        plan = MaintenancePlan()
+        plan.add_patch(self.view.mv_table, dt_delete, dt_insert)
+        plan.add_assignment(self.view.dt_delete_table, self._empty_literal())
+        plan.add_assignment(self.view.dt_insert_table, self._empty_literal())
+        return plan
+
+    def refresh(self) -> None:
+        """``refresh_DT``: apply precomputed differentials — minimal downtime."""
+        with self.ledger.exclusive(self.view.mv_table, label="refresh_DT", counter=self.counter):
+            self._apply_dt_plan().execute(self.db, counter=self.counter)
+
+    def invariant_holds(self) -> bool:
+        holds = invariants.diff_table_invariant(self.db, self.view)
+        return holds and invariants.dt_minimality_invariant(self.db, self.view)
+
+
+class CombinedScenario(DiffTableScenario):
+    """Deferred maintenance with logs *and* differential tables: ``INV_C`` (Section 3.5).
+
+    * ``makesafe_C[T] = makesafe_BL[T]`` — per-transaction overhead is just
+      the log extension.
+    * ``propagate_C`` moves the log's changes into ∇MV/ΔMV (computing the
+      post-update deltas *outside* any view lock) and clears the log.
+    * ``partial_refresh_C = refresh_DT`` — applies the differentials under
+      the lock; afterwards ``MV`` equals ``PAST(L, Q)``.
+    * ``refresh_C`` is either propagate-then-partial-refresh or
+      partial-refresh-then-``refresh_BL``.
+    """
+
+    tag = "C"
+
+    def __init__(self, db, view, *, counter=None, ledger=None, strong_minimality: bool = False) -> None:
+        super().__init__(db, view, counter=counter, ledger=ledger, strong_minimality=strong_minimality)
+        self.log = Log(db, view.base_tables(), owner=view.name)
+
+    def _install_auxiliary(self) -> None:
+        super()._install_auxiliary()
+        self.log.install()
+
+    def _uninstall_auxiliary(self) -> None:
+        super()._uninstall_auxiliary()
+        self.log.uninstall()
+
+    def make_safe(self, txn: UserTransaction) -> MaintenancePlan:
+        """``makesafe_C[T]`` — identical to ``makesafe_BL[T]``."""
+        txn = txn.weakly_minimal()
+        plan = MaintenancePlan(patches=txn.patches())
+        for table, (delete, insert) in self.log.extend_patches(txn).items():
+            plan.add_patch(table, delete, insert)
+        return plan
+
+    def post_execute(self) -> None:
+        """Transactions only touch the log; differentials are untouched."""
+
+    def propagate(self) -> None:
+        """``propagate_C``: log → differential tables, no view lock taken."""
+        view_delete, view_insert = post_update_delta(self.log, self.view.query)
+        plan = MaintenancePlan(assignments=self.log.clear_assignments())
+        self._fold_into_dt(plan, view_delete, view_insert)
+        plan.execute(self.db, counter=self.counter)
+        super().post_execute()  # strong-minimality normalization, if enabled
+
+    def partial_refresh(self) -> None:
+        """``partial_refresh_C``: apply differentials; ``MV`` becomes ``PAST(L,Q)``."""
+        with self.ledger.exclusive(self.view.mv_table, label="partial_refresh_C", counter=self.counter):
+            self._apply_dt_plan().execute(self.db, counter=self.counter)
+
+    def refresh(self, *, order: str = "propagate_first") -> None:
+        """``refresh_C``: full refresh via either composition of Figure 3.
+
+        The *entire* composed refresh runs under the view's exclusive
+        lock — this is the downtime Policy 1 pays.  Its advantage over
+        ``refresh_BL`` is that periodic (unlocked) propagation already
+        absorbed all but the last ``k`` time units of the log, so the
+        in-lock delta computation covers a short log only.
+        """
+        if order not in ("propagate_first", "partial_first"):
+            raise ValueError(f"unknown refresh order: {order!r}")
+        with self.ledger.exclusive(self.view.mv_table, label="refresh_C", counter=self.counter):
+            if order == "propagate_first":
+                view_delete, view_insert = post_update_delta(self.log, self.view.query)
+                propagate_plan = MaintenancePlan(assignments=self.log.clear_assignments())
+                self._fold_into_dt(propagate_plan, view_delete, view_insert)
+                propagate_plan.execute(self.db, counter=self.counter)
+                self._apply_dt_plan().execute(self.db, counter=self.counter)
+            else:
+                self._apply_dt_plan().execute(self.db, counter=self.counter)
+                # refresh_BL tail: deltas for the remaining log.
+                view_delete, view_insert = post_update_delta(self.log, self.view.query)
+                tail = MaintenancePlan(assignments=self.log.clear_assignments())
+                tail.add_patch(self.view.mv_table, view_delete, view_insert)
+                tail.execute(self.db, counter=self.counter)
+
+    def invariant_holds(self) -> bool:
+        holds = invariants.combined_invariant(self.db, self.view, self.log)
+        holds = holds and invariants.dt_minimality_invariant(self.db, self.view)
+        return holds and self.log.is_weakly_minimal()

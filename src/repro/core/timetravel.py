@@ -1,0 +1,40 @@
+"""Past and future queries (Section 2.5).
+
+* ``FUTURE(T, Q)`` — evaluated *now*, returns the value ``Q`` will have
+  after transaction ``T`` runs: :math:`\\widehat{\\mathcal{T}}(Q)`.
+* ``PAST(L, Q)`` — evaluated in the current (post-update) state, returns
+  the value ``Q`` had in the state before the changes recorded in log
+  ``L``: :math:`\\widehat{\\mathcal{L}}(Q)`.
+
+Future queries *anticipate* changes; past queries *compensate* for them.
+Both are just substitution instances, which is the duality Section 4
+exploits.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expr import Expr
+from repro.core.logs import Log
+from repro.core.substitution import FactoredSubstitution
+from repro.core.transactions import UserTransaction
+from repro.storage.database import Database
+
+__all__ = ["future_query", "past_query", "transaction_substitution"]
+
+
+def transaction_substitution(txn: UserTransaction, db: Database) -> FactoredSubstitution:
+    """:math:`\\widehat{\\mathcal{T}}`: maps each updated :math:`R` to
+    :math:`(R \\dot{-} \\nabla R) \\uplus \\triangle R`."""
+    entries = {name: (txn.delete_expr(name), txn.insert_expr(name)) for name in txn.tables}
+    schemas = {name: db.schema_of(name) for name in txn.tables}
+    return FactoredSubstitution(entries, schemas)
+
+
+def future_query(query: Expr, txn: UserTransaction, db: Database) -> Expr:
+    """``FUTURE(T, Q)``: the value ``Q`` will have immediately after ``T``."""
+    return transaction_substitution(txn, db).apply(query)
+
+
+def past_query(query: Expr, log: Log) -> Expr:
+    """``PAST(L, Q)``: the value ``Q`` had before the changes recorded in ``L``."""
+    return log.substitution().apply(query)

@@ -1,0 +1,48 @@
+"""View definitions.
+
+A view is a named query over *external* base tables.  The materialized
+table ``MV`` and any auxiliary tables are derived from the view name via
+:mod:`repro.core.naming` when a maintenance scenario installs the view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.expr import Expr
+from repro.algebra.schema import Schema
+from repro.core import naming
+
+__all__ = ["ViewDefinition"]
+
+
+@dataclass(frozen=True)
+class ViewDefinition:
+    """A view: a name plus its defining bag-algebra query ``Q``."""
+
+    name: str
+    query: Expr
+
+    @property
+    def schema(self) -> Schema:
+        """The view's result schema."""
+        return self.query.schema()
+
+    @property
+    def mv_table(self) -> str:
+        """Name of the materialized table ``MV``."""
+        return naming.mv_name(self.name)
+
+    @property
+    def dt_delete_table(self) -> str:
+        """Name of the differential table :math:`\\triangledown MV`."""
+        return naming.dt_delete_name(self.name)
+
+    @property
+    def dt_insert_table(self) -> str:
+        """Name of the differential table :math:`\\triangle MV`."""
+        return naming.dt_insert_name(self.name)
+
+    def base_tables(self) -> frozenset[str]:
+        """Names of the base tables the view reads."""
+        return self.query.tables()

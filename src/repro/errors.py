@@ -1,0 +1,51 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses distinguish the
+layer that produced the error: algebra (schema/typing), parsing, storage,
+and view-maintenance policy misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A query or operation is inconsistent with the schemas involved.
+
+    Raised for unknown attributes, arity mismatches in bag operations,
+    ambiguous attribute references, and incompatible operand schemas.
+    """
+
+
+class UnknownTableError(ReproError):
+    """A query references a table that the database does not contain."""
+
+
+class ParseError(ReproError):
+    """The SQL front end could not parse the given statement."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        #: Character offset into the source text, when known.
+        self.position = position
+
+
+class TransactionError(ReproError):
+    """A transaction is malformed or touches tables it must not touch.
+
+    User transactions may only update *external* tables; internal tables
+    (materialized views, logs, differential tables) are reserved for the
+    maintenance machinery.
+    """
+
+
+class InvariantViolation(ReproError):
+    """A database invariant required by a maintenance scenario is broken."""
+
+
+class PolicyError(ReproError):
+    """A maintenance policy was configured or driven incorrectly."""

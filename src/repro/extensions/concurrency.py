@@ -1,0 +1,124 @@
+"""Reader/refresh blocking simulation (future work item 3 of Section 7).
+
+While a refresh transaction holds the exclusive write lock on ``MV``,
+readers block (Section 1.1).  This module quantifies that interaction:
+given the sequence of refresh critical sections a policy produced
+(tuple-operation volumes from the :class:`~repro.storage.locks.LockLedger`),
+it simulates a stream of readers arriving over the same timeline and
+reports how long they waited.
+
+The mapping from tuple operations to time is a single calibration knob
+(``ops_per_second``); conclusions about *which policy blocks readers
+less* are independent of it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.storage.locks import LockLedger
+
+__all__ = ["ReaderStats", "BlockingSimulation"]
+
+
+@dataclass
+class ReaderStats:
+    """Aggregate outcome of one blocking simulation."""
+
+    readers: int = 0
+    blocked: int = 0
+    waits: list[float] = field(default_factory=list)
+
+    @property
+    def blocked_fraction(self) -> float:
+        return self.blocked / self.readers if self.readers else 0.0
+
+    def mean_wait(self) -> float:
+        return sum(self.waits) / len(self.waits) if self.waits else 0.0
+
+    def max_wait(self) -> float:
+        return max(self.waits, default=0.0)
+
+    def total_wait(self) -> float:
+        return sum(self.waits)
+
+
+class BlockingSimulation:
+    """Simulate readers arriving while refreshes periodically lock the view.
+
+    ``sections`` are ``(start_time, duration)`` pairs in simulated
+    seconds; readers arrive as a Poisson process at ``reader_rate`` per
+    second over ``[0, horizon)``.  A reader arriving inside a section
+    waits until it ends; readers outside any section proceed instantly.
+    """
+
+    def __init__(self, *, reader_rate: float, horizon: float, seed: int = 0) -> None:
+        if reader_rate <= 0 or horizon <= 0:
+            raise ValueError("reader_rate and horizon must be positive")
+        self.reader_rate = reader_rate
+        self.horizon = horizon
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Building timelines from ledgers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def sections_from_ledger(
+        ledger: LockLedger,
+        resource: str,
+        *,
+        interval: float,
+        ops_per_second: float,
+    ) -> list[tuple[float, float]]:
+        """Place each recorded critical section at its periodic slot.
+
+        The ``i``-th section starts at ``(i + 1) * interval`` and lasts
+        ``tuple_ops / ops_per_second`` simulated seconds.
+        """
+        if ops_per_second <= 0:
+            raise ValueError("ops_per_second must be positive")
+        sections = []
+        index = 0
+        for section in ledger.sections:
+            if section.resource != resource:
+                continue
+            start = (index + 1) * interval
+            sections.append((start, section.tuple_ops / ops_per_second))
+            index += 1
+        return sections
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def arrivals(self) -> list[float]:
+        """Poisson arrival times over the horizon (seeded)."""
+        times = []
+        now = 0.0
+        while True:
+            now += self._rng.expovariate(self.reader_rate)
+            if now >= self.horizon:
+                return times
+            times.append(now)
+
+    def run(self, sections: list[tuple[float, float]]) -> ReaderStats:
+        """Simulate reader waits against the given critical sections."""
+        stats = ReaderStats()
+        ordered = sorted(sections)
+        for arrival in self.arrivals():
+            stats.readers += 1
+            wait = 0.0
+            for start, duration in ordered:
+                if start <= arrival < start + duration:
+                    wait = start + duration - arrival
+                    break
+                if start > arrival:
+                    break
+            if wait > 0:
+                stats.blocked += 1
+                stats.waits.append(wait)
+            else:
+                stats.waits.append(0.0)
+        return stats

@@ -1,0 +1,279 @@
+"""Shared, sequenced change logs (future work item 2 of Section 7).
+
+The paper's ``makesafe_BL`` keeps one log *per view*: a transaction
+touching a table read by ``n`` views performs ``n`` log extensions.  The
+paper asks how to make per-transaction work independent of the number of
+views.  This module answers with a **shared sequenced log**:
+
+* one internal log table per base table, with rows
+  ``(seq, op, column…)`` where ``op`` is ``'D'`` or ``'I'``;
+* every transaction appends its (weakly minimized) deltas exactly once
+  per touched table, tagged with a global sequence number — O(changes),
+  independent of the view count;
+* each view keeps a *cursor*: the sequence number through which it has
+  already refreshed.  Refreshing a view replays the entries past its
+  cursor with the same weakly-minimal folding as ``makesafe_BL``
+  (Lemma 4), reconstructing the net ``(▼R, ▲R)`` bags, and then applies
+  the standard post-update deltas of Section 4;
+* entries at or below the minimum cursor are pruned.
+
+:class:`SharedLogScenario` packages this as a drop-in scenario: the
+``INV_BL`` invariant holds for every registered view with respect to its
+cursor's slice of the log.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.algebra.bag import Bag, Row
+from repro.algebra.evaluation import CostCounter
+from repro.algebra.expr import Expr, Literal, Product, UnionAll
+from repro.algebra.schema import Schema
+from repro.core.differential import differentiate
+from repro.core.substitution import FactoredSubstitution
+from repro.core.transactions import UserTransaction
+from repro.core.views import ViewDefinition
+from repro.errors import PolicyError, SchemaError
+from repro.storage.database import Database
+from repro.storage.locks import LockLedger
+
+__all__ = ["SharedLog", "SharedLogScenario"]
+
+DELETE_OP = "D"
+INSERT_OP = "I"
+
+
+def shared_log_name(table: str) -> str:
+    """Name of the shared sequenced log for base table ``table``."""
+    return f"__shared_log__{table}"
+
+
+class SharedLog:
+    """One sequenced change log per tracked base table, shared by all views."""
+
+    def __init__(self, db: Database) -> None:
+        self._db = db
+        self._tables: set[str] = set()
+        self._seq = 0
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        return tuple(sorted(self._tables))
+
+    @property
+    def current_seq(self) -> int:
+        """The sequence number of the most recent recorded transaction."""
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+
+    def track(self, table: str) -> None:
+        """Start logging changes to ``table`` (idempotent)."""
+        if table in self._tables:
+            return
+        schema = self._db.schema_of(table)
+        log_schema = Schema(("__seq", "__op", *schema.attributes))
+        self._db.create_table(shared_log_name(table), log_schema, internal=True)
+        self._tables.add(table)
+
+    def _log_ref(self, table: str):
+        return self._db.ref(shared_log_name(table))
+
+    # ------------------------------------------------------------------
+    # Recording — O(changes), independent of the number of views
+    # ------------------------------------------------------------------
+
+    def extend_patches(self, txn: UserTransaction) -> dict[str, tuple[Expr, Expr]]:
+        """Append the transaction's deltas, tagged with a fresh sequence
+        number — one insert-only patch per touched tracked table, so the
+        recording cost is O(changes), independent of the view count."""
+        self._seq += 1
+        tag_schema = Schema(("__seq", "__op"))
+        patches: dict[str, tuple[Expr, Expr]] = {}
+        for table in sorted(txn.tables & self._tables):
+            log_schema = Schema(("__seq", "__op", *self._db.schema_of(table).attributes))
+            pieces: Expr = Literal(Bag.empty(), log_schema)
+            delete = txn.delete_expr(table)
+            insert = txn.insert_expr(table)
+            if not (isinstance(delete, Literal) and not delete.bag):
+                tag = Literal(Bag.singleton((self._seq, DELETE_OP)), tag_schema)
+                pieces = UnionAll(pieces, Product(tag, delete))
+            if not (isinstance(insert, Literal) and not insert.bag):
+                tag = Literal(Bag.singleton((self._seq, INSERT_OP)), tag_schema)
+                pieces = UnionAll(pieces, Product(tag, insert))
+            patches[shared_log_name(table)] = (Literal(Bag.empty(), log_schema), pieces)
+        return patches
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+
+    def net_deltas_since(self, table: str, cursor: int) -> tuple[Bag, Bag]:
+        """The net ``(▼R, ▲R)`` for entries with ``seq > cursor``.
+
+        Replays per-transaction folding in sequence order, so the result
+        is exactly the weakly minimal log ``makesafe_BL`` would have
+        accumulated over the same transactions (Lemma 4).
+        """
+        if table not in self._tables:
+            raise SchemaError(f"table {table!r} is not tracked by the shared log")
+        entries: dict[int, tuple[dict[Row, int], dict[Row, int]]] = {}
+        for row, count in self._db[shared_log_name(table)].items():
+            seq, op, *values = row
+            if seq <= cursor:
+                continue
+            deletes, inserts = entries.setdefault(seq, ({}, {}))
+            side = deletes if op == DELETE_OP else inserts
+            key = tuple(values)
+            side[key] = side.get(key, 0) + count
+        net_delete = Bag.empty()
+        net_insert = Bag.empty()
+        for seq in sorted(entries):
+            delete = Bag.from_counts(entries[seq][0])
+            insert = Bag.from_counts(entries[seq][1])
+            # ▼ := ▼ ⊎ (∇ ∸ ▲);  ▲ := (▲ ∸ ∇) ⊎ Δ   (simultaneously)
+            net_delete, net_insert = (
+                net_delete.union_all(delete.monus(net_insert)),
+                net_insert.monus(delete).union_all(insert),
+            )
+        return net_delete, net_insert
+
+    def substitution_since(self, cursor: int, tables: Iterable[str]) -> FactoredSubstitution:
+        """The log substitution L̂ for the slice past ``cursor``."""
+        deltas: dict[str, tuple[Bag, Bag]] = {}
+        schemas: dict[str, Schema] = {}
+        for table in tables:
+            net_delete, net_insert = self.net_deltas_since(table, cursor)
+            # Past queries undo changes: D = recorded inserts, A = deletes.
+            deltas[table] = (net_insert, net_delete)
+            schemas[table] = self._db.schema_of(table)
+        return FactoredSubstitution.literal(deltas, schemas)
+
+    # ------------------------------------------------------------------
+    # Pruning
+    # ------------------------------------------------------------------
+
+    def prune(self, min_cursor: int) -> int:
+        """Drop entries no view still needs; returns rows removed."""
+        removed = 0
+        for table in self._tables:
+            name = shared_log_name(table)
+            current = self._db[name]
+            kept = Bag.from_counts(
+                {row: count for row, count in current.items() if row[0] > min_cursor}
+            )
+            removed += len(current) - len(kept)
+            self._db.set_table(name, kept)
+        return removed
+
+
+class SharedLogScenario:
+    """Deferred maintenance of *many* views over one shared log.
+
+    Register views with :meth:`add_view`; run transactions with
+    :meth:`execute` (per-transaction cost does not grow with the number
+    of views); refresh views individually with :meth:`refresh`.
+    """
+
+    tag = "SL"
+
+    def __init__(
+        self,
+        db: Database,
+        *,
+        counter: CostCounter | None = None,
+        ledger: LockLedger | None = None,
+    ) -> None:
+        self.db = db
+        self.shared_log = SharedLog(db)
+        self.counter = counter if counter is not None else CostCounter()
+        self.ledger = ledger if ledger is not None else LockLedger()
+        self._views: dict[str, ViewDefinition] = {}
+        self._cursors: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def add_view(self, view: ViewDefinition) -> None:
+        """Register and materialize a view; its cursor starts at 'now'."""
+        if view.name in self._views:
+            raise SchemaError(f"view {view.name!r} already registered")
+        for table in sorted(view.base_tables()):
+            self.shared_log.track(table)
+        initial = self.db.evaluate(view.query, counter=self.counter)
+        self.db.create_table(view.mv_table, view.schema, rows=initial, internal=True)
+        self._views[view.name] = view
+        self._cursors[view.name] = self.shared_log.current_seq
+
+    def views(self) -> tuple[str, ...]:
+        return tuple(self._views)
+
+    def cursor(self, name: str) -> int:
+        return self._cursors[name]
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def execute(self, txn: UserTransaction) -> None:
+        """Run the transaction with a single shared-log extension."""
+        txn = txn.weakly_minimal()
+        patches = txn.patches()
+        patches.update(self.shared_log.extend_patches(txn))
+        self.db.apply(patches=patches, counter=self.counter)
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+
+    def refresh(self, name: str) -> None:
+        """Bring one view up to date and advance its cursor."""
+        try:
+            view = self._views[name]
+        except KeyError:
+            raise PolicyError(f"view {name!r} is not registered") from None
+        cursor = self._cursors[name]
+        eta = self.shared_log.substitution_since(cursor, sorted(view.base_tables()))
+        # Weakly minimal by replay (Lemma 4), so the simplified duality applies:
+        # ▼(L,Q) = Add(L̂,Q), ▲(L,Q) = Del(L̂,Q).
+        del_hat, add_hat = differentiate(eta, view.query)
+        with self.ledger.exclusive(view.mv_table, label="refresh_SL", counter=self.counter):
+            self.db.apply(patches={view.mv_table: (add_hat, del_hat)}, counter=self.counter)
+        self._cursors[name] = self.shared_log.current_seq
+        self.shared_log.prune(min(self._cursors.values()))
+
+    def refresh_all(self) -> None:
+        for name in self._views:
+            self.refresh(name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def read_view(self, name: str) -> Bag:
+        return self.db[self._views[name].mv_table]
+
+    def is_consistent(self, name: str) -> bool:
+        view = self._views[name]
+        return self.db.evaluate(view.query) == self.db[view.mv_table]
+
+    def invariant_holds(self, name: str) -> bool:
+        """``INV_BL`` relative to the view's cursor slice of the shared log."""
+        view = self._views[name]
+        eta = self.shared_log.substitution_since(self._cursors[name], sorted(view.base_tables()))
+        past = self.db.evaluate(eta.apply(view.query))
+        return past == self.db[view.mv_table]
+
+    def check_invariants(self) -> None:
+        from repro.core.invariants import require
+
+        for name in self._views:
+            require(self.invariant_holds(name), f"shared-log invariant broken for view {name!r}")
+
+    def log_size(self) -> int:
+        """Total rows currently held across all shared log tables."""
+        return sum(len(self.db[shared_log_name(table)]) for table in self.shared_log.tables)

@@ -1,0 +1,38 @@
+"""SQL front end: parse and compile the paper's view-definition dialect."""
+
+from repro.sqlfront.compiler import (
+    compile_delete,
+    compile_insert,
+    compile_query,
+    compile_view,
+    script_to_transaction,
+    sql_to_expr,
+    sql_to_view,
+)
+from repro.sqlfront.lexer import Token, tokenize
+from repro.sqlfront.parser import (
+    CreateView,
+    DeleteStatement,
+    InsertStatement,
+    parse_query,
+    parse_script,
+    parse_statement,
+)
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "parse_query",
+    "parse_statement",
+    "CreateView",
+    "compile_query",
+    "compile_insert",
+    "compile_delete",
+    "script_to_transaction",
+    "parse_script",
+    "InsertStatement",
+    "DeleteStatement",
+    "compile_view",
+    "sql_to_expr",
+    "sql_to_view",
+]

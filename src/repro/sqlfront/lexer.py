@@ -1,0 +1,143 @@
+"""Tokenizer for the SQL subset used by the view definitions.
+
+The dialect covers the paper's Example 1.1 and a little more:
+``CREATE VIEW``, ``SELECT [DISTINCT]``, comma joins with range
+variables, ``WHERE`` with comparison predicates and ``AND``/``OR``/
+``NOT``, plus the bag set operations ``UNION ALL``, ``EXCEPT [ALL]``
+and ``INTERSECT [ALL]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "CREATE",
+        "VIEW",
+        "AS",
+        "SELECT",
+        "DISTINCT",
+        "ALL",
+        "FROM",
+        "WHERE",
+        "AND",
+        "OR",
+        "NOT",
+        "UNION",
+        "EXCEPT",
+        "INTERSECT",
+        "NULL",
+        "TRUE",
+        "FALSE",
+        "INSERT",
+        "INTO",
+        "TABLE",
+        "VALUES",
+        "DELETE",
+        "UPDATE",
+        "SET",
+        "GROUP",
+        "BY",
+    }
+)
+
+_PUNCT = {",", "(", ")", "*", ".", ";"}
+_ARITH = {"+", "/"}
+_COMPARISON_START = {"=", "!", "<", ">"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: a ``kind``, its ``text``, and source position."""
+
+    kind: str  # KEYWORD | NAME | NUMBER | STRING | OP | PUNCT | EOF
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split ``source`` into tokens, ending with an EOF token."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char.isspace():
+            index += 1
+            continue
+        start = index
+        if char == "'":
+            index += 1
+            pieces: list[str] = []
+            while True:
+                if index >= length:
+                    raise ParseError("unterminated string literal", start)
+                if source[index] == "'":
+                    if index + 1 < length and source[index + 1] == "'":
+                        pieces.append("'")
+                        index += 2
+                        continue
+                    index += 1
+                    break
+                pieces.append(source[index])
+                index += 1
+            tokens.append(Token("STRING", "".join(pieces), start))
+        elif char == '"':
+            # Double-quoted string literals are accepted as a convenience.
+            index += 1
+            pieces = []
+            while index < length and source[index] != '"':
+                pieces.append(source[index])
+                index += 1
+            if index >= length:
+                raise ParseError("unterminated string literal", start)
+            index += 1
+            tokens.append(Token("STRING", "".join(pieces), start))
+        elif char.isdigit() or (char == "-" and index + 1 < length and source[index + 1].isdigit()):
+            index += 1
+            seen_dot = False
+            while index < length and (source[index].isdigit() or (source[index] == "." and not seen_dot)):
+                if source[index] == ".":
+                    # A dot not followed by a digit is the qualifier dot.
+                    if index + 1 >= length or not source[index + 1].isdigit():
+                        break
+                    seen_dot = True
+                index += 1
+            tokens.append(Token("NUMBER", source[start:index], start))
+        elif char.isalpha() or char == "_":
+            index += 1
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            word = source[start:index]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), start))
+            else:
+                tokens.append(Token("NAME", word, start))
+        elif char in _ARITH:
+            tokens.append(Token("OP", char, start))
+            index += 1
+        elif char == "-":
+            tokens.append(Token("OP", "-", start))
+            index += 1
+        elif char in _COMPARISON_START:
+            if source.startswith(("!=", "<>", "<=", ">="), index):
+                text = source[index : index + 2]
+                tokens.append(Token("OP", "!=" if text == "<>" else text, start))
+                index += 2
+            elif char in {"=", "<", ">"}:
+                tokens.append(Token("OP", char, start))
+                index += 1
+            else:
+                raise ParseError(f"unexpected character {char!r}", start)
+        elif char in _PUNCT:
+            tokens.append(Token("PUNCT", char, start))
+            index += 1
+        else:
+            raise ParseError(f"unexpected character {char!r}", start)
+    tokens.append(Token("EOF", "", length))
+    return tokens

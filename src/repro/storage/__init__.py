@@ -1,0 +1,6 @@
+"""Storage substrate: database states, locks, and the SQLite backend."""
+
+from repro.storage.database import Database
+from repro.storage.locks import LockLedger, LockSection
+
+__all__ = ["Database", "LockLedger", "LockSection"]

@@ -1,0 +1,228 @@
+"""Database states and simultaneous-assignment transaction execution.
+
+A *database state* (Section 2.1) maps table names to bags.  The
+:class:`Database` here holds one current state plus per-table schemas and
+an external/internal partition:
+
+* **external** tables are user-updatable base tables;
+* **internal** tables store maintenance bookkeeping — materialized view
+  tables, log tables :math:`\\blacktriangledown R_i / \\blacktriangle R_i`,
+  and view differential tables :math:`\\triangledown MV / \\triangle MV`.
+  User transactions are not allowed to touch them (Section 3.1).
+
+Transactions follow the paper's abstract-transaction semantics
+(Section 2.2): a transaction is a set of assignments
+:math:`\\{R_i := Q_i\\}` whose right-hand sides are *all evaluated in the
+pre-transaction state* and then installed simultaneously.  The
+``T1 + T2`` composition of Figure 3 is simply the union of two
+assignment sets executed this way.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.algebra.bag import Bag, Row
+from repro.algebra.evaluation import CostCounter, evaluate
+from repro.algebra.expr import Expr, TableRef
+from repro.algebra.schema import Schema
+from repro.errors import SchemaError, TransactionError, UnknownTableError
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A mutable collection of named bag tables with schemas."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Bag] = {}
+        self._schemas: dict[str, Schema] = {}
+        self._internal: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Catalog operations
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        schema: Schema | Iterable[str],
+        *,
+        rows: Iterable[Row] = (),
+        internal: bool = False,
+    ) -> TableRef:
+        """Create a table and return a reference to it."""
+        if name in self._tables:
+            raise SchemaError(f"table {name!r} already exists")
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        bag = Bag(rows)
+        if bag.arity is not None and bag.arity != schema.arity:
+            raise SchemaError(f"initial rows have arity {bag.arity}, schema has arity {schema.arity}")
+        self._tables[name] = bag
+        self._schemas[name] = schema
+        if internal:
+            self._internal.add(name)
+        return TableRef(name, schema)
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        self._require(name)
+        del self._tables[name]
+        del self._schemas[name]
+        self._internal.discard(name)
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def is_internal(self, name: str) -> bool:
+        self._require(name)
+        return name in self._internal
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def external_tables(self) -> tuple[str, ...]:
+        return tuple(name for name in self._tables if name not in self._internal)
+
+    def internal_tables(self) -> tuple[str, ...]:
+        return tuple(name for name in self._tables if name in self._internal)
+
+    def schema_of(self, name: str) -> Schema:
+        self._require(name)
+        return self._schemas[name]
+
+    def ref(self, name: str) -> TableRef:
+        """A :class:`TableRef` expression for an existing table."""
+        self._require(name)
+        return TableRef(name, self._schemas[name])
+
+    def _require(self, name: str) -> None:
+        if name not in self._tables:
+            raise UnknownTableError(f"no such table: {name!r}")
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, name: str) -> Bag:
+        self._require(name)
+        return self._tables[name]
+
+    @property
+    def state(self) -> Mapping[str, Bag]:
+        """The current state as a read-only mapping for evaluation."""
+        return self._tables
+
+    def evaluate(self, expr: Expr, *, counter: CostCounter | None = None) -> Bag:
+        """Evaluate a query in the current state."""
+        return evaluate(expr, self._tables, counter=counter)
+
+    def total_rows(self) -> int:
+        """Total tuple count across all tables (with multiplicity)."""
+        return sum(len(bag) for bag in self._tables.values())
+
+    # ------------------------------------------------------------------
+    # Direct mutation (bulk loading / bookkeeping)
+    # ------------------------------------------------------------------
+
+    def set_table(self, name: str, bag: Bag) -> None:
+        """Replace a table's contents wholesale (bypasses transactions)."""
+        self._require(name)
+        if bag.arity is not None and bag.arity != self._schemas[name].arity:
+            raise SchemaError(
+                f"cannot set {name!r}: bag arity {bag.arity} vs schema arity {self._schemas[name].arity}"
+            )
+        self._tables[name] = bag
+
+    def load(self, name: str, rows: Iterable[Row]) -> None:
+        """Bulk-insert rows (bypasses transactions; for initial loading)."""
+        self.set_table(name, self._tables[name].union_all(Bag(rows)))
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def apply(
+        self,
+        assignments: Mapping[str, Expr] = {},
+        *,
+        patches: Mapping[str, tuple[Expr, Expr]] | None = None,
+        counter: CostCounter | None = None,
+        restrict_to_external: bool = False,
+    ) -> None:
+        """Execute one simultaneous transaction of assignments and patches.
+
+        ``assignments`` is the abstract-transaction form
+        :math:`\\{R_i := Q_i\\}`; ``patches`` maps a table to a
+        ``(delete, insert)`` expression pair applied as
+        :math:`R := (R \\dot{-} delete) \\uplus insert`.
+
+        All right-hand sides — assignment queries and patch deltas — are
+        evaluated against the pre-transaction state (sharing one memo
+        table, so common subexpressions are computed once), then
+        installed atomically.
+
+        Patches model *indexed in-place updates*: the recorded cost
+        (operator ``"patch"``) is the delta size, not the table size.
+        This is what makes per-transaction overhead and refresh downtime
+        measurements delta-proportional, as the paper assumes.
+
+        With ``restrict_to_external=True`` the transaction is validated
+        as a *user* transaction: it may only touch external tables.
+        """
+        patches = patches if patches is not None else {}
+        overlap = set(assignments) & set(patches)
+        if overlap:
+            raise TransactionError(f"tables both assigned and patched: {sorted(overlap)}")
+        memo: dict[Expr, Bag] = {}
+        new_values: dict[str, Bag] = {}
+
+        def check_target(name: str, arity: int, kind: str) -> None:
+            self._require(name)
+            if restrict_to_external and name in self._internal:
+                raise TransactionError(f"user transactions may not update internal table {name!r}")
+            if arity != self._schemas[name].arity:
+                raise SchemaError(
+                    f"{kind} of {name!r} has arity {arity}, schema has arity "
+                    f"{self._schemas[name].arity}"
+                )
+
+        for name, expr in assignments.items():
+            check_target(name, expr.schema().arity, "assignment")
+            new_values[name] = evaluate(expr, self._tables, counter=counter, memo=memo)
+        for name, (delete, insert) in patches.items():
+            check_target(name, delete.schema().arity, "patch delete")
+            check_target(name, insert.schema().arity, "patch insert")
+            delete_value = evaluate(delete, self._tables, counter=counter, memo=memo)
+            insert_value = evaluate(insert, self._tables, counter=counter, memo=memo)
+            if counter is not None:
+                counter.record("patch", len(delete_value) + len(insert_value))
+            new_values[name] = self._tables[name].patch(delete_value, insert_value)
+        self._tables.update(new_values)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Bag]:
+        """Capture the current state (bags are immutable, so this is cheap)."""
+        return dict(self._tables)
+
+    def restore(self, snapshot: Mapping[str, Bag]) -> None:
+        """Restore a state previously captured with :meth:`snapshot`."""
+        for name in snapshot:
+            self._require(name)
+        self._tables.update(snapshot)
+
+    def clone(self) -> Database:
+        """An independent copy sharing the (immutable) bag values."""
+        other = Database()
+        other._tables = dict(self._tables)
+        other._schemas = dict(self._schemas)
+        other._internal = set(self._internal)
+        return other
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{name}[{len(bag)}]" for name, bag in self._tables.items())
+        return f"Database({parts})"

@@ -1,0 +1,90 @@
+"""Lock ledger: measuring view *downtime*.
+
+The paper defines downtime as "the execution time required by the
+transaction that refreshes the view table", during which an exclusive
+write lock blocks all readers of ``MV`` (Section 1.1).  We model that
+with a ledger of exclusive-lock critical sections.  Each section records
+
+* wall-clock seconds spent while the lock was held, and
+* tuple operations performed inside the section (from a
+  :class:`~repro.algebra.evaluation.CostCounter` delta), which gives a
+  deterministic, machine-independent downtime proxy.
+
+The experiments report both; the *shape* conclusions (which policy has
+the lowest downtime) agree between the two measures.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.algebra.evaluation import CostCounter
+
+__all__ = ["LockLedger", "LockSection"]
+
+
+@dataclass(frozen=True)
+class LockSection:
+    """One completed exclusive-lock critical section."""
+
+    resource: str
+    label: str
+    wall_seconds: float
+    tuple_ops: int
+
+
+@dataclass
+class LockLedger:
+    """Records exclusive-lock sections per resource (e.g. per view table)."""
+
+    sections: list[LockSection] = field(default_factory=list)
+
+    @contextmanager
+    def exclusive(self, resource: str, *, label: str = "", counter: CostCounter | None = None) -> Iterator[None]:
+        """Run a block under an exclusive lock on ``resource``.
+
+        The section's tuple-operation count is the growth of ``counter``
+        during the block (0 when no counter is supplied).
+        """
+        ops_before = counter.tuples_out if counter is not None else 0
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            ops_after = counter.tuples_out if counter is not None else 0
+            self.sections.append(
+                LockSection(
+                    resource=resource,
+                    label=label,
+                    wall_seconds=elapsed,
+                    tuple_ops=ops_after - ops_before,
+                )
+            )
+
+    def downtime_seconds(self, resource: str) -> float:
+        """Total wall-clock time ``resource`` was exclusively locked."""
+        return sum(section.wall_seconds for section in self.sections if section.resource == resource)
+
+    def downtime_tuple_ops(self, resource: str) -> int:
+        """Total tuple operations performed while ``resource`` was locked."""
+        return sum(section.tuple_ops for section in self.sections if section.resource == resource)
+
+    def max_section_seconds(self, resource: str) -> float:
+        """The longest single critical section (worst-case blocking)."""
+        durations = [section.wall_seconds for section in self.sections if section.resource == resource]
+        return max(durations, default=0.0)
+
+    def max_section_tuple_ops(self, resource: str) -> int:
+        """The most tuple operations in a single critical section."""
+        ops = [section.tuple_ops for section in self.sections if section.resource == resource]
+        return max(ops, default=0)
+
+    def section_count(self, resource: str) -> int:
+        return sum(1 for section in self.sections if section.resource == resource)
+
+    def reset(self) -> None:
+        self.sections.clear()

@@ -1,0 +1,112 @@
+"""Durable storage: save and load :class:`Database` states to SQLite files.
+
+A warehouse that defers maintenance holds real state between refreshes —
+the materialized views, logs, and differential tables.  This module
+persists a complete database (schemas, external/internal partition,
+multiplicity-encoded contents) into a single SQLite file and restores it
+bit-for-bit, so maintenance can resume after a restart.
+
+File layout:
+
+* ``__catalog__(name, attrs, internal)`` — one row per table; ``attrs``
+  is the JSON-encoded attribute list;
+* one data table per stored table (mangled name), with columns
+  ``c0 … c{n-1}, mult`` — the same encoding as the SQLite evaluation
+  backend, so saved files are also directly queryable with the
+  ``sqlite3`` CLI.
+
+Values must be SQLite-storable (int, float, str, bool, None); bools are
+stored as tagged strings so they round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Any
+
+from repro.algebra.bag import Bag, Row
+from repro.algebra.schema import Schema
+from repro.errors import ReproError
+from repro.storage.database import Database
+
+__all__ = ["save_database", "load_database"]
+
+_CATALOG = "__catalog__"
+_TRUE_TAG = "\x00bool:1"
+_FALSE_TAG = "\x00bool:0"
+
+
+def _mangle(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _encode(value: Any) -> Any:
+    if value is True:
+        return _TRUE_TAG
+    if value is False:
+        return _FALSE_TAG
+    if value is None or isinstance(value, (int, float, str)):
+        return value
+    raise ReproError(f"cannot persist value of type {type(value).__name__}")
+
+
+def _decode(value: Any) -> Any:
+    if value == _TRUE_TAG:
+        return True
+    if value == _FALSE_TAG:
+        return False
+    return value
+
+
+def save_database(db: Database, path: str | Path) -> None:
+    """Write the full database state to ``path`` (overwrites)."""
+    path = Path(path)
+    if path.exists():
+        path.unlink()
+    conn = sqlite3.connect(path)
+    try:
+        conn.execute(f"CREATE TABLE {_CATALOG} (name TEXT PRIMARY KEY, attrs TEXT, internal INTEGER)")
+        for name in db.table_names():
+            schema = db.schema_of(name)
+            conn.execute(
+                f"INSERT INTO {_CATALOG} VALUES (?, ?, ?)",
+                (name, json.dumps(list(schema.attributes)), int(db.is_internal(name))),
+            )
+            columns = ", ".join(f"c{index}" for index in range(schema.arity))
+            trailer = f"{columns}, mult INTEGER" if schema.arity else "mult INTEGER"
+            conn.execute(f"CREATE TABLE {_mangle(name)} ({trailer})")
+            placeholders = ", ".join(["?"] * (schema.arity + 1))
+            conn.executemany(
+                f"INSERT INTO {_mangle(name)} VALUES ({placeholders})",
+                (
+                    (*(_encode(value) for value in row), count)
+                    for row, count in db[name].items()
+                ),
+            )
+        conn.commit()
+    finally:
+        conn.close()
+
+
+def load_database(path: str | Path) -> Database:
+    """Reconstruct a database previously written by :func:`save_database`."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no database file at {path}")
+    conn = sqlite3.connect(path)
+    try:
+        db = Database()
+        catalog = conn.execute(f"SELECT name, attrs, internal FROM {_CATALOG} ORDER BY name").fetchall()
+        for name, attrs_json, internal in catalog:
+            schema = Schema(json.loads(attrs_json))
+            counts: dict[Row, int] = {}
+            for *values, mult in conn.execute(f"SELECT * FROM {_mangle(name)}"):
+                row = tuple(_decode(value) for value in values)
+                counts[row] = counts.get(row, 0) + int(mult)
+            db.create_table(name, schema, internal=bool(internal))
+            db.set_table(name, Bag.from_counts(counts))
+        return db
+    finally:
+        conn.close()

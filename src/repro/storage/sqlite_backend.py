@@ -1,0 +1,287 @@
+"""SQLite compilation backend.
+
+An independent second implementation of the bag algebra, used to
+cross-validate the in-memory evaluator and to run larger workloads:
+every bag is stored / produced as rows ``(c0, …, c{n-1}, mult)`` with
+``mult > 0`` (multiplicity encoding), and every
+:class:`~repro.algebra.expr.Expr` compiles to a single SQLite ``SELECT``
+over that encoding:
+
+==============  ==================================================
+operator        SQL strategy
+==============  ==================================================
+table ref       scan the multiplicity-encoded table
+literal         ``VALUES`` list
+σ (select)      ``WHERE`` over the child
+Π (project)     ``GROUP BY`` projected columns, ``SUM(mult)``
+ε (dedup)       ``GROUP BY`` all columns, ``mult = 1``
+⊎ (union all)   ``UNION ALL`` then regroup
+∸ (monus)       grouped ``LEFT JOIN`` with ``IS`` (null-safe) keys,
+                keep ``lm - COALESCE(rm, 0) > 0``
+× (product)     ``CROSS JOIN``, multiplicities multiply
+==============  ==================================================
+
+Caveat: SQLite's cross-*type* comparison semantics (total type ordering)
+differ from the in-memory engine (ordered comparisons across types are
+false).  Columns with homogeneous types — which includes everything the
+workload generators produce — behave identically.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+from repro.algebra.bag import Bag, Row
+from repro.algebra.expr import (
+    DupElim,
+    Expr,
+    Literal,
+    MapProject,
+    Monus,
+    Product,
+    Project,
+    Select,
+    TableRef,
+    UnionAll,
+)
+from repro.algebra.predicates import (
+    And,
+    Arith,
+    Attr,
+    Comparison,
+    Const,
+    Not,
+    Or,
+    Predicate,
+    Term,
+    TruePredicate,
+)
+from repro.algebra.schema import Schema
+from repro.errors import ReproError, SchemaError, UnknownTableError
+from repro.storage.database import Database
+
+__all__ = ["SQLiteBackend", "compile_expr"]
+
+
+def _cols(arity: int, qualifier: str | None = None) -> list[str]:
+    prefix = f"{qualifier}." if qualifier else ""
+    return [f"{prefix}c{index}" for index in range(arity)]
+
+
+def _sql_value(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)
+
+
+def _compile_term(term: Term, schema: Schema) -> str:
+    if isinstance(term, Attr):
+        return f"c{schema.index_of(term.name)}"
+    if isinstance(term, Const):
+        return _sql_value(term.value)
+    if isinstance(term, Arith):
+        left = _compile_term(term.left, schema)
+        right = _compile_term(term.right, schema)
+        if term.op == "/":
+            # True division, NULL on zero divisor — matches the in-memory
+            # engine (SQLite's native "/" is integer division on ints).
+            return f"(CAST({left} AS REAL) / NULLIF({right}, 0))"
+        return f"({left} {term.op} {right})"
+    raise ReproError(f"unknown predicate term {type(term).__name__}")
+
+
+def _compile_predicate(predicate: Predicate, schema: Schema) -> str:
+    if isinstance(predicate, TruePredicate):
+        return "1 = 1"
+    if isinstance(predicate, Comparison):
+        left = _compile_term(predicate.left, schema)
+        right = _compile_term(predicate.right, schema)
+        op = "<>" if predicate.op == "!=" else predicate.op
+        return f"({left} {op} {right})"
+    if isinstance(predicate, And):
+        return f"({_compile_predicate(predicate.left, schema)} AND {_compile_predicate(predicate.right, schema)})"
+    if isinstance(predicate, Or):
+        return f"({_compile_predicate(predicate.left, schema)} OR {_compile_predicate(predicate.right, schema)})"
+    if isinstance(predicate, Not):
+        # SQL three-valued logic: NOT NULL is NULL, which WHERE drops —
+        # but our engine treats NULL comparisons as plain false, so a
+        # negated comparison must come back true.  COALESCE pins that.
+        return f"(NOT COALESCE({_compile_predicate(predicate.operand, schema)}, 0))"
+    raise ReproError(f"unknown predicate node {type(predicate).__name__}")
+
+
+def _mangle(name: str) -> str:
+    """A safe SQL identifier for an internal table name."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def compile_expr(expr: Expr) -> str:
+    """Compile an expression to a SQLite ``SELECT`` producing
+    ``c0 … c{n-1}, mult`` rows with positive multiplicities."""
+    if isinstance(expr, TableRef):
+        arity = expr.table_schema.arity
+        cols = ", ".join(_cols(arity))
+        return f"SELECT {cols}, mult FROM {_mangle(expr.name)}"
+
+    if isinstance(expr, Literal):
+        arity = expr.literal_schema.arity
+        if not expr.bag:
+            zeros = ", ".join(f"NULL AS c{index}" for index in range(arity))
+            return f"SELECT {zeros}, 0 AS mult WHERE 0"
+        rows = []
+        for row, count in sorted(expr.bag.items(), key=lambda item: repr(item)):
+            values = ", ".join([*(_sql_value(value) for value in row), str(count)])
+            rows.append(f"({values})")
+        # SQLite names VALUES columns column1..columnN; re-alias to c0..mult.
+        aliases = ", ".join(
+            [*(f"column{index + 1} AS c{index}" for index in range(arity)), f"column{arity + 1} AS mult"]
+        )
+        return f"SELECT {aliases} FROM (VALUES {', '.join(rows)})"
+
+    if isinstance(expr, Select):
+        child = compile_expr(expr.child)
+        condition = _compile_predicate(expr.predicate, expr.child.schema())
+        return f"SELECT * FROM ({child}) WHERE COALESCE({condition}, 0)"
+
+    if isinstance(expr, Project):
+        child = compile_expr(expr.child)
+        positions = expr.positions()
+        outs = ", ".join(f"c{position} AS c{index}" for index, position in enumerate(positions))
+        group = ", ".join(f"c{position}" for position in dict.fromkeys(positions))
+        return f"SELECT {outs}, SUM(mult) AS mult FROM ({child}) GROUP BY {group}"
+
+    if isinstance(expr, MapProject):
+        child = compile_expr(expr.child)
+        child_schema = expr.child.schema()
+        outs = ", ".join(
+            f"{_compile_term(term, child_schema)} AS c{index}" for index, term in enumerate(expr.terms)
+        )
+        # Group by the output aliases (a bare literal in GROUP BY would be
+        # read as a positional column index by SQLite).
+        group = ", ".join(f"c{index}" for index in range(len(expr.terms)))
+        return f"SELECT {outs}, SUM(mult) AS mult FROM ({child}) GROUP BY {group}"
+
+    if isinstance(expr, DupElim):
+        child = compile_expr(expr.child)
+        arity = expr.schema().arity
+        cols = ", ".join(_cols(arity))
+        return f"SELECT {cols}, 1 AS mult FROM ({child}) GROUP BY {cols}"
+
+    if isinstance(expr, UnionAll):
+        left = compile_expr(expr.left)
+        right = compile_expr(expr.right)
+        arity = expr.schema().arity
+        cols = ", ".join(_cols(arity))
+        return (
+            f"SELECT {cols}, SUM(mult) AS mult FROM "
+            f"(SELECT * FROM ({left}) UNION ALL SELECT * FROM ({right})) GROUP BY {cols}"
+        )
+
+    if isinstance(expr, Monus):
+        left = compile_expr(expr.left)
+        right = compile_expr(expr.right)
+        arity = expr.schema().arity
+        cols = _cols(arity)
+        grouped_left = f"SELECT {', '.join(cols)}, SUM(mult) AS mult FROM ({left}) GROUP BY {', '.join(cols)}"
+        grouped_right = f"SELECT {', '.join(cols)}, SUM(mult) AS mult FROM ({right}) GROUP BY {', '.join(cols)}"
+        join_keys = " AND ".join(f"l.c{index} IS r.c{index}" for index in range(arity))
+        out_cols = ", ".join(f"l.c{index} AS c{index}" for index in range(arity))
+        return (
+            f"SELECT {out_cols}, l.mult - COALESCE(r.mult, 0) AS mult "
+            f"FROM ({grouped_left}) AS l LEFT JOIN ({grouped_right}) AS r ON {join_keys} "
+            f"WHERE l.mult - COALESCE(r.mult, 0) > 0"
+        )
+
+    if isinstance(expr, Product):
+        left = compile_expr(expr.left)
+        right = compile_expr(expr.right)
+        left_arity = expr.left.schema().arity
+        right_arity = expr.right.schema().arity
+        left_cols = ", ".join(f"l.c{index} AS c{index}" for index in range(left_arity))
+        right_cols = ", ".join(f"r.c{index} AS c{left_arity + index}" for index in range(right_arity))
+        pieces = [piece for piece in (left_cols, right_cols) if piece]
+        return (
+            f"SELECT {', '.join(pieces)}, l.mult * r.mult AS mult "
+            f"FROM ({left}) AS l CROSS JOIN ({right}) AS r"
+        )
+
+    raise ReproError(f"compile_expr: unknown expression node {type(expr).__name__}")
+
+
+class SQLiteBackend:
+    """Evaluate bag-algebra expressions in SQLite.
+
+    Typical use: mirror a :class:`Database` with :meth:`sync_from`, then
+    :meth:`evaluate` arbitrary expressions — or :meth:`cross_check` an
+    expression against the in-memory engine.
+    """
+
+    def __init__(self) -> None:
+        self._conn = sqlite3.connect(":memory:")
+        self._schemas: dict[str, Schema] = {}
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> SQLiteBackend:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema | Iterable[str]) -> None:
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        if name in self._schemas:
+            raise SchemaError(f"table {name!r} already exists in the SQLite mirror")
+        columns = ", ".join(f"c{index}" for index in range(schema.arity))
+        self._conn.execute(f"CREATE TABLE {_mangle(name)} ({columns}, mult INTEGER NOT NULL)")
+        self._schemas[name] = schema
+
+    def load(self, name: str, bag: Bag) -> None:
+        if name not in self._schemas:
+            raise UnknownTableError(f"no such table in SQLite mirror: {name!r}")
+        arity = self._schemas[name].arity
+        self._conn.execute(f"DELETE FROM {_mangle(name)}")
+        placeholders = ", ".join(["?"] * (arity + 1))
+        self._conn.executemany(
+            f"INSERT INTO {_mangle(name)} VALUES ({placeholders})",
+            [(*row, count) for row, count in bag.items()],
+        )
+        self._conn.commit()
+
+    def sync_from(self, db: Database) -> None:
+        """Mirror every table of ``db`` (creating tables on first sync)."""
+        for name in db.table_names():
+            if name not in self._schemas:
+                self.create_table(name, db.schema_of(name))
+            self.load(name, db[name])
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, expr: Expr) -> Bag:
+        """Evaluate ``expr`` against the mirrored tables."""
+        sql = compile_expr(expr)
+        counts: dict[Row, int] = {}
+        for *values, mult in self._conn.execute(sql):
+            row = tuple(values)
+            counts[row] = counts.get(row, 0) + int(mult)
+        return Bag.from_counts(counts)
+
+    def cross_check(self, db: Database, expr: Expr) -> bool:
+        """Whether SQLite and the in-memory engine agree on ``expr``."""
+        self.sync_from(db)
+        return self.evaluate(expr) == db.evaluate(expr)

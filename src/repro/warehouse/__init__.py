@@ -1,0 +1,5 @@
+"""User-facing warehouse API: the view manager."""
+
+from repro.warehouse.manager import SCENARIOS, ManagedTransaction, ViewManager
+
+__all__ = ["ViewManager", "ManagedTransaction", "SCENARIOS"]

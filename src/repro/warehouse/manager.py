@@ -1,0 +1,305 @@
+"""The user-facing view manager.
+
+:class:`ViewManager` is the API a downstream application uses:
+
+* create and load base tables;
+* define materialized views from SQL (or a prebuilt
+  :class:`~repro.core.views.ViewDefinition`), picking a maintenance
+  scenario per view;
+* run transactions through a fluent builder — the manager extends each
+  transaction with *all* maintenance work required by *all* registered
+  views, executed as one simultaneous transaction (the paper's
+  ``makesafe`` transformation);
+* refresh, propagate, and query views, with downtime and cost
+  accounting available on :attr:`ViewManager.ledger` and
+  :attr:`ViewManager.counter`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.algebra.bag import Bag, Row
+from repro.algebra.evaluation import CostCounter
+from repro.algebra.expr import Expr
+from repro.core.plan import MaintenancePlan
+from repro.core.policies import MaintenanceDriver, MaintenancePolicy
+from repro.core.scenarios import (
+    BaseLogScenario,
+    CombinedScenario,
+    DiffTableScenario,
+    ImmediateScenario,
+    Scenario,
+)
+from repro.core.transactions import UserTransaction
+from repro.extensions.aggregates import AggregateScenario
+from repro.core.views import ViewDefinition
+from repro.errors import PolicyError, SchemaError, UnknownTableError
+from repro.sqlfront.compiler import script_to_transaction, sql_to_expr, sql_to_view
+from repro.storage.database import Database
+from repro.storage.locks import LockLedger
+
+__all__ = ["ViewManager", "ManagedTransaction", "SCENARIOS"]
+
+#: Scenario name -> class, for :meth:`ViewManager.define_view`.
+SCENARIOS: dict[str, type[Scenario]] = {
+    "immediate": ImmediateScenario,
+    "base_log": BaseLogScenario,
+    "diff_table": DiffTableScenario,
+    "combined": CombinedScenario,
+}
+
+
+class ManagedTransaction:
+    """Fluent transaction builder bound to a :class:`ViewManager`."""
+
+    def __init__(self, manager: ViewManager) -> None:
+        self._manager = manager
+        self._txn = UserTransaction(manager.db)
+
+    def insert(self, table: str, rows: Iterable[Row] | Bag) -> ManagedTransaction:
+        self._txn.insert(table, rows)
+        return self
+
+    def delete(self, table: str, rows: Iterable[Row] | Bag) -> ManagedTransaction:
+        self._txn.delete(table, rows)
+        return self
+
+    def insert_query(self, table: str, expr: Expr) -> ManagedTransaction:
+        self._txn.insert_query(table, expr)
+        return self
+
+    def delete_query(self, table: str, expr: Expr) -> ManagedTransaction:
+        self._txn.delete_query(table, expr)
+        return self
+
+    def run(self) -> None:
+        """Execute with all views' maintenance extensions."""
+        self._manager.execute(self._txn)
+
+
+class ViewManager:
+    """Manages base tables and materialized views over one database."""
+
+    def __init__(self, db: Database | None = None) -> None:
+        self.db = db if db is not None else Database()
+        self.counter = CostCounter()
+        self.ledger = LockLedger()
+        self._scenarios: dict[str, Scenario] = {}
+        self._drivers: dict[str, MaintenanceDriver] = {}
+
+    # ------------------------------------------------------------------
+    # Base tables
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str, attrs: Iterable[str], *, rows: Iterable[Row] = ()) -> None:
+        """Create an external base table."""
+        self.db.create_table(name, attrs, rows=rows)
+
+    def load(self, name: str, rows: Iterable[Row]) -> None:
+        """Bulk-load rows into a base table *before* views are defined.
+
+        Loading bypasses maintenance; to modify data once views exist,
+        use :meth:`transaction`.
+        """
+        if self._scenarios:
+            raise PolicyError("bulk load is only allowed before views are defined; use transaction()")
+        self.db.load(name, rows)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def define_view(
+        self,
+        name: str,
+        definition: str | ViewDefinition | Expr,
+        *,
+        scenario: str = "combined",
+        policy: MaintenancePolicy | None = None,
+        strong_minimality: bool = False,
+    ) -> Scenario:
+        """Define and materialize a view under the given scenario.
+
+        ``definition`` may be SQL text (a query, or ``CREATE VIEW``), a
+        :class:`ViewDefinition`, or a bag-algebra expression.  When a
+        ``policy`` is supplied, a :class:`MaintenanceDriver` is attached
+        and can be advanced with :meth:`tick`.
+        """
+        if name in self._scenarios:
+            raise SchemaError(f"view {name!r} is already defined")
+        if isinstance(definition, ViewDefinition):
+            view = definition if definition.name == name else ViewDefinition(name, definition.query)
+        elif isinstance(definition, Expr):
+            view = ViewDefinition(name, definition)
+        else:
+            aggregate = self._maybe_aggregate(name, definition)
+            if aggregate is not None:
+                if scenario != "combined" or strong_minimality or policy is not None:
+                    raise PolicyError(
+                        "aggregate views are maintained under the combined scenario "
+                        "without extra options"
+                    )
+                instance = AggregateScenario(self.db, aggregate, counter=self.counter, ledger=self.ledger)
+                instance.install()
+                self._scenarios[name] = instance
+                return instance
+            view = sql_to_view(definition, self.db, name=name)
+        try:
+            scenario_cls = SCENARIOS[scenario]
+        except KeyError:
+            raise PolicyError(f"unknown scenario {scenario!r}; pick one of {sorted(SCENARIOS)}") from None
+        kwargs = {"counter": self.counter, "ledger": self.ledger}
+        if scenario_cls in (DiffTableScenario, CombinedScenario):
+            kwargs["strong_minimality"] = strong_minimality
+        elif strong_minimality:
+            raise PolicyError(f"strong_minimality is not applicable to the {scenario!r} scenario")
+        instance = scenario_cls(self.db, view, **kwargs)
+        instance.install()
+        self._scenarios[name] = instance
+        if policy is not None:
+            self._drivers[name] = MaintenanceDriver(instance, policy)
+        return instance
+
+    def scenario(self, name: str) -> Scenario:
+        """The scenario object maintaining view ``name``."""
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise UnknownTableError(f"no such view: {name!r}") from None
+
+    def driver(self, name: str) -> MaintenanceDriver:
+        """The maintenance driver for a view defined with a policy."""
+        try:
+            return self._drivers[name]
+        except KeyError:
+            raise PolicyError(f"view {name!r} has no maintenance policy attached") from None
+
+    def views(self) -> tuple[str, ...]:
+        return tuple(self._scenarios)
+
+    def drop_view(self, name: str) -> None:
+        """Stop maintaining a view and drop its internal tables."""
+        scenario = self.scenario(name)
+        if hasattr(scenario, "uninstall"):
+            scenario.uninstall()
+        del self._scenarios[name]
+        self._drivers.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def _maybe_aggregate(self, name: str, source: str):
+        """Parse SQL and, when it is an aggregate query, compile it."""
+        from repro.sqlfront.compiler import compile_aggregate_view
+        from repro.sqlfront.parser import CreateView as CreateViewStmt
+        from repro.sqlfront.parser import SelectCore, parse_statement
+
+        statement = parse_statement(source)
+        if isinstance(statement, CreateViewStmt):
+            core = statement.query
+            if isinstance(core, SelectCore) and core.is_aggregate():
+                view_name = statement.name if name is None else name
+                return compile_aggregate_view(view_name, core, self.db)
+            return None
+        if isinstance(statement, SelectCore) and statement.is_aggregate():
+            return compile_aggregate_view(name, statement, self.db)
+        return None
+
+    def transaction(self) -> ManagedTransaction:
+        """Start building a user transaction."""
+        return ManagedTransaction(self)
+
+    def execute(self, txn: UserTransaction) -> None:
+        """Run a user transaction with every view's ``makesafe`` extension.
+
+        All per-view auxiliary updates and the user updates execute as a
+        single simultaneous transaction, sharing one evaluation memo —
+        views over the same tables do not recompute shared deltas.
+        """
+        plan = MaintenancePlan(patches=txn.weakly_minimal().patches())
+        for scenario in self._scenarios.values():
+            plan = plan.merge(scenario.make_safe(txn))
+        plan.execute(self.db, counter=self.counter)
+        for scenario in self._scenarios.values():
+            scenario.post_execute()
+
+    # ------------------------------------------------------------------
+    # Maintenance operations
+    # ------------------------------------------------------------------
+
+    def refresh(self, name: str) -> None:
+        """Bring one view fully up to date."""
+        self.scenario(name).refresh()
+
+    def refresh_all(self) -> None:
+        for scenario in self._scenarios.values():
+            scenario.refresh()
+
+    def propagate(self, name: str) -> None:
+        """Run ``propagate_C`` for a combined-scenario (or aggregate) view."""
+        scenario = self.scenario(name)
+        if not hasattr(scenario, "propagate"):
+            raise PolicyError(f"view {name!r} is not maintained under the combined scenario")
+        scenario.propagate()
+
+    def partial_refresh(self, name: str) -> None:
+        """Run ``partial_refresh_C`` for a combined-scenario (or aggregate) view."""
+        scenario = self.scenario(name)
+        if not hasattr(scenario, "partial_refresh"):
+            raise PolicyError(f"view {name!r} is not maintained under the combined scenario")
+        scenario.partial_refresh()
+
+    def tick(self, txns: Iterable[UserTransaction] = ()) -> None:
+        """Advance all attached maintenance drivers by one time unit."""
+        txns = tuple(txns)
+        for driver in self._drivers.values():
+            driver.tick(txns)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, name: str) -> Bag:
+        """Read a view's materialized table (possibly stale)."""
+        return self.scenario(name).read_view()
+
+    def query_fresh(self, name: str) -> Bag:
+        """Refresh, then read — never returns stale data."""
+        scenario = self.scenario(name)
+        scenario.refresh()
+        return scenario.read_view()
+
+    def sql(self, query: str) -> Bag:
+        """Evaluate an ad-hoc SQL query against the current state."""
+        return self.db.evaluate(sql_to_expr(query, self.db), counter=self.counter)
+
+    def execute_sql(self, script: str) -> None:
+        """Run a ``;``-separated INSERT/DELETE script as ONE transaction.
+
+        All statements share the paper's simultaneous semantics — every
+        delta reads the pre-transaction state — and every registered
+        view's maintenance extension is applied, exactly as with
+        :meth:`transaction`.
+        """
+        txn = UserTransaction(self.db)
+        script_to_transaction(script, self.db, txn)
+        self.execute(txn)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def is_stale(self, name: str) -> bool:
+        """Whether the view table currently differs from its definition."""
+        return not self.scenario(name).is_consistent()
+
+    def check_invariants(self) -> None:
+        """Assert every view's scenario invariant (testing/debugging aid)."""
+        for scenario in self._scenarios.values():
+            scenario.check_invariant()
+
+    def downtime_seconds(self, name: str) -> float:
+        """Total wall-clock downtime of a view so far."""
+        return self.ledger.downtime_seconds(self.scenario(name).view.mv_table)

@@ -1,0 +1,14 @@
+"""Synthetic workload generators for examples, tests, and benchmarks."""
+
+from repro.workloads.orders import OrdersConfig, OrdersWorkload
+from repro.workloads.randgen import RandomExpressionGenerator, RandomWorkloadGenerator
+from repro.workloads.retail import RetailWorkload, RetailConfig
+
+__all__ = [
+    "RetailWorkload",
+    "RetailConfig",
+    "OrdersWorkload",
+    "OrdersConfig",
+    "RandomExpressionGenerator",
+    "RandomWorkloadGenerator",
+]

@@ -1,0 +1,156 @@
+"""A TPC-flavoured orders/lineitems workload.
+
+A second synthetic domain beyond the retail example, exercising the
+parts of the algebra the retail view does not: multi-table updates in
+one transaction, a difference (EXCEPT-style) view, and several views
+maintained over the same base tables.
+
+Schema::
+
+    orders(orderId, custId, status)
+    lineitems(orderId, sku, qty)
+
+Interesting views:
+
+* ``open_order_lines`` — join: line items of open orders;
+* ``empty_orders``    — difference: orders with *no* line items
+  (a monus view — exactly the shape where the state bug bites);
+* ``order_ids``       — DISTINCT projection (duplicate elimination).
+
+Transactions place orders (insert into both tables), ship items
+(delete lineitems), and cancel orders (delete from both tables) —
+multi-table updates throughout.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.algebra.bag import Row
+from repro.core.transactions import UserTransaction
+from repro.storage.database import Database
+
+__all__ = ["OrdersConfig", "OrdersWorkload", "OPEN_ORDER_LINES_SQL", "ORDER_IDS_SQL", "EMPTY_ORDERS_SQL"]
+
+OPEN_ORDER_LINES_SQL = """
+CREATE VIEW open_order_lines (orderId, custId, sku, qty) AS
+SELECT o.orderId, o.custId, l.sku, l.qty
+FROM orders o, lineitems l
+WHERE o.orderId = l.orderId AND o.status = 'open'
+"""
+
+ORDER_IDS_SQL = "CREATE VIEW order_ids AS SELECT DISTINCT orderId FROM orders"
+
+EMPTY_ORDERS_SQL = """
+CREATE VIEW empty_orders AS
+SELECT DISTINCT orderId FROM orders
+EXCEPT
+SELECT DISTINCT orderId FROM lineitems
+"""
+
+ORDERS_ATTRS = ("orderId", "custId", "status")
+LINEITEMS_ATTRS = ("orderId", "sku", "qty")
+
+_STATUSES = ("open", "shipped", "cancelled")
+
+
+@dataclass(frozen=True)
+class OrdersConfig:
+    """Tunables for the orders workload."""
+
+    customers: int = 50
+    skus: int = 30
+    initial_orders: int = 100
+    #: Mean line items per order (0..2*mean uniformly).
+    lines_per_order: int = 3
+    seed: int = 1996
+
+
+class OrdersWorkload:
+    """Deterministic generator of orders-domain tables and transactions."""
+
+    def __init__(self, config: OrdersConfig | None = None) -> None:
+        self.config = config if config is not None else OrdersConfig()
+        self._rng = random.Random(self.config.seed)
+        self._next_order_id = 0
+        self._open_orders: list[Row] = []
+        self._live_lines: list[Row] = []
+
+    # ------------------------------------------------------------------
+    # Initial data
+    # ------------------------------------------------------------------
+
+    def _new_order(self, status: str = "open") -> Row:
+        self._next_order_id += 1
+        return (self._next_order_id, self._rng.randrange(self.config.customers), status)
+
+    def _new_lines(self, order_id: int) -> list[Row]:
+        count = self._rng.randint(0, 2 * self.config.lines_per_order)
+        return [
+            (order_id, self._rng.randrange(self.config.skus), self._rng.randint(1, 9))
+            for __ in range(count)
+        ]
+
+    def setup_database(self, db: Database) -> None:
+        """Create and load ``orders`` and ``lineitems``."""
+        orders: list[Row] = []
+        lines: list[Row] = []
+        for __ in range(self.config.initial_orders):
+            order = self._new_order(self._rng.choice(_STATUSES))
+            orders.append(order)
+            new_lines = self._new_lines(order[0])
+            lines.extend(new_lines)
+            if order[2] == "open":
+                self._open_orders.append(order)
+                self._live_lines.extend(new_lines)
+        db.create_table("orders", ORDERS_ATTRS, rows=orders)
+        db.create_table("lineitems", LINEITEMS_ATTRS, rows=lines)
+
+    # ------------------------------------------------------------------
+    # Transactions (all multi-table)
+    # ------------------------------------------------------------------
+
+    def place_order(self, db: Database) -> UserTransaction:
+        """Insert a new order together with its line items."""
+        order = self._new_order()
+        lines = self._new_lines(order[0])
+        self._open_orders.append(order)
+        self._live_lines.extend(lines)
+        txn = UserTransaction(db).insert("orders", [order])
+        if lines:
+            txn.insert("lineitems", lines)
+        return txn
+
+    def ship_order(self, db: Database) -> UserTransaction:
+        """Flip an open order to shipped: delete + reinsert the order row."""
+        if not self._open_orders:
+            return self.place_order(db)
+        order = self._open_orders.pop(self._rng.randrange(len(self._open_orders)))
+        shipped = (order[0], order[1], "shipped")
+        return UserTransaction(db).delete("orders", [order]).insert("orders", [shipped])
+
+    def cancel_order(self, db: Database) -> UserTransaction:
+        """Remove an open order and all its line items, in one transaction."""
+        if not self._open_orders:
+            return self.place_order(db)
+        order = self._open_orders.pop(self._rng.randrange(len(self._open_orders)))
+        doomed = [line for line in self._live_lines if line[0] == order[0]]
+        self._live_lines = [line for line in self._live_lines if line[0] != order[0]]
+        txn = UserTransaction(db).delete("orders", [order])
+        if doomed:
+            txn.delete("lineitems", doomed)
+        return txn
+
+    def next_transaction(self, db: Database) -> UserTransaction:
+        kind = self._rng.random()
+        if kind < 0.6:
+            return self.place_order(db)
+        if kind < 0.85:
+            return self.ship_order(db)
+        return self.cancel_order(db)
+
+    def transactions(self, db: Database, count: int) -> Iterator[UserTransaction]:
+        for __ in range(count):
+            yield self.next_transaction(db)

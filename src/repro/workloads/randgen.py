@@ -1,0 +1,204 @@
+"""Randomized query/state/transaction generation.
+
+The correctness experiments (E3, E4) and several property tests validate
+the paper's theorems over *randomized* inputs: random database states,
+random core-algebra queries, and random weakly/non-minimal
+substitutions.  This module centralizes that generation so tests and
+benchmarks sample the same distribution.
+
+Design choices that matter for bug-finding power:
+
+* attribute values are small integers, so joins, duplicate collisions,
+  and monus cancellations all actually happen;
+* queries may use every core operator, including self-products and
+  monus — exactly the territory where the state bug lives (Remark 1);
+* products are wrapped in positional renames to keep schemas
+  unambiguous, so generated selections can always bind.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.algebra.bag import Bag, Row
+from repro.algebra.expr import (
+    DupElim,
+    Expr,
+    Monus,
+    Product,
+    Project,
+    Select,
+    UnionAll,
+    rename,
+)
+from repro.algebra.predicates import Attr, Comparison, Const
+from repro.core.substitution import FactoredSubstitution
+from repro.core.transactions import UserTransaction
+from repro.storage.database import Database
+
+__all__ = ["RandomExpressionGenerator", "RandomWorkloadGenerator"]
+
+_VALUE_RANGE = 4  # small domain => plenty of collisions
+
+
+class RandomExpressionGenerator:
+    """Generates databases, queries, and substitutions from one seed."""
+
+    def __init__(self, seed: int = 0, *, tables: int = 3, max_rows: int = 8) -> None:
+        self.rng = random.Random(seed)
+        self.table_count = tables
+        self.max_rows = max_rows
+        self._fresh = 0
+
+    # ------------------------------------------------------------------
+    # Databases and states
+    # ------------------------------------------------------------------
+
+    def database(self) -> Database:
+        """A database with ``tables`` small tables of arity 1–3."""
+        db = Database()
+        for index in range(self.table_count):
+            arity = self.rng.randint(1, 3)
+            attrs = tuple(f"t{index}c{position}" for position in range(arity))
+            rows = [self.row(arity) for __ in range(self.rng.randint(0, self.max_rows))]
+            db.create_table(f"T{index}", attrs, rows=rows)
+        return db
+
+    def row(self, arity: int) -> Row:
+        return tuple(self.rng.randrange(_VALUE_RANGE) for __ in range(arity))
+
+    def bag(self, arity: int, max_rows: int | None = None) -> Bag:
+        limit = max_rows if max_rows is not None else self.max_rows
+        return Bag(self.row(arity) for __ in range(self.rng.randint(0, limit)))
+
+    def subbag_of(self, bag: Bag) -> Bag:
+        """A random subbag (for weakly minimal deletes)."""
+        counts: dict[Row, int] = {}
+        for item, count in bag.items():
+            keep = self.rng.randint(0, count)
+            if keep:
+                counts[item] = keep
+        return Bag.from_counts(counts)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _fresh_names(self, arity: int) -> tuple[str, ...]:
+        self._fresh += 1
+        return tuple(f"g{self._fresh}c{position}" for position in range(arity))
+
+    def query(self, db: Database, depth: int = 4, *, tables: Sequence[str] | None = None) -> Expr:
+        """A random core-algebra query over (a subset of) ``db``'s tables."""
+        names = list(tables) if tables is not None else list(db.external_tables())
+        return self._gen(db, names, depth, target_arity=None)
+
+    def _leaf(self, db: Database, names: Sequence[str], target_arity: int | None) -> Expr:
+        candidates = [name for name in names if target_arity is None or db.schema_of(name).arity == target_arity]
+        if candidates:
+            return db.ref(self.rng.choice(candidates))
+        # No table of the right arity: project one down / build one up.
+        name = self.rng.choice(list(names))
+        ref = db.ref(name)
+        arity = ref.schema().arity
+        assert target_arity is not None
+        if arity >= target_arity:
+            positions = tuple(self.rng.randrange(arity) for __ in range(target_arity))
+            return Project(positions, ref, self._fresh_names(target_arity))
+        widened = ref
+        while widened.schema().arity < target_arity:
+            widened = Product(widened, ref)
+        extra = widened.schema().arity - target_arity
+        positions = tuple(range(target_arity))
+        if extra:
+            widened = Project(positions, widened, self._fresh_names(target_arity))
+        else:
+            widened = rename(widened, self._fresh_names(target_arity))
+        return widened
+
+    def _gen(self, db: Database, names: Sequence[str], depth: int, target_arity: int | None) -> Expr:
+        if depth <= 0:
+            return self._leaf(db, names, target_arity)
+        choice = self.rng.choice(("leaf", "select", "project", "dedup", "union", "monus", "product"))
+        if choice == "leaf":
+            return self._leaf(db, names, target_arity)
+        if choice == "product":
+            if target_arity is not None and target_arity < 2:
+                return self._leaf(db, names, target_arity)
+            if target_arity is None:
+                left = self._gen(db, names, depth - 1, None)
+                right = self._gen(db, names, depth - 1, None)
+            else:
+                left_arity = self.rng.randint(1, target_arity - 1)
+                left = self._gen(db, names, depth - 1, left_arity)
+                right = self._gen(db, names, depth - 1, target_arity - left_arity)
+            product = Product(left, right)
+            return rename(product, self._fresh_names(product.schema().arity))
+        if choice in ("union", "monus"):
+            left = self._gen(db, names, depth - 1, target_arity)
+            right = self._gen(db, names, depth - 1, left.schema().arity)
+            node = UnionAll if choice == "union" else Monus
+            return node(left, rename(right, left.schema().attributes))
+        child = self._gen(db, names, depth - 1, target_arity)
+        if choice == "dedup":
+            return DupElim(child)
+        if choice == "project":
+            arity = child.schema().arity
+            width = target_arity if target_arity is not None else self.rng.randint(1, arity)
+            positions = tuple(self.rng.randrange(arity) for __ in range(width))
+            return Project(positions, child, self._fresh_names(width))
+        # select: compare an attribute with a constant or another attribute
+        schema = child.schema()
+        left_attr = Attr(self.rng.choice(schema.attributes))
+        if self.rng.random() < 0.5 and schema.arity > 1:
+            right_term = Attr(self.rng.choice(schema.attributes))
+        else:
+            right_term = Const(self.rng.randrange(_VALUE_RANGE))
+        op = self.rng.choice(("=", "!=", "<", "<=", ">", ">="))
+        return Select(Comparison(op, left_attr, right_term), child)
+
+    # ------------------------------------------------------------------
+    # Substitutions and transactions
+    # ------------------------------------------------------------------
+
+    def substitution(self, db: Database, *, weakly_minimal: bool = True) -> FactoredSubstitution:
+        """A random literal factored substitution over ``db``'s tables."""
+        deltas: dict[str, tuple[Bag, Bag]] = {}
+        schemas = {}
+        for name in db.external_tables():
+            schema = db.schema_of(name)
+            if weakly_minimal:
+                delete = self.subbag_of(db[name])
+            else:
+                delete = self.bag(schema.arity, 4)
+            insert = self.bag(schema.arity, 4)
+            deltas[name] = (delete, insert)
+            schemas[name] = schema
+        return FactoredSubstitution.literal(deltas, schemas)
+
+    def transaction(self, db: Database, *, allow_over_delete: bool = False) -> UserTransaction:
+        """A random insert/delete transaction over ``db``'s external tables."""
+        txn = UserTransaction(db)
+        names = list(db.external_tables())
+        updated = self.rng.sample(names, k=self.rng.randint(1, len(names)))
+        for name in updated:
+            schema = db.schema_of(name)
+            if self.rng.random() < 0.8:
+                txn.insert(name, self.bag(schema.arity, 4))
+            if self.rng.random() < 0.6:
+                if allow_over_delete:
+                    txn.delete(name, self.bag(schema.arity, 4))
+                else:
+                    txn.delete(name, self.subbag_of(db[name]))
+        return txn
+
+
+class RandomWorkloadGenerator:
+    """Streams of random transactions for scenario-level experiments."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._gen = RandomExpressionGenerator(seed)
+
+    def transactions(self, db: Database, count: int, *, allow_over_delete: bool = True) -> list[UserTransaction]:
+        return [self._gen.transaction(db, allow_over_delete=allow_over_delete) for __ in range(count)]

@@ -1,0 +1,145 @@
+"""The retail workload of Examples 1.1 and 5.4.
+
+Point-of-sale rows stream into a ``sales`` table (large, with
+duplicates); a ``customer`` table holds customer records; the view ``V``
+joins them to track sales to highly-valued customers::
+
+    CREATE VIEW V (custId, name, score, itemNo, quantity) AS
+    SELECT c.custId, c.name, c.score, s.itemNo, s.quantity
+    FROM customer c, sales s
+    WHERE c.custId = s.custId AND s.quantity != 0 AND c.score = 'High'
+
+The paper used a Teradata/Walmart-style trace; we substitute a seeded
+synthetic generator with the knobs that matter for maintenance costs:
+transaction size, insert/delete mix, the fraction of high-score
+customers (view selectivity), and duplicate pressure.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.algebra.bag import Row
+from repro.core.transactions import UserTransaction
+from repro.storage.database import Database
+
+__all__ = ["RetailConfig", "RetailWorkload", "VIEW_SQL"]
+
+VIEW_SQL = """
+CREATE VIEW V (custId, name, score, itemNo, quantity) AS
+SELECT c.custId, c.name, c.score, s.itemNo, s.quantity
+FROM customer c, sales s
+WHERE c.custId = s.custId AND s.quantity != 0 AND c.score = 'High'
+"""
+
+SALES_ATTRS = ("custId", "itemNo", "quantity", "salesPrice")
+CUSTOMER_ATTRS = ("custId", "name", "address", "score")
+
+_SCORES = ("High", "Medium", "Low")
+
+
+@dataclass(frozen=True)
+class RetailConfig:
+    """Tunables for the synthetic retail workload."""
+
+    customers: int = 200
+    items: int = 50
+    initial_sales: int = 1000
+    high_score_fraction: float = 0.2
+    #: Rows inserted into ``sales`` per transaction.
+    txn_inserts: int = 10
+    #: Fraction of transactions that also delete previously-sold rows
+    #: (returns / corrections).
+    delete_fraction: float = 0.2
+    #: Probability a generated sale duplicates an existing row exactly.
+    duplicate_fraction: float = 0.1
+    #: Probability a sale row has quantity 0 (filtered out by the view).
+    zero_quantity_fraction: float = 0.05
+    seed: int = 96
+
+
+class RetailWorkload:
+    """Deterministic (seeded) generator of retail tables and transactions."""
+
+    def __init__(self, config: RetailConfig | None = None) -> None:
+        self.config = config if config is not None else RetailConfig()
+        self._rng = random.Random(self.config.seed)
+        self._live_sales: list[Row] = []
+
+    # ------------------------------------------------------------------
+    # Initial data
+    # ------------------------------------------------------------------
+
+    def customer_rows(self) -> list[Row]:
+        """One row per customer; scores assigned by ``high_score_fraction``."""
+        rows: list[Row] = []
+        high_cutoff = int(self.config.customers * self.config.high_score_fraction)
+        for cust_id in range(self.config.customers):
+            score = "High" if cust_id < high_cutoff else self._rng.choice(_SCORES[1:])
+            rows.append((cust_id, f"customer-{cust_id}", f"{cust_id} Main St", score))
+        return rows
+
+    def _sale_row(self) -> Row:
+        if self._live_sales and self._rng.random() < self.config.duplicate_fraction:
+            return self._rng.choice(self._live_sales)
+        cust_id = self._rng.randrange(self.config.customers)
+        item = self._rng.randrange(self.config.items)
+        if self._rng.random() < self.config.zero_quantity_fraction:
+            quantity = 0
+        else:
+            quantity = self._rng.randint(1, 5)
+        price = round(self._rng.uniform(1.0, 100.0), 2)
+        return (cust_id, item, quantity, price)
+
+    def initial_sales_rows(self) -> list[Row]:
+        """The sales table's starting contents (also primes deletions)."""
+        rows: list[Row] = []
+        for __ in range(self.config.initial_sales):
+            row = self._sale_row()
+            rows.append(row)
+            self._live_sales.append(row)  # as-we-go, so duplicates can hit
+        return rows
+
+    def setup_database(self, db: Database) -> None:
+        """Create and load ``customer`` and ``sales``."""
+        db.create_table("customer", CUSTOMER_ATTRS, rows=self.customer_rows())
+        db.create_table("sales", SALES_ATTRS, rows=self.initial_sales_rows())
+
+    # ------------------------------------------------------------------
+    # Update stream
+    # ------------------------------------------------------------------
+
+    def next_transaction(self, db: Database) -> UserTransaction:
+        """One point-of-sale transaction: inserts, occasionally returns."""
+        txn = UserTransaction(db)
+        inserts = [self._sale_row() for __ in range(self.config.txn_inserts)]
+        self._live_sales.extend(inserts)
+        txn.insert("sales", inserts)
+        if self._live_sales and self._rng.random() < self.config.delete_fraction:
+            victims_count = min(len(self._live_sales), self._rng.randint(1, self.config.txn_inserts))
+            victims = [
+                self._live_sales.pop(self._rng.randrange(len(self._live_sales)))
+                for __ in range(victims_count)
+            ]
+            txn.delete("sales", victims)
+        return txn
+
+    def transactions(self, db: Database, count: int) -> Iterator[UserTransaction]:
+        """A stream of ``count`` transactions against ``db``."""
+        for __ in range(count):
+            yield self.next_transaction(db)
+
+    def schedule(
+        self,
+        db: Database,
+        *,
+        horizon: int,
+        txns_per_tick: int = 1,
+    ) -> list[tuple[int, tuple[UserTransaction, ...]]]:
+        """A driver schedule: ``txns_per_tick`` transactions at every tick."""
+        return [
+            (tick, tuple(self.next_transaction(db) for __ in range(txns_per_tick)))
+            for tick in range(1, horizon + 1)
+        ]

@@ -1,0 +1,127 @@
+"""Property-based tests of the bag laws the paper's algebra relies on."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.bag import Bag
+
+rows = st.tuples(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3))
+bags = st.lists(rows, max_size=12).map(Bag)
+
+
+@given(bags, bags)
+def test_union_all_commutative(x, y):
+    assert x.union_all(y) == y.union_all(x)
+
+
+@given(bags, bags, bags)
+def test_union_all_associative(x, y, z):
+    assert x.union_all(y).union_all(z) == x.union_all(y.union_all(z))
+
+
+@given(bags)
+def test_union_all_identity(x):
+    assert x.union_all(Bag.empty()) == x
+
+
+@given(bags)
+def test_monus_self_is_empty(x):
+    assert x.monus(x) == Bag.empty()
+
+
+@given(bags, bags)
+def test_union_then_monus_cancels(x, y):
+    assert x.union_all(y).monus(y) == x
+
+
+@given(bags, bags, bags)
+def test_monus_distributes_over_union_on_right(x, y, z):
+    # x ∸ (y ⊎ z) == (x ∸ y) ∸ z
+    assert x.monus(y.union_all(z)) == x.monus(y).monus(z)
+
+
+@given(bags, bags)
+def test_monus_result_is_subbag(x, y):
+    assert x.monus(y).issubbag(x)
+
+
+@given(bags, bags)
+def test_min_is_greatest_lower_bound(x, y):
+    meet = x.min_(y)
+    assert meet.issubbag(x)
+    assert meet.issubbag(y)
+
+
+@given(bags, bags)
+def test_max_is_least_upper_bound(x, y):
+    join = x.max_(y)
+    assert x.issubbag(join)
+    assert y.issubbag(join)
+
+
+@given(bags, bags)
+def test_min_commutative(x, y):
+    assert x.min_(y) == y.min_(x)
+
+
+@given(bags, bags)
+def test_max_commutative(x, y):
+    assert x.max_(y) == y.max_(x)
+
+
+@given(bags, bags)
+def test_min_max_decomposition(x, y):
+    # |x min y| + |x max y| == |x| + |y| pointwise
+    assert x.min_(y).union_all(x.max_(y)) == x.union_all(y)
+
+
+@given(bags)
+def test_dedup_idempotent(x):
+    assert x.dedup().dedup() == x.dedup()
+
+
+@given(bags)
+def test_dedup_is_subbag(x):
+    assert x.dedup().issubbag(x)
+
+
+@given(bags, bags)
+def test_subbag_antisymmetric(x, y):
+    if x.issubbag(y) and y.issubbag(x):
+        assert x == y
+
+
+@given(bags, bags, bags)
+def test_subbag_transitive(x, y, z):
+    if x.issubbag(y) and y.issubbag(z):
+        assert x.issubbag(z)
+
+
+@settings(max_examples=50)
+@given(bags, bags, bags)
+def test_product_distributes_over_union(x, y, z):
+    assert x.product(y.union_all(z)) == x.product(y).union_all(x.product(z))
+
+
+@given(bags, bags)
+def test_product_length_multiplies(x, y):
+    assert len(x.product(y)) == len(x) * len(y)
+
+
+@given(bags, bags)
+def test_except_support_is_difference(x, y):
+    assert x.except_(y).support == x.support - y.support
+
+
+@given(bags, bags)
+def test_except_preserves_kept_multiplicities(x, y):
+    result = x.except_(y)
+    for row in result.support:
+        assert result.multiplicity(row) == x.multiplicity(row)
+
+
+@given(bags, bags, bags)
+def test_cancellation_lemma(o, d, i):
+    """Lemma 1: if N = (O ∸ D) ⊎ I then O = (N ∸ I) ⊎ (O min D)."""
+    n = o.monus(d).union_all(i)
+    assert o == n.monus(i).union_all(o.min_(d))

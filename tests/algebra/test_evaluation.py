@@ -1,0 +1,118 @@
+"""Unit tests for the memoizing evaluator and cost counters."""
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.algebra.evaluation import CostCounter, evaluate
+from repro.algebra.expr import (
+    DupElim,
+    Monus,
+    Product,
+    Project,
+    Select,
+    UnionAll,
+    empty,
+    singleton,
+    table,
+)
+from repro.algebra.predicates import Comparison, attr, const
+from repro.algebra.schema import Schema
+from repro.errors import UnknownTableError
+
+R = table("R", ["a", "b"])
+W = table("W", ["x"])
+
+STATE = {
+    "R": Bag([(1, 10), (1, 10), (2, 20)]),
+    "W": Bag([(1,), (2,), (2,)]),
+}
+
+
+class TestOperators:
+    def test_table_ref(self):
+        assert evaluate(R, STATE) == STATE["R"]
+
+    def test_unknown_table(self):
+        with pytest.raises(UnknownTableError):
+            evaluate(table("missing", ["x"]), STATE)
+
+    def test_literal(self):
+        assert evaluate(singleton((5,), Schema(["x"])), STATE) == Bag([(5,)])
+
+    def test_empty_literal(self):
+        assert evaluate(empty(Schema(["x"])), STATE) == Bag.empty()
+
+    def test_select(self):
+        expr = Select(Comparison("=", attr("a"), const(1)), R)
+        assert evaluate(expr, STATE) == Bag([(1, 10), (1, 10)])
+
+    def test_project(self):
+        expr = Project(("a",), R)
+        assert evaluate(expr, STATE) == Bag([(1,), (1,), (2,)])
+
+    def test_dedup(self):
+        assert evaluate(DupElim(R), STATE) == Bag([(1, 10), (2, 20)])
+
+    def test_union_all(self):
+        expr = UnionAll(W, W)
+        assert evaluate(expr, STATE) == Bag([(1,), (1,), (2,), (2,), (2,), (2,)])
+
+    def test_monus(self):
+        expr = Monus(W, singleton((2,), Schema(["x"])))
+        assert evaluate(expr, STATE) == Bag([(1,), (2,)])
+
+    def test_product(self):
+        expr = Product(W, W)
+        result = evaluate(expr, STATE)
+        assert len(result) == 9
+        assert result.multiplicity((2, 2)) == 4
+
+
+class TestMemoization:
+    def test_shared_subtree_costed_once(self):
+        counter = CostCounter()
+        shared = Project(("a",), R)
+        expr = UnionAll(shared, shared)
+        evaluate(expr, STATE, counter=counter)
+        # scan(3) + project(3) once, union(6): not scan+project twice.
+        assert counter.by_operator["scan"] == 3
+        assert counter.by_operator["project"] == 3
+        assert counter.by_operator["union_all"] == 6
+
+    def test_structurally_equal_subtrees_share(self):
+        counter = CostCounter()
+        expr = UnionAll(Project(("a",), R), Project(("a",), R))
+        evaluate(expr, STATE, counter=counter)
+        assert counter.by_operator["project"] == 3
+
+    def test_memo_shared_across_calls(self):
+        counter = CostCounter()
+        memo = {}
+        evaluate(R, STATE, counter=counter, memo=memo)
+        evaluate(R, STATE, counter=counter, memo=memo)
+        assert counter.by_operator["scan"] == 3  # second call hits the memo
+
+
+class TestCostCounter:
+    def test_records_tuples_and_evaluations(self):
+        counter = CostCounter()
+        evaluate(Project(("a",), R), STATE, counter=counter)
+        assert counter.tuples_out == 6  # 3 scanned + 3 projected
+        assert counter.evaluations == 2
+
+    def test_snapshot(self):
+        counter = CostCounter()
+        evaluate(R, STATE, counter=counter)
+        snap = counter.snapshot()
+        assert snap["tuples_out"] == 3
+        assert snap["scan"] == 3
+
+    def test_reset(self):
+        counter = CostCounter()
+        evaluate(R, STATE, counter=counter)
+        counter.reset()
+        assert counter.tuples_out == 0
+        assert counter.by_operator == {}
+
+    def test_counter_optional(self):
+        assert evaluate(R, STATE) == STATE["R"]

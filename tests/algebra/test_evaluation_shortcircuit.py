@@ -1,0 +1,101 @@
+"""Tests for executor short-circuiting (runtime-empty operands, monus identity).
+
+These behaviors change *cost*, never *values* — every test here checks
+both sides: the result matches the independent SQLite backend, and the
+cost reflects the short-circuit.
+"""
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.algebra.evaluation import CostCounter, evaluate
+from repro.algebra.expr import Monus, Product, Select, rename, table
+from repro.algebra.predicates import Comparison, attr
+from repro.storage.database import Database
+from repro.storage.sqlite_backend import SQLiteBackend
+from repro.workloads.randgen import RandomExpressionGenerator
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("big", ["a", "b"], rows=[(index, index % 5) for index in range(500)])
+    database.create_table("log", ["a", "b"])  # empty, like an idle log table
+    return database
+
+
+class TestRuntimeEmptyShortCircuit:
+    def test_join_with_empty_operand_costs_nothing(self, db):
+        left = rename(db.ref("log"), ("l.a", "l.b"))
+        right = rename(db.ref("big"), ("r.a", "r.b"))
+        expr = Select(Comparison("=", attr("l.b"), attr("r.b")), Product(left, right))
+        counter = CostCounter()
+        result = evaluate(expr, db.state, counter=counter)
+        assert result == Bag.empty()
+        assert counter.tuples_out == 0  # 'big' was never scanned
+
+    def test_product_with_empty_operand(self, db):
+        expr = Product(db.ref("big"), db.ref("log"))
+        counter = CostCounter()
+        assert evaluate(expr, db.state, counter=counter) == Bag.empty()
+        assert counter.tuples_out == 0
+
+    def test_monus_with_empty_left(self, db):
+        expr = Monus(db.ref("log"), db.ref("big"))
+        counter = CostCounter()
+        assert evaluate(expr, db.state, counter=counter) == Bag.empty()
+        assert counter.tuples_out == 0
+
+    def test_nested_empty_propagates(self, db):
+        inner = Product(db.ref("log"), db.ref("big"))
+        expr = Monus(inner.project([0], ["x"]), inner.project([1], ["x"]))
+        counter = CostCounter()
+        assert evaluate(expr, db.state, counter=counter) == Bag.empty()
+        assert counter.tuples_out == 0
+
+    def test_union_of_two_empties_short_circuits(self, db):
+        counter = CostCounter()
+        expr = db.ref("log").union_all(db.ref("log"))
+        assert evaluate(expr, db.state, counter=counter) == Bag.empty()
+        assert counter.tuples_out == 0
+
+    def test_union_with_one_nonempty_side_still_evaluates(self, db):
+        counter = CostCounter()
+        expr = db.ref("log").project([0], ["a"]).union_all(db.ref("big").project([0], ["a"]))
+        result = evaluate(expr, db.state, counter=counter)
+        assert len(result) == 500
+
+
+class TestMonusIdentity:
+    def test_monus_with_empty_right_is_free_identity(self, db):
+        expr = Monus(db.ref("big"), db.ref("log"))
+        counter = CostCounter()
+        result = evaluate(expr, db.state, counter=counter)
+        assert result == db["big"]
+        # Only the scan of 'big' is charged; no monus op.
+        assert counter.by_operator.get("monus", 0) == 0
+
+    def test_monus_probe_against_stored_table(self, db):
+        db.load("log", [(1, 1)])
+        small = table("small", ["a", "b"])
+        state = {**db.state, "small": Bag([(1, 1), (2, 2)])}
+        expr = Monus(small, db.ref("log"))
+        counter = CostCounter()
+        result = evaluate(expr, state, counter=counter)
+        assert result == Bag([(2, 2)])
+        assert counter.by_operator.get("probe", 0) == 2  # distinct left rows
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_short_circuits_never_change_values(seed):
+    """Random queries over databases with some empty tables: the
+    in-memory engine (with all short-circuits) matches SQLite."""
+    generator = RandomExpressionGenerator(seed, max_rows=4)
+    db = generator.database()
+    # Force at least one empty table.
+    first = db.external_tables()[0]
+    db.set_table(first, Bag.empty())
+    query = generator.query(db, depth=5)
+    with SQLiteBackend() as backend:
+        backend.sync_from(db)
+        assert backend.evaluate(query) == db.evaluate(query)

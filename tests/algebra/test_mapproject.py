@@ -1,0 +1,146 @@
+"""Unit + property tests for MapProject and arithmetic terms."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra.bag import Bag
+from repro.algebra.evaluation import CostCounter, evaluate
+from repro.algebra.expr import Literal, MapProject, table
+from repro.algebra.predicates import Arith, attr, const
+from repro.algebra.rewrite import is_empty_literal, optimize
+from repro.algebra.schema import Schema
+from repro.core.differential import differentiate
+from repro.core.substitution import FactoredSubstitution
+from repro.errors import SchemaError
+
+T = table("T", ["a", "b"])
+STATE = {"T": Bag([(1, 2), (1, 2), (3, 4)])}
+
+
+class TestArith:
+    def test_nested_arithmetic(self):
+        term = Arith("*", Arith("+", attr("a"), attr("b")), const(10))
+        assert term.bind(T.schema())((1, 2)) == 30
+
+    def test_none_propagates(self):
+        term = Arith("+", attr("a"), const(None))
+        assert term.bind(T.schema())((1, 2)) is None
+
+    def test_string_arithmetic_is_none(self):
+        term = Arith("+", attr("a"), const("x"))
+        assert term.bind(T.schema())(("y", 2)) is None
+
+    def test_division_by_zero_is_none(self):
+        term = Arith("/", attr("a"), attr("b"))
+        assert term.bind(T.schema())((1, 0)) is None
+
+    def test_unknown_operator(self):
+        with pytest.raises(SchemaError):
+            Arith("%", attr("a"), attr("b"))
+
+    def test_attributes_collected(self):
+        term = Arith("-", attr("a"), Arith("*", attr("b"), const(2)))
+        assert term.attributes() == frozenset({"a", "b"})
+
+    def test_str(self):
+        assert str(Arith("+", attr("a"), const(1))) == "(a + 1)"
+
+
+class TestMapProjectNode:
+    def test_schema(self):
+        expr = MapProject((attr("a"),), T, ("x",))
+        assert expr.schema() == Schema(["x"])
+
+    def test_name_count_validated(self):
+        with pytest.raises(SchemaError):
+            MapProject((attr("a"),), T, ("x", "y"))
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(SchemaError):
+            MapProject((), T, ())
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            MapProject((attr("zzz"),), T, ("x",))
+
+    def test_substitution_descends(self):
+        other = table("T2", ["a", "b"])
+        expr = MapProject((attr("a"),), T, ("x",))
+        assert expr.substitute({"T": other}).tables() == frozenset({"T2"})
+
+    def test_evaluation_sums_collapsing_multiplicities(self):
+        expr = MapProject((Arith("+", attr("a"), attr("b")),), T, ("s",))
+        assert evaluate(expr, STATE) == Bag([(3,), (3,), (7,)])
+
+    def test_evaluation_cost_recorded(self):
+        counter = CostCounter()
+        evaluate(MapProject((attr("a"),), T, ("x",)), STATE, counter=counter)
+        assert counter.by_operator["map"] == 3  # three output copies
+
+
+class TestOptimizer:
+    def test_map_over_empty_folds(self):
+        empty = Literal(Bag.empty(), Schema(["a", "b"]))
+        expr = MapProject((attr("a"),), empty, ("x",))
+        assert is_empty_literal(optimize(expr))
+
+    def test_map_over_literal_folds(self):
+        lit = Literal(Bag([(1, 2)]), Schema(["a", "b"]))
+        expr = MapProject((Arith("*", attr("a"), const(5)),), lit, ("x",))
+        optimized = optimize(expr)
+        assert isinstance(optimized, Literal)
+        assert optimized.bag == Bag([(5,)])
+
+
+rows = st.tuples(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3))
+bags = st.lists(rows, max_size=8).map(Bag)
+
+
+@st.composite
+def delta(draw):
+    value = draw(bags)
+    keep = {}
+    for row, count in value.items():
+        kept = draw(st.integers(min_value=0, max_value=count))
+        if kept:
+            keep[row] = kept
+    return value, Bag.from_counts(keep), draw(bags)
+
+
+@given(delta())
+def test_differentiation_theorem2_for_maps(instance):
+    """Theorem 2 extends to MapProject (the Π argument generalizes)."""
+    value, delete, insert = instance
+    state = {"T": value}
+    schemas = {"T": Schema(["a", "b"])}
+    eta = FactoredSubstitution.literal({"T": (delete, insert)}, schemas)
+    query = MapProject(
+        (Arith("+", attr("a"), attr("b")), Arith("*", attr("a"), const(2))),
+        table("T", ["a", "b"]),
+        ("s", "d"),
+    )
+    del_expr, add_expr = differentiate(eta, query)
+    new_value = evaluate(eta.apply(query), state)
+    old_value = evaluate(query, state)
+    del_value = evaluate(del_expr, state)
+    add_value = evaluate(add_expr, state)
+    assert new_value == old_value.monus(del_value).union_all(add_value)
+    assert del_value.issubbag(old_value)
+
+
+@given(bags)
+def test_sqlite_agrees_on_maps(value):
+    from repro.storage.database import Database
+    from repro.storage.sqlite_backend import SQLiteBackend
+
+    db = Database()
+    db.create_table("T", ["a", "b"], rows=value)
+    expr = MapProject(
+        (Arith("-", attr("a"), attr("b")), Arith("/", attr("b"), const(2)), const("tag")),
+        db.ref("T"),
+        ("diff", "half", "tag"),
+    )
+    with SQLiteBackend() as backend:
+        backend.sync_from(db)
+        assert backend.evaluate(expr) == db.evaluate(expr)

@@ -1,0 +1,140 @@
+"""Unit tests for the quantifier-free predicate language."""
+
+import pytest
+
+from repro.algebra.predicates import (
+    And,
+    Attr,
+    Comparison,
+    Const,
+    Not,
+    Or,
+    TruePredicate,
+    attr,
+    const,
+)
+from repro.algebra.schema import Schema
+from repro.errors import SchemaError
+
+SCHEMA = Schema(["a", "b"])
+
+
+def check(predicate, row):
+    return predicate.bind(SCHEMA)(row)
+
+
+class TestTerms:
+    def test_attr_binds_to_position(self):
+        term = attr("b").bind(SCHEMA)
+        assert term((1, 2)) == 2
+
+    def test_const_ignores_row(self):
+        term = const(42).bind(SCHEMA)
+        assert term((1, 2)) == 42
+
+    def test_const_rejects_exotic_types(self):
+        with pytest.raises(SchemaError):
+            const(object())
+
+    def test_const_str_rendering_escapes_quotes(self):
+        assert str(const("o'hare")) == "'o''hare'"
+
+    def test_const_none_renders_null(self):
+        assert str(const(None)) == "NULL"
+
+    def test_attr_attributes(self):
+        assert attr("a").attributes() == frozenset({"a"})
+        assert const(1).attributes() == frozenset()
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,row,expected",
+        [
+            ("=", (1, 1), True),
+            ("=", (1, 2), False),
+            ("!=", (1, 2), True),
+            ("<", (1, 2), True),
+            ("<=", (2, 2), True),
+            (">", (3, 2), True),
+            (">=", (1, 2), False),
+        ],
+    )
+    def test_operators(self, op, row, expected):
+        predicate = Comparison(op, attr("a"), attr("b"))
+        assert check(predicate, row) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(SchemaError):
+            Comparison("~", attr("a"), attr("b"))
+
+    def test_comparison_with_constant(self):
+        predicate = Comparison(">", attr("a"), const(5))
+        assert check(predicate, (6, 0))
+        assert not check(predicate, (5, 0))
+
+    def test_none_comparisons_are_false(self):
+        equal = Comparison("=", attr("a"), const(None))
+        assert not check(equal, (None, 0))
+        less = Comparison("<", attr("a"), const(1))
+        assert not check(less, (None, 0))
+
+    def test_cross_type_ordering_is_false(self):
+        less = Comparison("<", attr("a"), const("x"))
+        assert not check(less, (1, 0))
+
+    def test_cross_type_equality_is_false(self):
+        equal = Comparison("=", attr("a"), const("1"))
+        assert not check(equal, (1, 0))
+
+    def test_unknown_attribute_fails_at_bind(self):
+        predicate = Comparison("=", attr("zzz"), const(1))
+        with pytest.raises(SchemaError):
+            predicate.bind(SCHEMA)
+
+    def test_str(self):
+        assert str(Comparison("=", attr("a"), const(1))) == "a = 1"
+
+
+class TestConnectives:
+    def test_and(self):
+        predicate = And(Comparison(">", attr("a"), const(0)), Comparison("<", attr("b"), const(9)))
+        assert check(predicate, (1, 5))
+        assert not check(predicate, (0, 5))
+
+    def test_or(self):
+        predicate = Or(Comparison("=", attr("a"), const(1)), Comparison("=", attr("b"), const(1)))
+        assert check(predicate, (1, 0))
+        assert check(predicate, (0, 1))
+        assert not check(predicate, (0, 0))
+
+    def test_not(self):
+        predicate = Not(Comparison("=", attr("a"), const(1)))
+        assert not check(predicate, (1, 0))
+        assert check(predicate, (2, 0))
+
+    def test_not_of_null_comparison_is_true(self):
+        # NULL = 1 is "false" in our two-valued convention, so NOT flips it.
+        predicate = Not(Comparison("=", attr("a"), const(1)))
+        assert check(predicate, (None, 0))
+
+    def test_operator_sugar(self):
+        left = Comparison("=", attr("a"), const(1))
+        right = Comparison("=", attr("b"), const(2))
+        assert check(left & right, (1, 2))
+        assert check(left | right, (1, 0))
+        assert check(~left, (0, 0))
+
+    def test_true_predicate(self):
+        assert check(TruePredicate(), (0, 0))
+
+    def test_attributes_collected(self):
+        predicate = And(
+            Comparison("=", attr("a"), const(1)),
+            Not(Comparison("<", attr("b"), attr("a"))),
+        )
+        assert predicate.attributes() == frozenset({"a", "b"})
+
+    def test_str_nesting(self):
+        predicate = Or(Not(TruePredicate()), Comparison("<", attr("a"), attr("b")))
+        assert str(predicate) == "((NOT TRUE) OR a < b)"

@@ -1,0 +1,196 @@
+"""Unit + randomized tests for the algebraic optimizer."""
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.algebra.expr import (
+    DupElim,
+    Literal,
+    Monus,
+    Product,
+    Project,
+    Select,
+    UnionAll,
+    empty,
+    table,
+)
+from repro.algebra.predicates import (
+    And,
+    Comparison,
+    Not,
+    Or,
+    TruePredicate,
+    attr,
+    const,
+)
+from repro.algebra.rewrite import is_empty_literal, optimize, simplify_predicate
+from repro.algebra.schema import Schema
+from repro.workloads.randgen import RandomExpressionGenerator
+
+R = table("R", ["a", "b"])
+W = table("W", ["x"])
+EMPTY_W = empty(Schema(["x"]))
+LIT = Literal(Bag([(1,), (1,), (2,)]), Schema(["x"]))
+
+STATE = {
+    "R": Bag([(1, 10), (2, 20)]),
+    "W": Bag([(1,), (2,), (2,)]),
+}
+
+
+def same_value(expr):
+    from repro.algebra.evaluation import evaluate
+
+    optimized = optimize(expr)
+    assert evaluate(optimized, STATE) == evaluate(expr, STATE)
+    assert optimized.schema() == expr.schema()
+    assert optimized.size() <= expr.size()
+    return optimized
+
+
+class TestEmptyFolding:
+    def test_union_with_empty(self):
+        assert same_value(UnionAll(W, EMPTY_W)) == W
+        assert same_value(UnionAll(EMPTY_W, W)) == W
+
+    def test_monus_empty_left(self):
+        assert is_empty_literal(same_value(Monus(EMPTY_W, W)))
+
+    def test_monus_empty_right(self):
+        assert same_value(Monus(W, EMPTY_W)) == W
+
+    def test_product_with_empty(self):
+        optimized = same_value(Product(W, EMPTY_W))
+        assert is_empty_literal(optimized)
+        assert optimized.schema().arity == 2
+
+    def test_unary_over_empty(self):
+        assert is_empty_literal(optimize(Select(TruePredicate(), EMPTY_W)))
+        assert is_empty_literal(optimize(Project((0,), EMPTY_W, ("z",))))
+        assert is_empty_literal(optimize(DupElim(EMPTY_W)))
+
+    def test_nested_folding_cascades(self):
+        expr = UnionAll(Monus(EMPTY_W, W), Product(W, W).project([0], ["x"]))
+        optimized = same_value(expr)
+        assert optimized.size() < expr.size()
+
+
+class TestSelfCancellation:
+    def test_monus_self(self):
+        assert is_empty_literal(same_value(Monus(W, W)))
+
+    def test_monus_structurally_equal(self):
+        left = Project((0,), R, ("a",))
+        right = Project((0,), table("R", ["a", "b"]), ("a",))
+        assert is_empty_literal(same_value(Monus(left, right)))
+
+
+class TestConstantFolding:
+    def test_all_literal_operator_folds(self):
+        expr = UnionAll(LIT, LIT)
+        optimized = same_value(expr)
+        assert isinstance(optimized, Literal)
+        assert optimized.bag.multiplicity((1,)) == 4
+
+    def test_literal_select_folds(self):
+        expr = Select(Comparison(">", attr("x"), const(1)), LIT)
+        optimized = same_value(expr)
+        assert isinstance(optimized, Literal)
+        assert optimized.bag == Bag([(2,)])
+
+    def test_true_select_disappears(self):
+        assert same_value(Select(TruePredicate(), W)) == W
+
+    def test_constant_true_comparison_disappears(self):
+        expr = Select(Comparison("=", const(1), const(1)), W)
+        assert same_value(expr) == W
+
+    def test_constant_false_comparison_empties(self):
+        expr = Select(Comparison("=", const(1), const(2)), W)
+        assert is_empty_literal(same_value(expr))
+
+
+class TestFusion:
+    def test_selection_fusion(self):
+        inner = Select(Comparison(">", attr("a"), const(0)), R)
+        outer = Select(Comparison("<", attr("b"), const(99)), inner)
+        optimized = same_value(outer)
+        assert isinstance(optimized, Select)
+        assert optimized.child == R  # one level, fused predicate
+
+    def test_projection_fusion(self):
+        inner = Project((1, 0), R, ("b", "a"))
+        outer = Project((1,), inner, ("a",))
+        optimized = same_value(outer)
+        assert isinstance(optimized, Project)
+        assert optimized.child == R
+        assert optimized.schema() == Schema(["a"])
+
+    def test_identity_projection_removed(self):
+        expr = Project((0, 1), R, ("a", "b"))
+        assert same_value(expr) == R
+
+    def test_renaming_projection_kept(self):
+        expr = Project((0, 1), R, ("x", "y"))
+        optimized = same_value(expr)
+        assert optimized.schema() == Schema(["x", "y"])
+
+    def test_dupelim_idempotent(self):
+        assert same_value(DupElim(DupElim(W))) == DupElim(W)
+
+
+class TestSchemaPreservation:
+    def test_union_drop_keeps_left_names(self):
+        # (empty ⊎ W-renamed) must keep the union's visible names.
+        other = table("W2", ["different"])
+        expr = UnionAll(empty(Schema(["x"])), other)
+        optimized = optimize(expr)
+        assert optimized.schema() == Schema(["x"])
+
+
+class TestPredicateSimplification:
+    def test_and_with_true(self):
+        predicate = And(TruePredicate(), Comparison("=", attr("x"), const(1)))
+        assert simplify_predicate(predicate) == Comparison("=", attr("x"), const(1))
+
+    def test_or_with_true_is_true(self):
+        predicate = Or(Comparison("=", attr("x"), const(1)), TruePredicate())
+        assert isinstance(simplify_predicate(predicate), TruePredicate)
+
+    def test_double_negation(self):
+        inner = Comparison("=", attr("x"), const(1))
+        assert simplify_predicate(Not(Not(inner))) == inner
+
+    def test_constant_comparison_folds(self):
+        assert isinstance(simplify_predicate(Comparison("<", const(1), const(2))), TruePredicate)
+
+    def test_null_constant_comparison_is_false(self):
+        folded = simplify_predicate(Comparison("=", const(None), const(None)))
+        assert folded == Not(TruePredicate())
+
+    def test_and_with_false_is_false(self):
+        predicate = And(Comparison("=", const(1), const(2)), Comparison("=", attr("x"), const(1)))
+        assert simplify_predicate(predicate) == Not(TruePredicate())
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_randomized_equivalence(seed):
+    """optimize() preserves value and schema on random expressions."""
+    from repro.algebra.evaluation import evaluate
+
+    generator = RandomExpressionGenerator(seed)
+    db = generator.database()
+    expr = generator.query(db, depth=5)
+    optimized = optimize(expr)
+    assert optimized.schema() == expr.schema()
+    assert optimized.size() <= expr.size()
+    assert evaluate(optimized, db.state) == evaluate(expr, db.state)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_optimize_idempotent(seed):
+    generator = RandomExpressionGenerator(seed)
+    db = generator.database()
+    expr = generator.query(db, depth=4)
+    once = optimize(expr)
+    assert optimize(once) == once

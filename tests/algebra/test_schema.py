@@ -1,0 +1,94 @@
+"""Unit tests for schemas and attribute resolution."""
+
+import pytest
+
+from repro.algebra.schema import Schema
+from repro.errors import SchemaError
+
+
+class TestConstruction:
+    def test_attributes_preserved_in_order(self):
+        schema = Schema(["b", "a", "c"])
+        assert schema.attributes == ("b", "a", "c")
+
+    def test_arity_and_len(self):
+        schema = Schema(["a", "b"])
+        assert schema.arity == 2
+        assert len(schema) == 2
+
+    def test_iteration(self):
+        assert list(Schema(["a", "b"])) == ["a", "b"]
+
+    def test_empty_schema_allowed(self):
+        assert Schema([]).arity == 0
+
+    def test_rejects_empty_names(self):
+        with pytest.raises(SchemaError):
+            Schema([""])
+
+    def test_rejects_non_string_names(self):
+        with pytest.raises(SchemaError):
+            Schema([1])
+
+    def test_duplicate_names_allowed_at_construction(self):
+        # Self-joins legitimately produce duplicate names.
+        schema = Schema(["a", "a"])
+        assert schema.arity == 2
+
+
+class TestResolution:
+    def test_index_of(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.index_of("b") == 1
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            Schema(["a"]).index_of("z")
+
+    def test_ambiguous_attribute(self):
+        with pytest.raises(SchemaError, match="ambiguous"):
+            Schema(["a", "a"]).index_of("a")
+
+    def test_positions_of(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.positions_of(["c", "a"]) == (2, 0)
+
+    def test_contains(self):
+        schema = Schema(["a"])
+        assert "a" in schema
+        assert "b" not in schema
+
+
+class TestDerivation:
+    def test_concat(self):
+        assert Schema(["a"]).concat(Schema(["b"])) == Schema(["a", "b"])
+
+    def test_project(self):
+        assert Schema(["a", "b", "c"]).project(["c", "a"]) == Schema(["c", "a"])
+
+    def test_project_validates(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).project(["z"])
+
+    def test_rename(self):
+        schema = Schema(["a", "b"]).rename({"a": "x"})
+        assert schema == Schema(["x", "b"])
+
+    def test_qualify(self):
+        assert Schema(["a", "b"]).qualify("t") == Schema(["t.a", "t.b"])
+
+    def test_union_compatible(self):
+        assert Schema(["a"]).union_compatible(Schema(["z"]))
+        assert not Schema(["a"]).union_compatible(Schema(["a", "b"]))
+
+
+class TestEquality:
+    def test_equality_by_names(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a", "b"]) != Schema(["b", "a"])
+
+    def test_hashable(self):
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))
+
+    def test_not_equal_to_tuple(self):
+        assert Schema(["a"]) != ("a",)

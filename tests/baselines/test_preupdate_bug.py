@@ -1,0 +1,131 @@
+"""The state bug (Section 1.2) and Remark 1's restricted class."""
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.algebra.expr import Monus
+from repro.baselines.preupdate_bug import buggy_post_update_delta, buggy_post_update_refresh
+from repro.core.differential import post_update_delta
+from repro.core.scenarios import BaseLogScenario
+from repro.core.transactions import UserTransaction
+from repro.core.views import ViewDefinition
+from repro.sqlfront import sql_to_view
+from repro.storage.database import Database
+from repro.workloads.randgen import RandomExpressionGenerator
+
+
+def example_1_2():
+    """The join view of Example 1.2 (duplicate semantics)."""
+    db = Database()
+    db.create_table("R", ["A", "B"], rows=[("a1", "b1")])
+    db.create_table("S", ["B", "C"], rows=[("b1", "c1")])
+    view = sql_to_view("CREATE VIEW U (A) AS SELECT r.A FROM R r, S s WHERE r.B = s.B", db)
+    scenario = BaseLogScenario(db, view)
+    scenario.install()
+    txn = UserTransaction(db).insert("R", [("a1", "b2")]).insert("S", [("b2", "c2")])
+    scenario.execute(txn)
+    return db, view, scenario
+
+
+def example_1_3():
+    """The monus view of Example 1.3."""
+    db = Database()
+    db.create_table("R", ["x"], rows=[("a",), ("b",), ("c",)])
+    db.create_table("S", ["x"], rows=[("c",), ("d",)])
+    view = ViewDefinition("U", Monus(db.ref("R"), db.ref("S")))
+    scenario = BaseLogScenario(db, view)
+    scenario.install()
+    txn = UserTransaction(db).delete("R", [("b",)]).insert("S", [("b",)])
+    scenario.execute(txn)
+    return db, view, scenario
+
+
+class TestExample12:
+    """State bug on a join with duplicates: wrong multiplicities."""
+
+    def test_correct_algorithm_is_exact(self):
+        db, view, scenario = example_1_2()
+        scenario.refresh()
+        assert db[view.mv_table] == db.evaluate(view.query)
+        # (a1,b2) joins both (b2,c2); (a1,b1) joins (b1,c1).
+        assert db[view.mv_table] == Bag([("a1",), ("a1",)])
+
+    def test_buggy_algorithm_overcounts(self):
+        db, view, scenario = example_1_2()
+        buggy = buggy_post_update_refresh(scenario.log, db, view.query, view.mv_table)
+        correct = db.evaluate(view.query)
+        assert buggy != correct
+        # The ΔR ⋈ ΔS term is double counted post-update.
+        assert buggy.multiplicity(("a1",)) > correct.multiplicity(("a1",))
+
+
+class TestExample13:
+    """State bug on monus: a deleted tuple survives."""
+
+    def test_correct_algorithm_removes_b(self):
+        db, view, scenario = example_1_3()
+        scenario.refresh()
+        assert db[view.mv_table] == Bag([("a",)])
+
+    def test_buggy_algorithm_keeps_b(self):
+        db, view, scenario = example_1_3()
+        buggy = buggy_post_update_refresh(scenario.log, db, view.query, view.mv_table)
+        assert ("b",) in buggy  # the incorrect tuple survives
+        assert buggy == Bag([("a",), ("b",)])
+
+    def test_buggy_delete_bag_is_empty(self):
+        db, view, scenario = example_1_3()
+        delete, __ = buggy_post_update_delta(scenario.log, db, view.query)
+        assert db.evaluate(delete) == Bag.empty()
+
+
+def _deltas_agree(db, view, scenario):
+    correct_delete, correct_insert = post_update_delta(scenario.log, view.query)
+    buggy_delete, buggy_insert = buggy_post_update_delta(scenario.log, db, view.query)
+    mv = db[view.mv_table]
+    correct = mv.monus(db.evaluate(correct_delete)).union_all(db.evaluate(correct_insert))
+    buggy = mv.monus(db.evaluate(buggy_delete)).union_all(db.evaluate(buggy_insert))
+    return correct == buggy
+
+
+class TestRemark1:
+    """Pre- and post-update algorithms coincide exactly on the
+    restricted class: SPJ views without self-joins, single-table
+    insert-only updates — and diverge once the restrictions are relaxed."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_restricted_class_agrees(self, seed):
+        generator = RandomExpressionGenerator(seed)
+        db = Database()
+        db.create_table("R", ["a", "b"], rows=[generator.row(2) for __ in range(6)])
+        db.create_table("S", ["b", "c"], rows=[generator.row(2) for __ in range(6)])
+        view = sql_to_view(
+            "CREATE VIEW U (a, c) AS SELECT r.a, s.c FROM R r, S s WHERE r.b = s.b",
+            db,
+        )
+        scenario = BaseLogScenario(db, view)
+        scenario.install()
+        # single-table, insert-only transaction
+        txn = UserTransaction(db).insert("R", [generator.row(2) for __ in range(3)])
+        scenario.execute(txn)
+        assert _deltas_agree(db, view, scenario)
+
+    def test_multi_table_update_diverges(self):
+        db, view, scenario = example_1_2()
+        assert not _deltas_agree(db, view, scenario)
+
+    def test_monus_view_diverges(self):
+        db, view, scenario = example_1_3()
+        assert not _deltas_agree(db, view, scenario)
+
+    def test_self_join_diverges(self):
+        db = Database()
+        db.create_table("R", ["a", "b"], rows=[(1, 1)])
+        view = sql_to_view(
+            "CREATE VIEW U (x, y) AS SELECT r1.a, r2.a FROM R r1, R r2 WHERE r1.b = r2.b",
+            db,
+        )
+        scenario = BaseLogScenario(db, view)
+        scenario.install()
+        scenario.execute(UserTransaction(db).insert("R", [(2, 1)]))
+        assert not _deltas_agree(db, view, scenario)

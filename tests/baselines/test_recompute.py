@@ -1,0 +1,47 @@
+"""Unit tests for the full-recompute baseline."""
+
+from repro.baselines.recompute import RecomputeScenario
+from repro.core.transactions import UserTransaction
+from repro.core.views import ViewDefinition
+from repro.storage.database import Database
+
+
+def make_scenario():
+    db = Database()
+    db.create_table("R", ["a"], rows=[(1,), (2,)])
+    scenario = RecomputeScenario(db, ViewDefinition("V", db.ref("R")))
+    scenario.install()
+    return scenario
+
+
+class TestRecompute:
+    def test_no_auxiliary_tables(self):
+        scenario = make_scenario()
+        assert scenario.db.internal_tables() == ("__mv__V",)
+
+    def test_transactions_add_no_maintenance_work(self):
+        scenario = make_scenario()
+        txn = UserTransaction(scenario.db).insert("R", [(9,)])
+        plan = scenario.make_safe(txn)
+        assert plan.tables() == {"R"}
+
+    def test_view_goes_stale(self):
+        scenario = make_scenario()
+        scenario.execute(UserTransaction(scenario.db).insert("R", [(9,)]))
+        assert not scenario.is_consistent()
+
+    def test_refresh_recomputes(self):
+        scenario = make_scenario()
+        scenario.execute(UserTransaction(scenario.db).insert("R", [(9,)]).delete("R", [(1,)]))
+        scenario.refresh()
+        assert scenario.is_consistent()
+
+    def test_refresh_takes_lock(self):
+        scenario = make_scenario()
+        scenario.refresh()
+        assert scenario.ledger.section_count("__mv__V") == 1
+
+    def test_invariant_is_vacuous(self):
+        scenario = make_scenario()
+        scenario.execute(UserTransaction(scenario.db).insert("R", [(9,)]))
+        assert scenario.invariant_holds()

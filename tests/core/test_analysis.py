@@ -1,0 +1,105 @@
+"""Unit tests for static view analysis (self-maintainability)."""
+
+import pytest
+
+from repro.algebra.expr import DupElim, Monus, Project, Select, UnionAll
+from repro.algebra.predicates import Comparison, attr, const
+from repro.core.analysis import (
+    is_select_project,
+    is_self_maintainable,
+    maintenance_footprint,
+    relevant_tables,
+)
+from repro.core.scenarios import BaseLogScenario
+from repro.core.transactions import UserTransaction
+from repro.core.views import ViewDefinition
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("R", ["a", "b"], rows=[(1, 2), (3, 4)])
+    database.create_table("S", ["b", "c"], rows=[(2, 9)])
+    return database
+
+
+def sp_view(db):
+    query = Project(("a",), Select(Comparison(">", attr("a"), const(0)), db.ref("R")))
+    return ViewDefinition("SP", query)
+
+
+class TestIsSelectProject:
+    def test_plain_table(self, db):
+        assert is_select_project(db.ref("R"))
+
+    def test_select_project_chain(self, db):
+        assert is_select_project(sp_view(db).query)
+
+    def test_join_is_not(self, db):
+        assert not is_select_project(db.ref("R").product(db.ref("S")))
+
+    def test_union_is_not(self, db):
+        assert not is_select_project(UnionAll(db.ref("R"), db.ref("R")))
+
+    def test_dupelim_is_not(self, db):
+        assert not is_select_project(DupElim(db.ref("R")))
+
+
+class TestFootprint:
+    def test_sp_view_has_empty_footprint(self, db):
+        view = sp_view(db)
+        assert maintenance_footprint(view, db) == frozenset()
+        assert is_self_maintainable(view, db)
+
+    def test_join_view_reads_both_tables(self, db):
+        view = ViewDefinition("J", db.ref("R").product(db.ref("S")))
+        assert maintenance_footprint(view, db) == frozenset({"R", "S"})
+        assert not is_self_maintainable(view, db)
+
+    def test_monus_view_reads_operands(self, db):
+        query = Monus(db.ref("R").project(["a"]), db.ref("S").project(["c"], ["a"]))
+        view = ViewDefinition("M", query)
+        assert maintenance_footprint(view, db) == frozenset({"R", "S"})
+
+    def test_union_view_is_self_maintainable(self, db):
+        # ⊎ of SP branches: deltas are unions of the branch deltas.
+        query = UnionAll(db.ref("R").project(["a"]), db.ref("R").project(["b"], ["a"]))
+        view = ViewDefinition("U", query)
+        assert is_self_maintainable(view, db)
+
+    def test_dupelim_breaks_self_maintenance(self, db):
+        view = ViewDefinition("D", DupElim(db.ref("R")))
+        assert maintenance_footprint(view, db) == frozenset({"R"})
+
+    def test_footprint_matches_actual_refresh_reads(self, db):
+        """The footprint is exactly what refresh scans: for an SP view,
+        refresh cost must not grow with the base-table size."""
+        view = sp_view(db)
+        small = BaseLogScenario(db, view)
+        small.install()
+        small.execute(UserTransaction(db).insert("R", [(5, 6)]))
+        before = small.counter.tuples_out
+        small.refresh()
+        small_cost = small.counter.tuples_out - before
+
+        big_db = Database()
+        big_db.create_table("R", ["a", "b"], rows=[(index, index) for index in range(1, 2000)])
+        big_view = sp_view(big_db)
+        big = BaseLogScenario(big_db, big_view)
+        big.install()
+        big.execute(UserTransaction(big_db).insert("R", [(5, 6)]))
+        before = big.counter.tuples_out
+        big.refresh()
+        big_cost = big.counter.tuples_out - before
+        assert big_cost <= small_cost * 2  # independent of |R|
+
+
+class TestRelevantTables:
+    def test_intersection(self, db):
+        view = ViewDefinition("J", db.ref("R").product(db.ref("S")))
+        assert relevant_tables(view, frozenset({"R", "other"})) == frozenset({"R"})
+
+    def test_irrelevant_transaction(self, db):
+        view = sp_view(db)
+        assert relevant_tables(view, frozenset({"S"})) == frozenset()

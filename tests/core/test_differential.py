@@ -1,0 +1,311 @@
+"""Unit + randomized tests for the Figure 2 differential algorithm."""
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.algebra.evaluation import CostCounter, evaluate
+from repro.algebra.expr import (
+    DupElim,
+    Literal,
+    Monus,
+    Product,
+    Project,
+    Select,
+    UnionAll,
+    table,
+)
+from repro.algebra.predicates import Comparison, attr, const
+from repro.algebra.schema import Schema
+from repro.core.differential import (
+    differentiate,
+    post_update_delta,
+    pre_update_delta,
+    strongly_minimal_pair,
+)
+from repro.core.logs import Log
+from repro.core.substitution import FactoredSubstitution
+from repro.core.transactions import UserTransaction
+from repro.storage.database import Database
+from repro.workloads.randgen import RandomExpressionGenerator
+
+W_SCHEMA = Schema(["x"])
+
+
+def literal_subst(db, deltas):
+    schemas = {name: db.schema_of(name) for name in deltas}
+    return FactoredSubstitution.literal(
+        {name: (Bag(delete), Bag(insert)) for name, (delete, insert) in deltas.items()},
+        schemas,
+    )
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("R", ["a"], rows=[(1,), (1,), (2,), (3,)])
+    database.create_table("S", ["b"], rows=[(1,), (2,), (2,)])
+    return database
+
+
+def check_theorem2(db, eta, query):
+    delete, insert = differentiate(eta, query)
+    new_value = db.evaluate(eta.apply(query))
+    old_value = db.evaluate(query)
+    delete_value = db.evaluate(delete)
+    insert_value = db.evaluate(insert)
+    assert new_value == old_value.monus(delete_value).union_all(insert_value)
+    assert delete_value.issubbag(old_value)
+    return delete_value, insert_value
+
+
+class TestFigure2Rules:
+    """Rule-by-rule checks of the Del/Add table, against hand semantics."""
+
+    def test_table_ref(self, db):
+        eta = literal_subst(db, {"R": ([(1,)], [(9,)])})
+        delete, insert = differentiate(eta, db.ref("R"))
+        assert db.evaluate(delete) == Bag([(1,)])
+        assert db.evaluate(insert) == Bag([(9,)])
+
+    def test_unsubstituted_table_has_empty_deltas(self, db):
+        eta = literal_subst(db, {"R": ([(1,)], [(9,)])})
+        delete, insert = differentiate(eta, db.ref("S"))
+        assert db.evaluate(delete) == Bag.empty()
+        assert db.evaluate(insert) == Bag.empty()
+
+    def test_literal_has_empty_deltas(self, db):
+        eta = literal_subst(db, {"R": ([(1,)], [(9,)])})
+        lit = Literal(Bag([(5,)]), W_SCHEMA)
+        delete, insert = differentiate(eta, lit)
+        assert db.evaluate(delete) == Bag.empty()
+        assert db.evaluate(insert) == Bag.empty()
+
+    def test_select(self, db):
+        eta = literal_subst(db, {"R": ([(1,)], [(2,), (9,)])})
+        query = Select(Comparison("<", attr("a"), const(3)), db.ref("R"))
+        delete_value, insert_value = check_theorem2(db, eta, query)
+        assert delete_value == Bag([(1,)])
+        assert insert_value == Bag([(2,)])  # (9,) filtered out
+
+    def test_project(self, db):
+        eta = literal_subst(db, {"R": ([(1,)], [(9,)])})
+        check_theorem2(db, eta, Project(("a",), db.ref("R")))
+
+    def test_dedup_delete_only_when_last_copy_goes(self, db):
+        # R has (1,) twice; deleting one copy must NOT delete from eps(R).
+        eta = literal_subst(db, {"R": ([(1,)], [])})
+        query = DupElim(db.ref("R"))
+        delete_value, insert_value = check_theorem2(db, eta, query)
+        assert delete_value == Bag.empty()
+        assert insert_value == Bag.empty()
+
+    def test_dedup_delete_when_all_copies_go(self, db):
+        eta = literal_subst(db, {"R": ([(1,), (1,)], [])})
+        delete_value, __ = check_theorem2(db, eta, DupElim(db.ref("R")))
+        assert delete_value == Bag([(1,)])
+
+    def test_dedup_insert_only_for_new_rows(self, db):
+        # Inserting another (2,) adds nothing to eps(R); inserting (9,) does.
+        eta = literal_subst(db, {"R": ([], [(2,), (9,)])})
+        __, insert_value = check_theorem2(db, eta, DupElim(db.ref("R")))
+        assert insert_value == Bag([(9,)])
+
+    def test_union_all(self, db):
+        eta = literal_subst(db, {"R": ([(1,)], [(9,)]), "S": ([(2,)], [(8,)])})
+        query = UnionAll(db.ref("R"), db.ref("S"))
+        delete_value, insert_value = check_theorem2(db, eta, query)
+        assert delete_value == Bag([(1,), (2,)])
+        assert insert_value == Bag([(9,), (8,)])
+
+    def test_monus_delete_capped_by_current_value(self, db):
+        # R∸S = {(1,),(3,)}; deleting both copies of (1,) from R can remove
+        # only the single (1,) present in the difference.
+        eta = literal_subst(db, {"R": ([(1,), (1,)], [])})
+        query = Monus(db.ref("R"), db.ref("S"))
+        delete_value, __ = check_theorem2(db, eta, query)
+        assert delete_value == Bag([(1,)])
+
+    def test_monus_insert_into_s_deletes_from_difference(self, db):
+        eta = literal_subst(db, {"S": ([], [(3,)])})
+        query = Monus(db.ref("R"), db.ref("S"))
+        delete_value, insert_value = check_theorem2(db, eta, query)
+        assert delete_value == Bag([(3,)])
+        assert insert_value == Bag.empty()
+
+    def test_monus_delete_one_shadowing_copy_changes_nothing(self, db):
+        # S holds (2,) twice but R only once: removing one copy from S
+        # still shadows R's (2,), so the difference is unchanged.
+        eta = literal_subst(db, {"S": ([(2,)], [])})
+        query = Monus(db.ref("R"), db.ref("S"))
+        delete_value, insert_value = check_theorem2(db, eta, query)
+        assert delete_value == Bag.empty()
+        assert insert_value == Bag.empty()
+
+    def test_monus_delete_from_s_reveals_tuples(self, db):
+        # Removing both copies of (2,) from S uncovers R's (2,).
+        eta = literal_subst(db, {"S": ([(2,), (2,)], [])})
+        query = Monus(db.ref("R"), db.ref("S"))
+        __, insert_value = check_theorem2(db, eta, query)
+        assert insert_value == Bag([(2,)])
+
+    def test_example_1_3_shape(self):
+        """The monus state-bug example, via the correct post-update path."""
+        db = Database()
+        db.create_table("R", ["x"], rows=[("a",), ("b",), ("c",)])
+        db.create_table("S", ["x"], rows=[("c",), ("d",)])
+        eta = literal_subst(db, {"R": ([("b",)], []), "S": ([], [("b",)])})
+        check_theorem2(db, eta, Monus(db.ref("R"), db.ref("S")))
+
+    def test_product(self, db):
+        eta = literal_subst(db, {"R": ([(1,)], [(9,)]), "S": ([(1,)], [])})
+        query = Product(db.ref("R"), db.ref("S"))
+        check_theorem2(db, eta, query)
+
+    def test_self_product(self, db):
+        # Self-joins are exactly where restricted prior work breaks.
+        eta = literal_subst(db, {"R": ([(1,)], [(9,)])})
+        query = Product(db.ref("R"), db.ref("R"))
+        check_theorem2(db, eta, query)
+
+
+class TestEmptyFolding:
+    def test_untouched_subtree_yields_literal_empty_deltas(self, db):
+        eta = literal_subst(db, {"R": ([(1,)], [])})
+        delete, insert = differentiate(eta, db.ref("S").dedup())
+        assert isinstance(delete, Literal) and not delete.bag
+        assert isinstance(insert, Literal) and not insert.bag
+
+    def test_insert_only_product_delta_stays_small(self, db):
+        eta = literal_subst(db, {"R": ([], [(9,)])})
+        query = Product(db.ref("R"), db.ref("S"))
+        delete, insert = differentiate(eta, query)
+        assert isinstance(delete, Literal)  # folded to empty
+        # Insert delta must not mention a monus with an empty delete.
+        assert insert.size() < query.size() + 6
+
+    def test_deltas_of_shared_subtrees_are_shared(self, db):
+        eta = literal_subst(db, {"R": ([(1,)], [(9,)])})
+        shared = Project(("a",), db.ref("R"))
+        query = UnionAll(shared, shared)
+        counter = CostCounter()
+        delete, insert = differentiate(eta, query)
+        memo = {}
+        evaluate(delete, db.state, counter=counter, memo=memo)
+        evaluate(insert, db.state, counter=counter, memo=memo)
+        # The project of the delete delta is evaluated once, not twice.
+        assert counter.by_operator.get("project", 0) <= 2
+
+
+class TestPreUpdateDelta:
+    def test_immediate_maintenance_equation(self, db):
+        """(MV ∸ ∇(T,Q)) ⊎ Δ(T,Q) pre-update == Q post-update."""
+        query = Product(db.ref("R"), db.ref("S"))
+        txn = UserTransaction(db).insert("R", [(2,)]).delete("S", [(2,)])
+        nabla, delta = pre_update_delta(txn, db, query)
+        old_value = db.evaluate(query)
+        patched = old_value.monus(db.evaluate(nabla)).union_all(db.evaluate(delta))
+        txn.apply()
+        assert patched == db.evaluate(query)
+
+    def test_over_deleting_transaction_normalized(self, db):
+        query = db.ref("R")
+        txn = UserTransaction(db).delete("R", [(1,)] * 10)
+        nabla, delta = pre_update_delta(txn, db, query)
+        assert db.evaluate(nabla).issubbag(db["R"])
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_randomized(self, seed):
+        generator = RandomExpressionGenerator(seed)
+        rdb = generator.database()
+        query = generator.query(rdb, depth=4)
+        txn = generator.transaction(rdb, allow_over_delete=True)
+        nabla, delta = pre_update_delta(txn, rdb, query)
+        patched = (
+            rdb.evaluate(query).monus(rdb.evaluate(nabla)).union_all(rdb.evaluate(delta))
+        )
+        txn.apply()
+        assert patched == rdb.evaluate(query)
+
+
+class TestPostUpdateDelta:
+    def _build_log(self, db, txns, tables):
+        log = Log(db, tables, owner="t")
+        log.install()
+        for txn in txns:
+            txn = txn.weakly_minimal()
+            assignments = txn.assignments()
+            assignments.update(log.extend_assignments(txn))
+            db.apply(assignments)
+        return log
+
+    def test_deferred_refresh_equation(self, db):
+        """(MV ∸ ▼(L,Q)) ⊎ ▲(L,Q) post-update == current Q."""
+        query = Product(db.ref("R"), db.ref("S"))
+        old_value = db.evaluate(query)
+        log = self._build_log(
+            db,
+            [
+                UserTransaction(db).insert("R", [(2,), (9,)]),
+                UserTransaction(db).delete("S", [(2,)]).insert("S", [(7,)]),
+            ],
+            ["R", "S"],
+        )
+        view_delete, view_insert = post_update_delta(log, query)
+        patched = old_value.monus(db.evaluate(view_delete)).union_all(db.evaluate(view_insert))
+        assert patched == db.evaluate(query)
+
+    def test_cancellation_path_for_untrusted_log(self, db):
+        """With assume_weakly_minimal_log=False the ``min`` guard keeps
+        correctness even for a log that is not weakly minimal."""
+        query = db.ref("R")
+        log = Log(db, ["R"], owner="t")
+        log.install()
+        # Manually poison the log: claim (8,) was inserted though R lacks it.
+        db.set_table("__log_ins__t__R", Bag([(8,)]))
+        old_r = db.evaluate(log.substitution().apply(query))  # the "past" per this log
+        view_delete, view_insert = post_update_delta(log, query, assume_weakly_minimal_log=False)
+        patched = old_r.monus(db.evaluate(view_delete)).union_all(db.evaluate(view_insert))
+        assert patched == db["R"]
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_randomized(self, seed):
+        generator = RandomExpressionGenerator(seed)
+        rdb = generator.database()
+        query = generator.query(rdb, depth=4)
+        old_value = rdb.evaluate(query)
+        log = self._build_log(
+            rdb,
+            [generator.transaction(rdb, allow_over_delete=True) for __ in range(3)],
+            rdb.external_tables(),
+        )
+        view_delete, view_insert = post_update_delta(log, query)
+        patched = old_value.monus(rdb.evaluate(view_delete)).union_all(rdb.evaluate(view_insert))
+        assert patched == rdb.evaluate(query)
+
+
+class TestStrongMinimality:
+    def test_common_part_removed(self, db):
+        delete = Literal(Bag([(1,), (1,), (2,)]), W_SCHEMA)
+        insert = Literal(Bag([(1,), (3,)]), W_SCHEMA)
+        strong_delete, strong_insert = strongly_minimal_pair(delete, insert)
+        delete_value = db.evaluate(strong_delete)
+        insert_value = db.evaluate(strong_insert)
+        assert delete_value.min_(insert_value) == Bag.empty()
+        assert delete_value == Bag([(1,), (2,)])
+        assert insert_value == Bag([(3,)])
+
+    def test_preserves_patch_result_under_weak_minimality(self, db):
+        target = Bag([(1,), (1,), (2,), (5,)])
+        delete = Literal(Bag([(1,), (2,)]), W_SCHEMA)  # ⊆ target
+        insert = Literal(Bag([(1,), (9,)]), W_SCHEMA)
+        strong_delete, strong_insert = strongly_minimal_pair(delete, insert)
+        weak = target.monus(db.evaluate(delete)).union_all(db.evaluate(insert))
+        strong = target.monus(db.evaluate(strong_delete)).union_all(db.evaluate(strong_insert))
+        assert weak == strong
+
+    def test_empty_deltas_stay_empty(self, db):
+        delete = Literal(Bag.empty(), W_SCHEMA)
+        insert = Literal(Bag([(1,)]), W_SCHEMA)
+        strong_delete, strong_insert = strongly_minimal_pair(delete, insert)
+        assert db.evaluate(strong_delete) == Bag.empty()
+        assert db.evaluate(strong_insert) == Bag([(1,)])

@@ -1,0 +1,133 @@
+"""Unit tests for the Figure 1 invariants, including fault injection."""
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.core import invariants
+from repro.core.scenarios import (
+    BaseLogScenario,
+    CombinedScenario,
+    DiffTableScenario,
+    ImmediateScenario,
+)
+from repro.core.transactions import UserTransaction
+from repro.core.views import ViewDefinition
+from repro.errors import InvariantViolation
+from repro.storage.database import Database
+
+
+def make_db():
+    db = Database()
+    db.create_table("R", ["a"], rows=[(1,), (2,), (2,)])
+    db.create_table("S", ["b"], rows=[(1,), (3,)])
+    return db
+
+
+def view_over(db):
+    return ViewDefinition("V", db.ref("R").union_all(db.ref("S").project(["b"], ["a"])))
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        invariants.require(True, "fine")
+
+    def test_raises_with_message(self):
+        with pytest.raises(InvariantViolation, match="broken thing"):
+            invariants.require(False, "broken thing")
+
+
+class TestImmediateInvariant:
+    def test_holds_after_install(self):
+        db = make_db()
+        view = view_over(db)
+        ImmediateScenario(db, view).install()
+        assert invariants.immediate_invariant(db, view)
+
+    def test_fault_injection_detected(self):
+        db = make_db()
+        view = view_over(db)
+        ImmediateScenario(db, view).install()
+        db.set_table(view.mv_table, Bag([(99,)]))
+        assert not invariants.immediate_invariant(db, view)
+
+
+class TestBaseLogInvariant:
+    def test_holds_through_updates(self):
+        db = make_db()
+        view = view_over(db)
+        scenario = BaseLogScenario(db, view)
+        scenario.install()
+        scenario.execute(UserTransaction(db).insert("R", [(9,)]))
+        assert invariants.base_log_invariant(db, view, scenario.log)
+        # MV is intentionally stale: the immediate invariant must fail.
+        assert not invariants.immediate_invariant(db, view)
+
+    def test_fault_injection_on_log_detected(self):
+        db = make_db()
+        view = view_over(db)
+        scenario = BaseLogScenario(db, view)
+        scenario.install()
+        scenario.execute(UserTransaction(db).insert("R", [(9,)]))
+        db.set_table("__log_ins__V__R", Bag.empty())  # drop the recorded insert
+        assert not invariants.base_log_invariant(db, view, scenario.log)
+
+    def test_log_minimality_check(self):
+        db = make_db()
+        view = view_over(db)
+        scenario = BaseLogScenario(db, view)
+        scenario.install()
+        assert invariants.log_minimality_invariant(db, scenario.log)
+        db.set_table("__log_ins__V__R", Bag([(777,)]))  # not a subbag of R
+        assert not invariants.log_minimality_invariant(db, scenario.log)
+
+
+class TestDiffTableInvariant:
+    def test_holds_through_updates(self):
+        db = make_db()
+        view = view_over(db)
+        scenario = DiffTableScenario(db, view)
+        scenario.install()
+        scenario.execute(UserTransaction(db).insert("R", [(9,)]).delete("S", [(3,)]))
+        assert invariants.diff_table_invariant(db, view)
+
+    def test_fault_injection_detected(self):
+        db = make_db()
+        view = view_over(db)
+        scenario = DiffTableScenario(db, view)
+        scenario.install()
+        scenario.execute(UserTransaction(db).insert("R", [(9,)]))
+        db.set_table(view.dt_insert_table, Bag.empty())
+        assert not invariants.diff_table_invariant(db, view)
+
+    def test_dt_minimality(self):
+        db = make_db()
+        view = view_over(db)
+        scenario = DiffTableScenario(db, view)
+        scenario.install()
+        assert invariants.dt_minimality_invariant(db, view)
+        db.set_table(view.dt_delete_table, Bag([(404,)]))
+        assert not invariants.dt_minimality_invariant(db, view)
+
+
+class TestCombinedInvariant:
+    def test_holds_through_mixed_operations(self):
+        db = make_db()
+        view = view_over(db)
+        scenario = CombinedScenario(db, view)
+        scenario.install()
+        scenario.execute(UserTransaction(db).insert("R", [(9,)]))
+        assert invariants.combined_invariant(db, view, scenario.log)
+        scenario.propagate()
+        assert invariants.combined_invariant(db, view, scenario.log)
+        scenario.partial_refresh()
+        assert invariants.combined_invariant(db, view, scenario.log)
+
+    def test_fault_injection_detected(self):
+        db = make_db()
+        view = view_over(db)
+        scenario = CombinedScenario(db, view)
+        scenario.install()
+        scenario.execute(UserTransaction(db).insert("R", [(9,)]))
+        scenario.propagate()
+        db.set_table(view.dt_insert_table, Bag.empty())
+        assert not invariants.combined_invariant(db, view, scenario.log)

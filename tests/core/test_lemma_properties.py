@@ -1,0 +1,151 @@
+"""Property-based tests of the paper's lemmas (Hypothesis).
+
+* Lemma 1 (cancellation) — tested at bag level in
+  ``tests/algebra/test_bag_properties.py``; here we test its
+  *expression-level* use in the duality construction.
+* Lemma 3 (weakly minimal composition) — the algebraic heart of
+  ``makesafe_DT`` and ``propagate_C`` folding.
+* Theorem 2 over Hypothesis-generated states and deltas for a panel of
+  query shapes (join, self-join, monus, dedup, nesting).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.bag import Bag
+from repro.algebra.evaluation import evaluate
+from repro.algebra.expr import (
+    DupElim,
+    Monus,
+    Product,
+    Project,
+    Select,
+    UnionAll,
+    rename,
+    table,
+)
+from repro.algebra.predicates import Comparison, attr, const
+from repro.core.differential import differentiate
+from repro.core.substitution import FactoredSubstitution
+from repro.algebra.schema import Schema
+
+rows1 = st.tuples(st.integers(min_value=0, max_value=3))
+rows2 = st.tuples(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3))
+bags1 = st.lists(rows1, max_size=8).map(Bag)
+bags2 = st.lists(rows2, max_size=8).map(Bag)
+
+
+@st.composite
+def bag_with_subbag(draw, bags):
+    """A bag plus a random subbag of it (weak-minimality-shaped pairs)."""
+    whole = draw(bags)
+    keep = {}
+    for row, count in whole.items():
+        kept = draw(st.integers(min_value=0, max_value=count))
+        if kept:
+            keep[row] = kept
+    return whole, Bag.from_counts(keep)
+
+
+# ----------------------------------------------------------------------
+# Lemma 3: weakly minimal composition
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def composition_instance(draw):
+    original, delete1 = draw(bag_with_subbag(bags1))
+    insert1 = draw(bags1)
+    intermediate = original.monus(delete1).union_all(insert1)
+    __, delete2 = draw(bag_with_subbag(st.just(intermediate)))
+    insert2 = draw(bags1)
+    return original, delete1, insert1, delete2, insert2
+
+
+@given(composition_instance())
+def test_lemma3_composition(instance):
+    original, delete1, insert1, delete2, insert2 = instance
+    delete3 = delete1.union_all(delete2.monus(insert1))
+    insert3 = insert1.monus(delete2).union_all(insert2)
+    sequential = original.monus(delete1).union_all(insert1).monus(delete2).union_all(insert2)
+    composed = original.monus(delete3).union_all(insert3)
+    assert sequential == composed  # Lemma 3(a)
+    assert delete3.issubbag(original)  # Lemma 3(b)
+
+
+# ----------------------------------------------------------------------
+# Theorem 2 over a panel of query shapes
+# ----------------------------------------------------------------------
+
+R = table("R", ["a", "b"])
+S = table("S", ["b", "c"])
+
+QUERY_SHAPES = {
+    "join": Select(
+        Comparison("=", attr("r.b"), attr("s.b")),
+        Product(rename(R, ("r.a", "r.b")), rename(S, ("s.b", "s.c"))),
+    ),
+    "self_join": Select(
+        Comparison("=", attr("x.b"), attr("y.b")),
+        Product(rename(R, ("x.a", "x.b")), rename(R, ("y.a", "y.b"))),
+    ),
+    "monus": Monus(Project(("a",), R), Project(("c",), S, ("a",))),
+    "dedup_over_project": DupElim(Project(("b",), R)),
+    "nested": Monus(
+        UnionAll(Project(("a",), R), Project(("c",), S, ("a",))),
+        DupElim(Project(("a",), R)),
+    ),
+}
+
+
+@st.composite
+def theorem2_instance(draw):
+    r_value = draw(bags2)
+    s_value = draw(bags2)
+    __, r_delete = draw(bag_with_subbag(st.just(r_value)))
+    r_insert = draw(bags2)
+    __, s_delete = draw(bag_with_subbag(st.just(s_value)))
+    s_insert = draw(bags2)
+    return r_value, s_value, (r_delete, r_insert), (s_delete, s_insert)
+
+
+@settings(max_examples=60)
+@given(theorem2_instance(), st.sampled_from(sorted(QUERY_SHAPES)))
+def test_theorem2_shapes(instance, shape):
+    r_value, s_value, r_delta, s_delta = instance
+    state = {"R": r_value, "S": s_value}
+    schemas = {"R": Schema(["a", "b"]), "S": Schema(["b", "c"])}
+    eta = FactoredSubstitution.literal({"R": r_delta, "S": s_delta}, schemas)
+    query = QUERY_SHAPES[shape]
+    delete, insert = differentiate(eta, query)
+    new_value = evaluate(eta.apply(query), state)
+    old_value = evaluate(query, state)
+    delete_value = evaluate(delete, state)
+    insert_value = evaluate(insert, state)
+    assert new_value == old_value.monus(delete_value).union_all(insert_value)
+    assert delete_value.issubbag(old_value)
+
+
+@settings(max_examples=60)
+@given(theorem2_instance(), st.sampled_from(sorted(QUERY_SHAPES)))
+def test_duality_roundtrip(instance, shape):
+    """The Section 4 duality: treating the same deltas as a *log* and
+    applying the cancellation construction recovers the current value
+    from the past one."""
+    r_value, s_value, r_delta, s_delta = instance
+    state = {"R": r_value, "S": s_value}
+    schemas = {"R": Schema(["a", "b"]), "S": Schema(["b", "c"])}
+    # L̂ has the roles flipped: D = recorded inserts, A = recorded deletes.
+    eta = FactoredSubstitution.literal(
+        {"R": (r_delta[1], r_delta[0]), "S": (s_delta[1], s_delta[0])}, schemas
+    )
+    # Require weak minimality of the log: recorded inserts ⊆ table.
+    eta = eta.weakly_minimal()
+    query = QUERY_SHAPES[shape]
+    del_hat, add_hat = differentiate(eta, query)
+    current = evaluate(query, state)
+    past = evaluate(eta.apply(query), state)
+    view_delete = evaluate(add_hat, state)
+    # Cancellation Lemma form: ▲(L,Q) = Q min Del(L̂, Q).
+    view_insert = current.min_(evaluate(del_hat, state))
+    assert past.monus(view_delete).union_all(view_insert) == current

@@ -1,0 +1,127 @@
+"""Unit tests for base-table logs (Section 2.3 / Lemma 4)."""
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.core.logs import Log
+from repro.core.timetravel import past_query
+from repro.core.transactions import UserTransaction
+from repro.errors import TransactionError
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("R", ["a"], rows=[(1,), (2,), (2,)])
+    database.create_table("S", ["b"], rows=[(5,)])
+    return database
+
+
+@pytest.fixture
+def log(db):
+    tracked = Log(db, ["R", "S"], owner="V")
+    tracked.install()
+    return tracked
+
+
+def run_through_log(db, log, txn):
+    """Apply makesafe_BL-style: transaction plus log extension."""
+    txn = txn.weakly_minimal()
+    assignments = txn.assignments()
+    assignments.update(log.extend_assignments(txn))
+    db.apply(assignments)
+
+
+class TestInstallation:
+    def test_creates_internal_tables(self, db, log):
+        assert db.has_table("__log_del__V__R")
+        assert db.has_table("__log_ins__V__R")
+        assert db.is_internal("__log_del__V__R")
+
+    def test_owner_namespacing(self, db, log):
+        other = Log(db, ["R"], owner="W")
+        other.install()  # no collision with V's log
+        assert db.has_table("__log_del__W__R")
+
+    def test_initially_empty(self, log):
+        assert log.is_empty()
+        assert log.recorded_changes() == 0
+
+    def test_tables_sorted(self, db):
+        assert Log(db, ["S", "R"]).tables == ("R", "S")
+
+
+class TestRecording:
+    def test_insert_recorded(self, db, log):
+        run_through_log(db, log, UserTransaction(db).insert("R", [(9,)]))
+        assert db["__log_ins__V__R"] == Bag([(9,)])
+        assert db["__log_del__V__R"] == Bag.empty()
+        assert not log.is_empty()
+
+    def test_delete_recorded(self, db, log):
+        run_through_log(db, log, UserTransaction(db).delete("R", [(1,)]))
+        assert db["__log_del__V__R"] == Bag([(1,)])
+
+    def test_insert_then_delete_cancels(self, db, log):
+        run_through_log(db, log, UserTransaction(db).insert("R", [(9,)]))
+        run_through_log(db, log, UserTransaction(db).delete("R", [(9,)]))
+        assert log.is_empty()
+
+    def test_delete_then_reinsert_recorded_as_both(self, db, log):
+        run_through_log(db, log, UserTransaction(db).delete("R", [(1,)]))
+        run_through_log(db, log, UserTransaction(db).insert("R", [(1,)]))
+        # Weakly minimal folding keeps both sides (strong minimality would cancel).
+        assert db["__log_del__V__R"] == Bag([(1,)])
+        assert db["__log_ins__V__R"] == Bag([(1,)])
+
+    def test_recorded_changes_counts_both_sides(self, db, log):
+        run_through_log(db, log, UserTransaction(db).insert("R", [(9,)]).delete("S", [(5,)]))
+        assert log.recorded_changes() == 2
+
+    def test_untracked_tables_ignored(self, db, log):
+        db.create_table("other", ["x"])
+        txn = UserTransaction(db).insert("other", [(1,)]).insert("R", [(9,)])
+        assignments = log.extend_assignments(txn)
+        assert "__log_ins__V__R" in assignments
+        assert not any("other" in key for key in assignments)
+
+    def test_strict_mode_rejects_untracked(self, db, log):
+        db.create_table("other", ["x"])
+        txn = UserTransaction(db).insert("other", [(1,)])
+        with pytest.raises(TransactionError):
+            log.extend_assignments(txn, strict=True)
+
+
+class TestLogInvariants:
+    def test_records_transition(self, db, log):
+        """The defining property: PAST(L, R) recovers the old state."""
+        old_r, old_s = db["R"], db["S"]
+        for txn in (
+            UserTransaction(db).insert("R", [(9,), (9,)]).delete("R", [(2,)]),
+            UserTransaction(db).delete("S", [(5,)]).insert("S", [(6,)]),
+            UserTransaction(db).insert("R", [(1,)]),
+        ):
+            run_through_log(db, log, txn)
+        assert db.evaluate(past_query(db.ref("R"), log)) == old_r
+        assert db.evaluate(past_query(db.ref("S"), log)) == old_s
+
+    def test_weak_minimality_maintained(self, db, log):
+        for txn in (
+            UserTransaction(db).insert("R", [(9,)]),
+            UserTransaction(db).delete("R", [(9,), (1,)]),
+            UserTransaction(db).insert("R", [(1,), (1,)]).delete("R", [(2,)]),
+        ):
+            run_through_log(db, log, txn)
+            assert log.is_weakly_minimal()
+
+    def test_clear(self, db, log):
+        run_through_log(db, log, UserTransaction(db).insert("R", [(9,)]))
+        db.apply(log.clear_assignments())
+        assert log.is_empty()
+
+    def test_substitution_roles_reversed(self, db, log):
+        """L̂ deletes what the log inserted and inserts what it deleted."""
+        eta = log.substitution()
+        assert eta.delete_of("R").name == "__log_ins__V__R"
+        assert eta.insert_of("R").name == "__log_del__V__R"

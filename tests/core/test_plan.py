@@ -1,0 +1,132 @@
+"""Unit tests for maintenance plans and patch execution."""
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.algebra.evaluation import CostCounter
+from repro.algebra.expr import Literal, singleton
+from repro.algebra.schema import Schema
+from repro.core.plan import MaintenancePlan
+from repro.errors import TransactionError
+from repro.storage.database import Database
+
+A = Schema(["a"])
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("R", ["a"], rows=[(1,), (2,), (2,)])
+    database.create_table("S", ["a"], rows=[(5,)])
+    return database
+
+
+def lit(*rows):
+    return Literal(Bag(rows), A)
+
+
+class TestBagPatch:
+    def test_patch_semantics_match_monus_union(self):
+        base = Bag([(1,), (2,), (2,)])
+        delete = Bag([(2,), (9,)])
+        insert = Bag([(3,), (1,)])
+        assert base.patch(delete, insert) == base.monus(delete).union_all(insert)
+
+    def test_patch_empty_deltas_is_identity(self):
+        base = Bag([(1,)])
+        assert base.patch(Bag.empty(), Bag.empty()) == base
+
+    def test_patch_over_delete_floors(self):
+        base = Bag([(1,)])
+        assert base.patch(Bag([(1,), (1,)]), Bag.empty()) == Bag.empty()
+
+
+class TestPlanConstruction:
+    def test_add_and_tables(self, db):
+        plan = MaintenancePlan()
+        plan.add_patch("R", lit((1,)), lit((9,)))
+        plan.add_assignment("S", lit((7,)))
+        assert plan.tables() == {"R", "S"}
+        assert not plan.is_empty()
+
+    def test_empty_plan(self):
+        assert MaintenancePlan().is_empty()
+
+    def test_conflicting_patch_rejected(self):
+        plan = MaintenancePlan()
+        plan.add_patch("R", lit((1,)), lit((9,)))
+        with pytest.raises(TransactionError):
+            plan.add_patch("R", lit((2,)), lit((9,)))
+
+    def test_identical_duplicate_patch_deduplicates(self):
+        plan = MaintenancePlan()
+        plan.add_patch("R", lit((1,)), lit((9,)))
+        plan.add_patch("R", lit((1,)), lit((9,)))  # structurally equal: fine
+        assert plan.tables() == {"R"}
+
+    def test_assignment_patch_conflict(self):
+        plan = MaintenancePlan()
+        plan.add_assignment("R", lit((1,)))
+        with pytest.raises(TransactionError):
+            plan.add_patch("R", lit((1,)), lit((2,)))
+
+
+class TestMerge:
+    def test_disjoint_merge(self):
+        left = MaintenancePlan()
+        left.add_patch("R", lit((1,)), lit((9,)))
+        right = MaintenancePlan()
+        right.add_assignment("S", lit((7,)))
+        merged = left.merge(right)
+        assert merged.tables() == {"R", "S"}
+
+    def test_shared_user_patches_deduplicate(self):
+        left = MaintenancePlan(patches={"R": (lit((1,)), lit((9,)))})
+        right = MaintenancePlan(patches={"R": (lit((1,)), lit((9,)))})
+        merged = left.merge(right)
+        assert merged.tables() == {"R"}
+
+    def test_conflicting_merge_rejected(self):
+        left = MaintenancePlan(patches={"R": (lit((1,)), lit((9,)))})
+        right = MaintenancePlan(patches={"R": (lit((2,)), lit((9,)))})
+        with pytest.raises(TransactionError):
+            left.merge(right)
+
+    def test_merge_does_not_mutate_operands(self):
+        left = MaintenancePlan(patches={"R": (lit((1,)), lit((9,)))})
+        right = MaintenancePlan(assignments={"S": lit((7,))})
+        left.merge(right)
+        assert "S" not in left.assignments
+
+
+class TestExecution:
+    def test_execute_applies_both_kinds(self, db):
+        plan = MaintenancePlan()
+        plan.add_patch("R", lit((2,)), lit((4,)))
+        plan.add_assignment("S", lit((7,)))
+        plan.execute(db)
+        assert db["R"] == Bag([(1,), (2,), (4,)])
+        assert db["S"] == Bag([(7,)])
+
+    def test_patch_cost_is_delta_proportional(self, db):
+        db.load("R", [(6,)] * 100)
+        counter = CostCounter()
+        plan = MaintenancePlan()
+        plan.add_patch("R", lit((6,)), lit((8,)))
+        plan.execute(db, counter=counter)
+        # 1 delete + 1 insert + the two literal evaluations: far below table size.
+        assert counter.tuples_out < 10
+        assert counter.by_operator["patch"] == 2
+
+    def test_patch_deltas_see_pre_state(self, db):
+        # Patch R by inserting the current S, while S is reassigned.
+        plan = MaintenancePlan()
+        plan.add_patch("R", Literal(Bag.empty(), A), db.ref("S"))
+        plan.add_assignment("S", lit((7,)))
+        plan.execute(db)
+        assert (5,) in db["R"]
+        assert db["S"] == Bag([(7,)])
+
+    def test_database_rejects_assign_and_patch_same_table(self, db):
+        with pytest.raises(TransactionError):
+            db.apply({"R": lit((1,))}, patches={"R": (lit((1,)), lit((2,)))})

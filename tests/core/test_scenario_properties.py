@@ -1,0 +1,146 @@
+"""Hypothesis-driven interleaving tests for the maintenance scenarios.
+
+Hypothesis generates arbitrary interleavings of user transactions and
+maintenance operations (propagate / partial refresh / full refresh, in
+both refresh orders) against a two-table join view; after *every*
+operation the scenario's Figure 1 invariant must hold, and a final
+refresh must make the view exactly consistent.  Shrinking gives minimal
+counterexamples if any algorithm is wrong.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.bag import Bag
+from repro.core.scenarios import (
+    BaseLogScenario,
+    CombinedScenario,
+    DiffTableScenario,
+    ImmediateScenario,
+)
+from repro.core.transactions import UserTransaction
+from repro.core.views import ViewDefinition
+from repro.sqlfront import sql_to_view
+from repro.storage.database import Database
+
+rows_r = st.tuples(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=2))
+rows_s = st.tuples(st.integers(min_value=0, max_value=2), st.integers(min_value=0, max_value=3))
+
+# One step is either a transaction spec or a maintenance action.
+txn_step = st.fixed_dictionaries(
+    {
+        "kind": st.just("txn"),
+        "insert_r": st.lists(rows_r, max_size=3),
+        "delete_r": st.lists(rows_r, max_size=2),
+        "insert_s": st.lists(rows_s, max_size=3),
+        "delete_s": st.lists(rows_s, max_size=2),
+    }
+)
+action_step = st.fixed_dictionaries(
+    {
+        "kind": st.sampled_from(
+            ["propagate", "partial_refresh", "refresh", "refresh_partial_first"]
+        )
+    }
+)
+programs = st.lists(st.one_of(txn_step, action_step), max_size=10)
+
+
+def fresh_scenario(scenario_cls, *, strong=False):
+    db = Database()
+    db.create_table("R", ["a", "b"], rows=[(1, 1), (2, 2), (2, 2)])
+    db.create_table("S", ["b", "c"], rows=[(1, 0), (2, 1)])
+    view = sql_to_view(
+        "CREATE VIEW V (a, c) AS SELECT r.a, s.c FROM R r, S s WHERE r.b = s.b", db
+    )
+    kwargs = {"strong_minimality": True} if strong else {}
+    scenario = scenario_cls(db, view, **kwargs)
+    scenario.install()
+    return db, scenario
+
+
+def apply_step(db, scenario, step) -> None:
+    if step["kind"] == "txn":
+        txn = UserTransaction(db)
+        if step["insert_r"]:
+            txn.insert("R", step["insert_r"])
+        if step["delete_r"]:
+            txn.delete("R", step["delete_r"])
+        if step["insert_s"]:
+            txn.insert("S", step["insert_s"])
+        if step["delete_s"]:
+            txn.delete("S", step["delete_s"])
+        if not txn.is_empty():
+            scenario.execute(txn)
+    elif step["kind"] == "propagate":
+        if isinstance(scenario, CombinedScenario):
+            scenario.propagate()
+    elif step["kind"] == "partial_refresh":
+        if isinstance(scenario, CombinedScenario):
+            scenario.partial_refresh()
+        else:
+            scenario.refresh()
+    elif step["kind"] == "refresh":
+        scenario.refresh()
+    elif step["kind"] == "refresh_partial_first":
+        if isinstance(scenario, CombinedScenario):
+            scenario.refresh(order="partial_first")
+        else:
+            scenario.refresh()
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs)
+def test_combined_scenario_interleavings(program):
+    db, scenario = fresh_scenario(CombinedScenario)
+    for step in program:
+        apply_step(db, scenario, step)
+        assert scenario.invariant_holds()
+    scenario.refresh()
+    assert scenario.read_view() == db.evaluate(scenario.view.query)
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs)
+def test_combined_strong_minimality_interleavings(program):
+    db, scenario = fresh_scenario(CombinedScenario, strong=True)
+    for step in program:
+        apply_step(db, scenario, step)
+        assert scenario.invariant_holds()
+        # Strong minimality: no tuple sits on both sides of the diffs.
+        dt_delete = db[scenario.view.dt_delete_table]
+        dt_insert = db[scenario.view.dt_insert_table]
+        assert dt_delete.min_(dt_insert) == Bag.empty()
+    scenario.refresh()
+    assert scenario.is_consistent()
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs)
+def test_base_log_interleavings(program):
+    db, scenario = fresh_scenario(BaseLogScenario)
+    for step in program:
+        apply_step(db, scenario, step)
+        assert scenario.invariant_holds()
+    scenario.refresh()
+    assert scenario.is_consistent()
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs)
+def test_diff_table_interleavings(program):
+    db, scenario = fresh_scenario(DiffTableScenario)
+    for step in program:
+        apply_step(db, scenario, step)
+        assert scenario.invariant_holds()
+    scenario.refresh()
+    assert scenario.is_consistent()
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs)
+def test_immediate_never_stale(program):
+    db, scenario = fresh_scenario(ImmediateScenario)
+    for step in program:
+        apply_step(db, scenario, step)
+        assert scenario.is_consistent()

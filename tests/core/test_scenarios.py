@@ -1,0 +1,306 @@
+"""Unit + randomized tests for the Figure 3 maintenance algorithms.
+
+The key statements verified here are exactly the paper's Theorem 5:
+
+* every ``makesafe_*[T]`` is safe for its invariant,
+* ``{INV_*} refresh_* {Q ≡ MV}``,
+* ``{INV_C} propagate_C {Q ≡ (MV ∸ ∇MV) ⊎ ΔMV}``,
+* ``{INV_C} partial_refresh_C {PAST(L,Q) ≡ MV}``,
+
+plus the minimality invariants of Lemma 4.
+"""
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.core import invariants
+from repro.core.scenarios import (
+    BaseLogScenario,
+    CombinedScenario,
+    DiffTableScenario,
+    ImmediateScenario,
+)
+from repro.core.timetravel import past_query
+from repro.core.transactions import UserTransaction
+from repro.core.views import ViewDefinition
+from repro.errors import InvariantViolation
+from repro.storage.database import Database
+from repro.workloads.randgen import RandomExpressionGenerator
+
+ALL_SCENARIOS = [ImmediateScenario, BaseLogScenario, DiffTableScenario, CombinedScenario]
+
+
+def make_db():
+    db = Database()
+    db.create_table("R", ["a", "b"], rows=[(1, 1), (1, 2), (2, 2)])
+    db.create_table("S", ["b", "c"], rows=[(1, 10), (2, 20), (2, 20)])
+    return db
+
+
+def join_view(db):
+    from repro.sqlfront import sql_to_view
+
+    return sql_to_view(
+        "CREATE VIEW V (a, c) AS SELECT r.a, s.c FROM R r, S s WHERE r.b = s.b",
+        db,
+    )
+
+
+def make(scenario_cls, db=None):
+    db = db if db is not None else make_db()
+    scenario = scenario_cls(db, join_view(db))
+    scenario.install()
+    return scenario
+
+
+TXNS = [
+    lambda db: UserTransaction(db).insert("R", [(5, 1), (5, 1)]),
+    lambda db: UserTransaction(db).delete("S", [(2, 20)]).insert("S", [(1, 30)]),
+    lambda db: UserTransaction(db).delete("R", [(1, 1)]).insert("R", [(1, 1)]),
+    lambda db: UserTransaction(db).insert("R", [(7, 9)]),  # joins nothing
+    lambda db: UserTransaction(db).delete("R", [(0, 0)]),  # deletes nothing
+]
+
+
+class TestInstall:
+    @pytest.mark.parametrize("scenario_cls", ALL_SCENARIOS)
+    def test_mv_materialized(self, scenario_cls):
+        scenario = make(scenario_cls)
+        assert scenario.read_view() == scenario.db.evaluate(scenario.view.query)
+        assert scenario.invariant_holds()
+
+    @pytest.mark.parametrize("scenario_cls", ALL_SCENARIOS)
+    def test_install_idempotent(self, scenario_cls):
+        scenario = make(scenario_cls)
+        scenario.install()  # second call is a no-op
+
+    def test_mv_is_internal(self):
+        scenario = make(ImmediateScenario)
+        assert scenario.db.is_internal(scenario.view.mv_table)
+
+    def test_aux_tables_by_scenario(self):
+        combined = make(CombinedScenario)
+        names = set(combined.db.internal_tables())
+        assert {"__mv__V", "__dt_del__V", "__dt_ins__V", "__log_del__V__R", "__log_ins__V__R"} <= names
+        immediate = make(ImmediateScenario)
+        assert immediate.db.internal_tables() == ("__mv__V",)
+
+
+class TestMakeSafePreservesInvariant:
+    @pytest.mark.parametrize("scenario_cls", ALL_SCENARIOS)
+    @pytest.mark.parametrize("txn_index", range(len(TXNS)))
+    def test_single_transactions(self, scenario_cls, txn_index):
+        scenario = make(scenario_cls)
+        scenario.execute(TXNS[txn_index](scenario.db))
+        scenario.check_invariant()
+
+    @pytest.mark.parametrize("scenario_cls", ALL_SCENARIOS)
+    def test_transaction_stream(self, scenario_cls):
+        scenario = make(scenario_cls)
+        for build in TXNS:
+            scenario.execute(build(scenario.db))
+            scenario.check_invariant()
+
+    @pytest.mark.parametrize("scenario_cls", ALL_SCENARIOS)
+    def test_unrelated_table_update_is_harmless(self, scenario_cls):
+        scenario = make(scenario_cls)
+        scenario.db.create_table("unrelated", ["z"], rows=[(1,)])
+        scenario.execute(UserTransaction(scenario.db).insert("unrelated", [(2,)]))
+        scenario.check_invariant()
+
+    def test_immediate_view_always_fresh(self):
+        scenario = make(ImmediateScenario)
+        scenario.execute(TXNS[0](scenario.db))
+        assert scenario.is_consistent()
+
+    @pytest.mark.parametrize("scenario_cls", [BaseLogScenario, DiffTableScenario, CombinedScenario])
+    def test_deferred_view_goes_stale(self, scenario_cls):
+        scenario = make(scenario_cls)
+        scenario.execute(TXNS[0](scenario.db))
+        assert not scenario.is_consistent()
+
+
+class TestRefresh:
+    @pytest.mark.parametrize("scenario_cls", ALL_SCENARIOS)
+    def test_refresh_restores_consistency(self, scenario_cls):
+        scenario = make(scenario_cls)
+        for build in TXNS:
+            scenario.execute(build(scenario.db))
+        scenario.refresh()
+        assert scenario.is_consistent()
+        scenario.check_invariant()
+
+    @pytest.mark.parametrize("scenario_cls", ALL_SCENARIOS)
+    def test_refresh_on_empty_pending_is_noop(self, scenario_cls):
+        scenario = make(scenario_cls)
+        before = scenario.read_view()
+        scenario.refresh()
+        assert scenario.read_view() == before
+        assert scenario.is_consistent()
+
+    def test_refresh_clears_log(self):
+        scenario = make(BaseLogScenario)
+        scenario.execute(TXNS[0](scenario.db))
+        scenario.refresh()
+        assert scenario.log.is_empty()
+
+    def test_refresh_clears_differential_tables(self):
+        scenario = make(DiffTableScenario)
+        scenario.execute(TXNS[0](scenario.db))
+        scenario.refresh()
+        assert scenario.db[scenario.view.dt_delete_table] == Bag.empty()
+        assert scenario.db[scenario.view.dt_insert_table] == Bag.empty()
+
+    def test_combined_refresh_both_orders(self):
+        for order in ("propagate_first", "partial_first"):
+            scenario = make(CombinedScenario)
+            for build in TXNS:
+                scenario.execute(build(scenario.db))
+            scenario.refresh(order=order)
+            assert scenario.is_consistent()
+            scenario.check_invariant()
+
+    def test_combined_refresh_unknown_order(self):
+        scenario = make(CombinedScenario)
+        with pytest.raises(ValueError):
+            scenario.refresh(order="sideways")
+
+
+class TestCombinedAuxiliaryTransactions:
+    def test_propagate_spec(self):
+        """{INV_C} propagate_C {Q ≡ (MV ∸ ∇MV) ⊎ ΔMV} — and the log empties."""
+        scenario = make(CombinedScenario)
+        for build in TXNS[:3]:
+            scenario.execute(build(scenario.db))
+        scenario.propagate()
+        assert invariants.diff_table_invariant(scenario.db, scenario.view)
+        assert scenario.log.is_empty()
+        scenario.check_invariant()
+
+    def test_partial_refresh_spec(self):
+        """{INV_C} partial_refresh_C {PAST(L,Q) ≡ MV}."""
+        scenario = make(CombinedScenario)
+        scenario.execute(TXNS[0](scenario.db))
+        scenario.propagate()
+        scenario.execute(TXNS[1](scenario.db))  # further changes stay in the log
+        scenario.partial_refresh()
+        past_value = scenario.db.evaluate(past_query(scenario.view.query, scenario.log))
+        assert past_value == scenario.read_view()
+        scenario.check_invariant()
+
+    def test_partial_refresh_without_propagate_applies_nothing_new(self):
+        scenario = make(CombinedScenario)
+        before = scenario.read_view()
+        scenario.execute(TXNS[0](scenario.db))
+        scenario.partial_refresh()  # differentials are still empty
+        assert scenario.read_view() == before
+
+    def test_interleaving_stream(self):
+        scenario = make(CombinedScenario)
+        operations = [
+            "txn", "txn", "propagate", "txn", "partial", "txn",
+            "propagate", "partial", "txn", "refresh",
+        ]
+        index = 0
+        for operation in operations:
+            if operation == "txn":
+                scenario.execute(TXNS[index % len(TXNS)](scenario.db))
+                index += 1
+            elif operation == "propagate":
+                scenario.propagate()
+            elif operation == "partial":
+                scenario.partial_refresh()
+            else:
+                scenario.refresh()
+            scenario.check_invariant()
+        assert scenario.is_consistent()
+
+
+class TestStrongMinimality:
+    def _churn(self, scenario):
+        # Delete and reinsert the same joining row: weak minimality keeps
+        # both sides in the differential tables, strong cancels them.
+        scenario.execute(
+            UserTransaction(scenario.db).delete("R", [(1, 1)]).insert("R", [(1, 1)])
+        )
+
+    def test_strong_dt_scenario_correct(self):
+        db = make_db()
+        scenario = DiffTableScenario(db, join_view(db), strong_minimality=True)
+        scenario.install()
+        self._churn(scenario)
+        scenario.check_invariant()
+        scenario.refresh()
+        assert scenario.is_consistent()
+
+    def test_strong_combined_scenario_correct(self):
+        db = make_db()
+        scenario = CombinedScenario(db, join_view(db), strong_minimality=True)
+        scenario.install()
+        self._churn(scenario)
+        scenario.propagate()
+        scenario.check_invariant()
+        scenario.refresh()
+        assert scenario.is_consistent()
+
+    def test_strong_minimality_shrinks_differentials(self):
+        weak_db, strong_db = make_db(), make_db()
+        weak = DiffTableScenario(weak_db, join_view(weak_db), strong_minimality=False)
+        strong = DiffTableScenario(strong_db, join_view(strong_db), strong_minimality=True)
+        weak.install()
+        strong.install()
+        self._churn(weak)
+        self._churn(strong)
+        weak_size = len(weak_db[weak.view.dt_delete_table]) + len(weak_db[weak.view.dt_insert_table])
+        strong_size = len(strong_db[strong.view.dt_delete_table]) + len(strong_db[strong.view.dt_insert_table])
+        assert strong_size < weak_size
+        assert strong_size == 0  # pure churn cancels completely
+
+
+class TestAccounting:
+    def test_refresh_takes_view_lock(self):
+        scenario = make(BaseLogScenario)
+        scenario.execute(TXNS[0](scenario.db))
+        scenario.refresh()
+        assert scenario.ledger.section_count(scenario.view.mv_table) == 1
+
+    def test_propagate_takes_no_view_lock(self):
+        scenario = make(CombinedScenario)
+        scenario.execute(TXNS[0](scenario.db))
+        scenario.propagate()
+        assert scenario.ledger.section_count(scenario.view.mv_table) == 0
+        scenario.partial_refresh()
+        assert scenario.ledger.section_count(scenario.view.mv_table) == 1
+
+    def test_counter_accumulates(self):
+        scenario = make(CombinedScenario)
+        before = scenario.counter.tuples_out
+        scenario.execute(TXNS[0](scenario.db))
+        assert scenario.counter.tuples_out > before
+
+
+class TestCheckInvariant:
+    def test_raises_on_violation(self):
+        scenario = make(CombinedScenario)
+        scenario.db.set_table(scenario.view.mv_table, Bag([(123, 456)]))
+        with pytest.raises(InvariantViolation):
+            scenario.check_invariant()
+
+
+@pytest.mark.parametrize("scenario_cls", ALL_SCENARIOS)
+@pytest.mark.parametrize("seed", range(10))
+def test_randomized_streams(scenario_cls, seed):
+    """Theorem 5 over random views and random transaction streams."""
+    generator = RandomExpressionGenerator(seed)
+    db = generator.database()
+    view = ViewDefinition("V", generator.query(db, depth=3))
+    scenario = scenario_cls(db, view)
+    scenario.install()
+    for step in range(4):
+        scenario.execute(generator.transaction(db, allow_over_delete=True))
+        assert scenario.invariant_holds(), f"invariant broken at step {step}"
+        if scenario_cls is CombinedScenario and step == 1:
+            scenario.propagate()
+            assert scenario.invariant_holds()
+    scenario.refresh()
+    assert scenario.is_consistent()

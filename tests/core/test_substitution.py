@@ -1,0 +1,107 @@
+"""Unit tests for factored substitutions."""
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.algebra.expr import Literal, UnionAll
+from repro.algebra.schema import Schema
+from repro.core.substitution import FactoredSubstitution
+from repro.errors import SchemaError
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("R", ["a"], rows=[(1,), (1,), (2,)])
+    database.create_table("S", ["b"], rows=[(5,)])
+    return database
+
+
+def literal_subst(db, deltas):
+    schemas = {name: db.schema_of(name) for name in deltas}
+    return FactoredSubstitution.literal(
+        {name: (Bag(delete), Bag(insert)) for name, (delete, insert) in deltas.items()},
+        schemas,
+    )
+
+
+class TestConstruction:
+    def test_literal_constructor(self, db):
+        eta = literal_subst(db, {"R": ([(1,)], [(3,)])})
+        assert "R" in eta
+        assert eta.tables() == frozenset({"R"})
+
+    def test_missing_schema_rejected(self, db):
+        with pytest.raises(SchemaError):
+            FactoredSubstitution(
+                {"R": (Literal(Bag.empty(), Schema(["a"])), Literal(Bag.empty(), Schema(["a"])))},
+                {},
+            )
+
+    def test_arity_mismatch_rejected(self, db):
+        bad = Literal(Bag([(1, 2)]), Schema(["x", "y"]))
+        with pytest.raises(SchemaError):
+            FactoredSubstitution({"R": (bad, bad)}, {"R": db.schema_of("R")})
+
+    def test_identity(self):
+        eta = FactoredSubstitution.identity()
+        assert eta.tables() == frozenset()
+        assert eta.is_trivial()
+
+    def test_iter(self, db):
+        eta = literal_subst(db, {"R": ([], []), "S": ([], [])})
+        assert sorted(eta) == ["R", "S"]
+
+
+class TestApplication:
+    def test_replacement_shape(self, db):
+        eta = literal_subst(db, {"R": ([(1,)], [(3,)])})
+        replaced = eta.replacement("R")
+        assert isinstance(replaced, UnionAll)
+        assert db.evaluate(replaced) == Bag([(1,), (2,), (3,)])
+
+    def test_apply_replaces_all_occurrences(self, db):
+        eta = literal_subst(db, {"R": ([], [(9,)])})
+        query = db.ref("R").union_all(db.ref("R"))
+        value = db.evaluate(eta.apply(query))
+        assert value.multiplicity((9,)) == 2
+
+    def test_apply_leaves_other_tables(self, db):
+        eta = literal_subst(db, {"R": ([], [(9,)])})
+        query = db.ref("S")
+        assert db.evaluate(eta.apply(query)) == db["S"]
+
+    def test_trivial_substitution_is_identity_semantically(self, db):
+        eta = literal_subst(db, {"R": ([], [])})
+        query = db.ref("R")
+        assert db.evaluate(eta.apply(query)) == db["R"]
+        assert eta.is_trivial()
+
+    def test_not_trivial_with_deltas(self, db):
+        assert not literal_subst(db, {"R": ([(1,)], [])}).is_trivial()
+
+
+class TestWeakMinimality:
+    def test_normalization_preserves_value(self, db):
+        # Over-delete: (1,) x3 but R has only x2.
+        eta = literal_subst(db, {"R": ([(1,), (1,), (1,)], [(7,)])})
+        minimal = eta.weakly_minimal()
+        query = db.ref("R")
+        assert db.evaluate(eta.apply(query)) == db.evaluate(minimal.apply(query))
+
+    def test_normalized_delete_is_subbag(self, db):
+        eta = literal_subst(db, {"R": ([(1,), (1,), (1,), (9,)], [])})
+        minimal = eta.weakly_minimal()
+        delete_value = db.evaluate(minimal.delete_of("R"))
+        assert delete_value.issubbag(db["R"])
+        assert delete_value == Bag([(1,), (1,)])
+
+    def test_accessors(self, db):
+        eta = literal_subst(db, {"R": ([(1,)], [(3,)])})
+        assert db.evaluate(eta.delete_of("R")) == Bag([(1,)])
+        assert db.evaluate(eta.insert_of("R")) == Bag([(3,)])
+        assert eta.schema_of("R") == Schema(["a"])
+
+    def test_repr(self, db):
+        assert "R" in repr(literal_subst(db, {"R": ([], [])}))

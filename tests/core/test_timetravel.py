@@ -1,0 +1,96 @@
+"""Unit + randomized tests for PAST and FUTURE queries (Section 2.5)."""
+
+import pytest
+
+from repro.core.logs import Log
+from repro.core.timetravel import future_query, past_query, transaction_substitution
+from repro.core.transactions import UserTransaction
+from repro.storage.database import Database
+from repro.workloads.randgen import RandomExpressionGenerator
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("R", ["a"], rows=[(1,), (2,), (2,)])
+    database.create_table("S", ["b"], rows=[(5,)])
+    return database
+
+
+class TestFuture:
+    def test_future_anticipates_insert(self, db):
+        txn = UserTransaction(db).insert("R", [(9,)])
+        fq = future_query(db.ref("R"), txn, db)
+        anticipated = db.evaluate(fq)
+        txn.apply()
+        assert anticipated == db["R"]
+
+    def test_future_of_composite_query(self, db):
+        txn = UserTransaction(db).insert("R", [(2,)]).delete("R", [(1,)])
+        query = db.ref("R").dedup()
+        fq = future_query(query, txn, db)
+        anticipated = db.evaluate(fq)
+        txn.apply()
+        assert anticipated == db.evaluate(query)
+
+    def test_future_untouched_table(self, db):
+        txn = UserTransaction(db).insert("R", [(9,)])
+        fq = future_query(db.ref("S"), txn, db)
+        assert db.evaluate(fq) == db["S"]
+
+    def test_transaction_substitution_components(self, db):
+        txn = UserTransaction(db).insert("R", [(9,)]).delete("R", [(1,)])
+        eta = transaction_substitution(txn, db)
+        assert eta.tables() == frozenset({"R"})
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_future_spec_randomized(seed):
+    """FUTURE(T, Q)(s) == Q(T(s)) — Definition 1(2)."""
+    generator = RandomExpressionGenerator(seed)
+    db = generator.database()
+    query = generator.query(db, depth=3)
+    txn = generator.transaction(db, allow_over_delete=True)
+    anticipated = db.evaluate(future_query(query, txn, db))
+    txn.apply()
+    assert anticipated == db.evaluate(query)
+
+
+class TestPast:
+    def _run(self, db, log, txn):
+        txn = txn.weakly_minimal()
+        assignments = txn.assignments()
+        assignments.update(log.extend_assignments(txn))
+        db.apply(assignments)
+
+    def test_past_recovers_old_query_value(self, db):
+        log = Log(db, ["R", "S"], owner="t")
+        log.install()
+        query = db.ref("R").product(db.ref("S"))
+        old_value = db.evaluate(query)
+        self._run(db, log, UserTransaction(db).insert("R", [(7,)]).delete("S", [(5,)]))
+        self._run(db, log, UserTransaction(db).insert("S", [(6,), (6,)]))
+        assert db.evaluate(past_query(query, log)) == old_value
+
+    def test_past_with_empty_log_is_identity(self, db):
+        log = Log(db, ["R"], owner="t")
+        log.install()
+        query = db.ref("R")
+        assert db.evaluate(past_query(query, log)) == db["R"]
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_past_spec_randomized(seed):
+    """Q(s_p) == PAST(L, Q)(s_c) for logs built by the makesafe_BL folding."""
+    generator = RandomExpressionGenerator(seed)
+    db = generator.database()
+    log = Log(db, db.external_tables(), owner="t")
+    log.install()
+    query = generator.query(db, depth=3)
+    old_value = db.evaluate(query)
+    for __ in range(3):
+        txn = generator.transaction(db, allow_over_delete=True).weakly_minimal()
+        assignments = txn.assignments()
+        assignments.update(log.extend_assignments(txn))
+        db.apply(assignments)
+    assert db.evaluate(past_query(query, log)) == old_value

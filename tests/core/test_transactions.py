@@ -1,0 +1,124 @@
+"""Unit tests for simple transactions."""
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.algebra.expr import Literal
+from repro.errors import TransactionError
+from repro.core.transactions import UserTransaction
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("R", ["a"], rows=[(1,), (2,), (2,)])
+    database.create_table("S", ["b"], rows=[(5,)])
+    database.create_table("__mv__V", ["v"], internal=True)
+    return database
+
+
+class TestBuilder:
+    def test_insert_rows(self, db):
+        txn = UserTransaction(db).insert("R", [(3,)])
+        txn.apply()
+        assert db["R"] == Bag([(1,), (2,), (2,), (3,)])
+
+    def test_delete_rows(self, db):
+        txn = UserTransaction(db).delete("R", [(2,)])
+        txn.apply()
+        assert db["R"] == Bag([(1,), (2,)])
+
+    def test_insert_and_delete_same_table(self, db):
+        UserTransaction(db).insert("R", [(9,)]).delete("R", [(1,)]).apply()
+        assert db["R"] == Bag([(2,), (2,), (9,)])
+
+    def test_multiple_inserts_accumulate(self, db):
+        UserTransaction(db).insert("R", [(7,)]).insert("R", [(7,)]).apply()
+        assert db["R"].multiplicity((7,)) == 2
+
+    def test_multiple_tables(self, db):
+        UserTransaction(db).insert("R", [(3,)]).delete("S", [(5,)]).apply()
+        assert (3,) in db["R"]
+        assert db["S"] == Bag.empty()
+
+    def test_internal_table_rejected(self, db):
+        with pytest.raises(TransactionError):
+            UserTransaction(db).insert("__mv__V", [(1,)])
+
+    def test_insert_accepts_bag(self, db):
+        UserTransaction(db).insert("R", Bag([(4,), (4,)])).apply()
+        assert db["R"].multiplicity((4,)) == 2
+
+    def test_query_deltas(self, db):
+        # Insert into S everything currently in R (as a query).
+        txn = UserTransaction(db).insert_query("S", db.ref("R").project(["a"], ["b"]))
+        txn.apply()
+        assert db["S"] == Bag([(5,), (1,), (2,), (2,)])
+
+    def test_delete_query(self, db):
+        txn = UserTransaction(db).delete_query("R", db.ref("R"))
+        txn.apply()
+        assert db["R"] == Bag.empty()
+
+    def test_repr(self, db):
+        txn = UserTransaction(db).insert("R", [(1,)]).delete("S", [(5,)])
+        assert "+R" in repr(txn)
+        assert "-S" in repr(txn)
+
+
+class TestIntrospection:
+    def test_tables(self, db):
+        txn = UserTransaction(db).insert("R", [(1,)]).delete("S", [(5,)])
+        assert txn.tables == frozenset({"R", "S"})
+
+    def test_empty(self, db):
+        assert UserTransaction(db).is_empty()
+        assert not UserTransaction(db).insert("R", [(1,)]).is_empty()
+
+    def test_missing_deltas_are_empty_literals(self, db):
+        txn = UserTransaction(db).insert("R", [(1,)])
+        delete = txn.delete_expr("R")
+        assert isinstance(delete, Literal)
+        assert not delete.bag
+
+    def test_empty_transaction_applies_cleanly(self, db):
+        before = db.snapshot()
+        UserTransaction(db).apply()
+        assert db.snapshot() == before
+
+
+class TestSemantics:
+    def test_deltas_evaluated_pre_state(self, db):
+        # Delete everything currently in R while inserting (9,):
+        # the delete must not see the insert.
+        UserTransaction(db).delete_query("R", db.ref("R")).insert("R", [(9,)]).apply()
+        assert db["R"] == Bag([(9,)])
+
+    def test_over_delete_is_ignored(self, db):
+        UserTransaction(db).delete("R", [(1,), (1,), (1,)]).apply()
+        assert db["R"] == Bag([(2,), (2,)])
+
+    def test_delete_then_insert_same_row_nets_insert(self, db):
+        UserTransaction(db).delete("R", [(2,), (2,)]).insert("R", [(2,)]).apply()
+        assert db["R"].multiplicity((2,)) == 1
+
+
+class TestWeakMinimality:
+    def test_weakly_minimal_preserves_effect(self, db):
+        txn = UserTransaction(db).delete("R", [(1,), (1,), (7,)]).insert("R", [(8,)])
+        clone = db.clone()
+        txn.apply()
+        clone.apply(txn.weakly_minimal().assignments())
+        assert db["R"] == clone["R"]
+
+    def test_weakly_minimal_delete_is_subbag(self, db):
+        txn = UserTransaction(db).delete("R", [(1,), (1,), (7,)])
+        minimal = txn.weakly_minimal()
+        delete_value = db.evaluate(minimal.delete_expr("R"))
+        assert delete_value.issubbag(db["R"])
+
+    def test_weakly_minimal_keeps_inserts(self, db):
+        txn = UserTransaction(db).insert("R", [(8,), (8,)])
+        minimal = txn.weakly_minimal()
+        assert db.evaluate(minimal.insert_expr("R")) == Bag([(8,), (8,)])

@@ -1,0 +1,54 @@
+"""Unit tests for view definitions and internal-table naming."""
+
+from repro.algebra.schema import Schema
+from repro.core import naming
+from repro.core.views import ViewDefinition
+from repro.storage.database import Database
+
+
+def make_view():
+    db = Database()
+    db.create_table("R", ["a"], rows=[(1,)])
+    db.create_table("S", ["a"], rows=[(2,)])
+    return ViewDefinition("V", db.ref("R").union_all(db.ref("S")))
+
+
+class TestViewDefinition:
+    def test_schema(self):
+        assert make_view().schema == Schema(["a"])
+
+    def test_base_tables(self):
+        assert make_view().base_tables() == frozenset({"R", "S"})
+
+    def test_mv_table_name(self):
+        assert make_view().mv_table == "__mv__V"
+
+    def test_dt_table_names(self):
+        view = make_view()
+        assert view.dt_delete_table == "__dt_del__V"
+        assert view.dt_insert_table == "__dt_ins__V"
+
+    def test_frozen(self):
+        view = make_view()
+        import dataclasses
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            view.name = "other"
+
+
+class TestNaming:
+    def test_log_names_include_owner_and_table(self):
+        assert naming.log_delete_name("V", "R") == "__log_del__V__R"
+        assert naming.log_insert_name("V", "R") == "__log_ins__V__R"
+
+    def test_all_internal_names_are_prefixed(self):
+        names = [
+            naming.log_delete_name("V", "R"),
+            naming.log_insert_name("V", "R"),
+            naming.mv_name("V"),
+            naming.dt_delete_name("V"),
+            naming.dt_insert_name("V"),
+        ]
+        assert all(name.startswith("__") for name in names)
+        assert len(set(names)) == len(names)

@@ -1,0 +1,92 @@
+"""Unit tests for the reader/refresh blocking simulation."""
+
+import pytest
+
+from repro.algebra.evaluation import CostCounter, evaluate
+from repro.algebra.expr import table
+from repro.algebra.bag import Bag
+from repro.extensions.concurrency import BlockingSimulation, ReaderStats
+from repro.storage.locks import LockLedger
+
+
+class TestReaderStats:
+    def test_empty(self):
+        stats = ReaderStats()
+        assert stats.blocked_fraction == 0.0
+        assert stats.mean_wait() == 0.0
+        assert stats.max_wait() == 0.0
+        assert stats.total_wait() == 0.0
+
+
+class TestArrivals:
+    def test_deterministic_by_seed(self):
+        a = BlockingSimulation(reader_rate=5.0, horizon=10.0, seed=1).arrivals()
+        b = BlockingSimulation(reader_rate=5.0, horizon=10.0, seed=1).arrivals()
+        assert a == b
+
+    def test_within_horizon(self):
+        arrivals = BlockingSimulation(reader_rate=5.0, horizon=10.0, seed=2).arrivals()
+        assert all(0 < t < 10.0 for t in arrivals)
+
+    def test_rate_scales_count(self):
+        low = len(BlockingSimulation(reader_rate=1.0, horizon=100.0, seed=3).arrivals())
+        high = len(BlockingSimulation(reader_rate=10.0, horizon=100.0, seed=3).arrivals())
+        assert high > low * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockingSimulation(reader_rate=0, horizon=10)
+        with pytest.raises(ValueError):
+            BlockingSimulation(reader_rate=1, horizon=0)
+
+
+class TestRun:
+    def test_no_sections_no_blocking(self):
+        sim = BlockingSimulation(reader_rate=5.0, horizon=10.0, seed=4)
+        stats = sim.run([])
+        assert stats.blocked == 0
+        assert stats.readers > 0
+
+    def test_full_horizon_lock_blocks_everyone(self):
+        sim = BlockingSimulation(reader_rate=5.0, horizon=10.0, seed=5)
+        stats = sim.run([(0.0, 10.0)])
+        assert stats.blocked == stats.readers
+        assert stats.blocked_fraction == 1.0
+
+    def test_longer_sections_block_more(self):
+        sim_args = dict(reader_rate=20.0, horizon=100.0, seed=6)
+        short = BlockingSimulation(**sim_args).run([(i * 10.0, 0.1) for i in range(1, 10)])
+        long = BlockingSimulation(**sim_args).run([(i * 10.0, 5.0) for i in range(1, 10)])
+        assert long.blocked > short.blocked
+        assert long.total_wait() > short.total_wait()
+
+    def test_wait_is_time_to_section_end(self):
+        sim = BlockingSimulation(reader_rate=1.0, horizon=2.0, seed=7)
+        # One reader arrives in (0,2); lock covers the whole window.
+        stats = sim.run([(0.0, 2.0)])
+        for arrival, wait in zip(sim.arrivals(), stats.waits):
+            pass  # arrivals() is re-seeded; just sanity-check bounds below
+        assert all(0 <= wait <= 2.0 for wait in stats.waits)
+
+
+class TestLedgerBridge:
+    def test_sections_from_ledger(self):
+        ledger = LockLedger()
+        counter = CostCounter()
+        state = {"R": Bag([(1,)] * 10)}
+        with ledger.exclusive("MV", counter=counter):
+            evaluate(table("R", ["a"]), state, counter=counter)
+        with ledger.exclusive("MV", counter=counter):
+            pass
+        with ledger.exclusive("other", counter=counter):
+            pass
+        sections = BlockingSimulation.sections_from_ledger(
+            ledger, "MV", interval=60.0, ops_per_second=10.0
+        )
+        assert sections == [(60.0, 1.0), (120.0, 0.0)]
+
+    def test_ops_per_second_validated(self):
+        with pytest.raises(ValueError):
+            BlockingSimulation.sections_from_ledger(
+                LockLedger(), "MV", interval=1.0, ops_per_second=0
+            )

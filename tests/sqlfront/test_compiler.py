@@ -1,0 +1,172 @@
+"""Unit tests for SQL → bag-algebra compilation."""
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.algebra.schema import Schema
+from repro.errors import ParseError, SchemaError
+from repro.sqlfront.compiler import sql_to_expr, sql_to_view
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        "customer",
+        ["custId", "name", "address", "score"],
+        rows=[(1, "ann", "a st", "High"), (2, "bob", "b st", "Low"), (3, "cat", "c st", "High")],
+    )
+    database.create_table(
+        "sales",
+        ["custId", "itemNo", "quantity", "salesPrice"],
+        rows=[(1, 10, 2, 5.0), (1, 10, 2, 5.0), (2, 11, 1, 3.0), (3, 12, 0, 9.0)],
+    )
+    database.create_table("a", ["x"], rows=[(1,), (1,), (2,)])
+    database.create_table("b", ["x"], rows=[(1,), (3,)])
+    return database
+
+
+class TestExample11:
+    """The paper's motivating view compiles and evaluates correctly."""
+
+    SQL = """
+    CREATE VIEW V (custId, name, score, itemNo, quantity) AS
+    SELECT c.custId, c.name, c.score, s.itemNo, s.quantity
+    FROM customer c, sales s
+    WHERE c.custId = s.custId AND s.quantity != 0 AND c.score = 'High'
+    """
+
+    def test_view_name_and_schema(self, db):
+        view = sql_to_view(self.SQL, db)
+        assert view.name == "V"
+        assert view.schema == Schema(["custId", "name", "score", "itemNo", "quantity"])
+
+    def test_evaluation_keeps_duplicates(self, db):
+        view = sql_to_view(self.SQL, db)
+        result = db.evaluate(view.query)
+        # ann's duplicate sale appears twice; zero-quantity and Low-score drop.
+        assert result == Bag(
+            [(1, "ann", "High", 10, 2), (1, "ann", "High", 10, 2)]
+        )
+
+    def test_base_tables(self, db):
+        view = sql_to_view(self.SQL, db)
+        assert view.base_tables() == frozenset({"customer", "sales"})
+
+
+class TestNameResolution:
+    def test_unqualified_unique_column(self, db):
+        expr = sql_to_expr("SELECT name FROM customer", db)
+        assert db.evaluate(expr) == Bag([("ann",), ("bob",), ("cat",)])
+
+    def test_unqualified_ambiguous_column(self, db):
+        with pytest.raises(SchemaError, match="ambiguous"):
+            sql_to_expr("SELECT custId FROM customer, sales", db)
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SchemaError, match="unknown column"):
+            sql_to_expr("SELECT nope FROM customer", db)
+
+    def test_unknown_qualifier(self, db):
+        with pytest.raises(SchemaError, match="range variable"):
+            sql_to_expr("SELECT z.name FROM customer c", db)
+
+    def test_qualifier_without_that_column(self, db):
+        with pytest.raises(SchemaError, match="no column"):
+            sql_to_expr("SELECT c.itemNo FROM customer c", db)
+
+    def test_duplicate_range_variable(self, db):
+        with pytest.raises(SchemaError, match="duplicate range"):
+            sql_to_expr("SELECT c.name FROM customer c, sales c", db)
+
+    def test_self_join_with_aliases(self, db):
+        expr = sql_to_expr(
+            "SELECT c1.name, c2.name FROM customer c1, customer c2 WHERE c1.score = c2.score",
+            db,
+        )
+        result = db.evaluate(expr)
+        # High x High (2x2) + Low x Low (1) = 5 pairs
+        assert len(result) == 5
+
+    def test_where_on_unprojected_column(self, db):
+        expr = sql_to_expr("SELECT name FROM customer WHERE score = 'High'", db)
+        assert db.evaluate(expr) == Bag([("ann",), ("cat",)])
+
+
+class TestSelectList:
+    def test_star_select(self, db):
+        expr = sql_to_expr("SELECT * FROM customer", db)
+        assert expr.schema() == Schema(["custId", "name", "address", "score"])
+        assert len(db.evaluate(expr)) == 3
+
+    def test_star_select_over_join(self, db):
+        expr = sql_to_expr("SELECT * FROM a, b", db)
+        assert expr.schema() == Schema(["x", "x"])
+        assert len(db.evaluate(expr)) == 6
+
+    def test_output_alias(self, db):
+        expr = sql_to_expr("SELECT name AS who FROM customer", db)
+        assert expr.schema() == Schema(["who"])
+
+    def test_distinct(self, db):
+        expr = sql_to_expr("SELECT DISTINCT x FROM a", db)
+        assert db.evaluate(expr) == Bag([(1,), (2,)])
+
+    def test_projection_keeps_duplicates_without_distinct(self, db):
+        expr = sql_to_expr("SELECT x FROM a", db)
+        assert db.evaluate(expr) == Bag([(1,), (1,), (2,)])
+
+
+class TestSetOps:
+    def test_union_all(self, db):
+        expr = sql_to_expr("SELECT x FROM a UNION ALL SELECT x FROM b", db)
+        assert db.evaluate(expr) == Bag([(1,), (1,), (1,), (2,), (3,)])
+
+    def test_except_all_is_monus(self, db):
+        expr = sql_to_expr("SELECT x FROM a EXCEPT ALL SELECT x FROM b", db)
+        assert db.evaluate(expr) == Bag([(1,), (2,)])
+
+    def test_except_removes_all_copies(self, db):
+        expr = sql_to_expr("SELECT x FROM a EXCEPT SELECT x FROM b", db)
+        assert db.evaluate(expr) == Bag([(2,)])
+
+    def test_intersect_all_is_min(self, db):
+        expr = sql_to_expr("SELECT x FROM a INTERSECT ALL SELECT x FROM b", db)
+        assert db.evaluate(expr) == Bag([(1,)])
+
+    def test_intersect_dedups(self, db):
+        expr = sql_to_expr("SELECT x FROM a INTERSECT SELECT x FROM a", db)
+        assert db.evaluate(expr) == Bag([(1,), (2,)])
+
+    def test_arity_mismatch(self, db):
+        with pytest.raises(SchemaError):
+            sql_to_expr("SELECT x FROM a UNION ALL SELECT name, score FROM customer", db)
+
+
+class TestViews:
+    def test_view_column_renames(self, db):
+        view = sql_to_view("CREATE VIEW W (v1) AS SELECT x FROM a", db)
+        assert view.schema == Schema(["v1"])
+
+    def test_view_column_count_mismatch(self, db):
+        with pytest.raises(SchemaError):
+            sql_to_view("CREATE VIEW W (v1, v2) AS SELECT x FROM a", db)
+
+    def test_bare_query_requires_name(self, db):
+        with pytest.raises(ParseError):
+            sql_to_view("SELECT x FROM a", db)
+
+    def test_bare_query_with_name(self, db):
+        view = sql_to_view("SELECT x FROM a", db, name="W")
+        assert view.name == "W"
+
+    def test_name_override(self, db):
+        view = sql_to_view("CREATE VIEW W AS SELECT x FROM a", db, name="Z")
+        assert view.name == "Z"
+
+    def test_unknown_table(self, db):
+        from repro.errors import UnknownTableError
+
+        with pytest.raises(UnknownTableError):
+            sql_to_expr("SELECT x FROM missing", db)

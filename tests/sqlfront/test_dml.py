@@ -1,0 +1,140 @@
+"""Unit tests for the DML front end: INSERT/DELETE → transactions."""
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.core.transactions import UserTransaction
+from repro.errors import ParseError, SchemaError
+from repro.sqlfront import parse_script, parse_statement, script_to_transaction
+from repro.sqlfront.parser import DeleteStatement, InsertStatement
+from repro.storage.database import Database
+from repro.warehouse import ViewManager
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("t", ["a", "b"], rows=[(1, "x"), (2, "y")])
+    database.create_table("u", ["a", "b"], rows=[(3, "z")])
+    return database
+
+
+def run_script(db, script):
+    txn = UserTransaction(db)
+    script_to_transaction(script, db, txn)
+    txn.apply()
+
+
+class TestParsing:
+    def test_insert_values(self):
+        statement = parse_statement("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, InsertStatement)
+        assert statement.rows == ((1, "x"), (2, "y"))
+        assert statement.columns is None
+        assert statement.query is None
+
+    def test_insert_with_columns(self):
+        statement = parse_statement("INSERT INTO t (b, a) VALUES ('x', 1)")
+        assert statement.columns == ("b", "a")
+
+    def test_insert_select(self):
+        statement = parse_statement("INSERT INTO t SELECT a, b FROM u")
+        assert statement.rows is None
+        assert statement.query is not None
+
+    def test_insert_rejects_column_operands(self):
+        with pytest.raises(ParseError):
+            parse_statement("INSERT INTO t VALUES (a, b)")
+
+    def test_delete_with_where(self):
+        statement = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(statement, DeleteStatement)
+        assert statement.where is not None
+
+    def test_delete_without_where(self):
+        statement = parse_statement("DELETE FROM t")
+        assert statement.where is None
+
+    def test_trailing_semicolon_allowed(self):
+        parse_statement("DELETE FROM t;")
+
+    def test_script_splits_statements(self):
+        statements = parse_script("INSERT INTO t VALUES (1, 'x'); DELETE FROM u; ")
+        assert len(statements) == 2
+
+    def test_null_and_negative_values(self):
+        statement = parse_statement("INSERT INTO t VALUES (-5, NULL)")
+        assert statement.rows == ((-5, None),)
+
+
+class TestCompilation:
+    def test_insert_values(self, db):
+        run_script(db, "INSERT INTO t VALUES (9, 'q'), (9, 'q')")
+        assert db["t"].multiplicity((9, "q")) == 2
+
+    def test_insert_reordered_columns(self, db):
+        run_script(db, "INSERT INTO t (b, a) VALUES ('q', 9)")
+        assert (9, "q") in db["t"]
+
+    def test_insert_partial_columns_rejected(self, db):
+        with pytest.raises(SchemaError):
+            run_script(db, "INSERT INTO t (a) VALUES (9)")
+
+    def test_insert_arity_mismatch(self, db):
+        with pytest.raises(SchemaError):
+            run_script(db, "INSERT INTO t VALUES (1, 'x', 'extra')")
+
+    def test_insert_select(self, db):
+        run_script(db, "INSERT INTO t SELECT a, b FROM u")
+        assert (3, "z") in db["t"]
+
+    def test_insert_select_with_columns(self, db):
+        run_script(db, "INSERT INTO t (b, a) SELECT b, a FROM u")
+        assert (3, "z") in db["t"]
+
+    def test_insert_select_arity_mismatch(self, db):
+        with pytest.raises(SchemaError):
+            run_script(db, "INSERT INTO t SELECT a FROM u")
+
+    def test_delete_where(self, db):
+        run_script(db, "DELETE FROM t WHERE a = 1")
+        assert db["t"] == Bag([(2, "y")])
+
+    def test_delete_all(self, db):
+        run_script(db, "DELETE FROM t")
+        assert db["t"] == Bag.empty()
+
+    def test_delete_with_string_predicate(self, db):
+        run_script(db, "DELETE FROM t WHERE b = 'y' OR a < 0")
+        assert db["t"] == Bag([(1, "x")])
+
+    def test_script_is_one_simultaneous_transaction(self, db):
+        # Copy u into t while clearing u: the insert must read pre-state u.
+        run_script(db, "INSERT INTO t SELECT a, b FROM u; DELETE FROM u")
+        assert (3, "z") in db["t"]
+        assert db["u"] == Bag.empty()
+
+    def test_select_in_script_rejected(self, db):
+        with pytest.raises(ParseError):
+            run_script(db, "SELECT a FROM t")
+
+    def test_create_view_in_script_rejected(self, db):
+        with pytest.raises(ParseError):
+            run_script(db, "CREATE VIEW v AS SELECT a FROM t")
+
+
+class TestViewManagerIntegration:
+    def test_execute_sql_maintains_views(self):
+        manager = ViewManager()
+        manager.create_table("t", ["a", "b"], rows=[(1, "x")])
+        manager.define_view("V", "SELECT a FROM t", scenario="combined")
+        manager.execute_sql("INSERT INTO t VALUES (2, 'y'); DELETE FROM t WHERE a = 1")
+        manager.check_invariants()
+        assert manager.query_fresh("V") == Bag([(2,)])
+
+    def test_execute_sql_immediate_view(self):
+        manager = ViewManager()
+        manager.create_table("t", ["a", "b"], rows=[(1, "x")])
+        manager.define_view("V", "SELECT a FROM t", scenario="immediate")
+        manager.execute_sql("INSERT INTO t VALUES (5, 'w')")
+        assert (5,) in manager.query("V")

@@ -1,0 +1,166 @@
+"""Tests for arithmetic expressions, computed select items, and UPDATE."""
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.core.transactions import UserTransaction
+from repro.errors import ParseError, SchemaError
+from repro.sqlfront.compiler import script_to_transaction, sql_to_expr
+from repro.sqlfront.parser import BinaryOp, UpdateStatement, parse_statement
+from repro.storage.database import Database
+from repro.warehouse import ViewManager
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("t", ["a", "qty"], rows=[(1, 5), (2, 7), (2, 7)])
+    return database
+
+
+def run(db, script):
+    txn = UserTransaction(db)
+    script_to_transaction(script, db, txn)
+    txn.apply()
+
+
+class TestExpressionParsing:
+    def test_precedence_mul_over_add(self):
+        statement = parse_statement("SELECT a + b * c AS x FROM t")
+        expression = statement.items[0].column
+        assert expression.op == "+"
+        assert isinstance(expression.right, BinaryOp)
+        assert expression.right.op == "*"
+
+    def test_parentheses(self):
+        statement = parse_statement("SELECT (a + b) * c AS x FROM t")
+        expression = statement.items[0].column
+        assert expression.op == "*"
+
+    def test_unary_minus(self):
+        statement = parse_statement("SELECT -a AS neg FROM t")
+        expression = statement.items[0].column
+        assert expression.op == "-"
+
+    def test_computed_item_requires_alias(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT a + 1 FROM t")
+
+    def test_bare_column_needs_no_alias(self):
+        parse_statement("SELECT a FROM t")
+
+    def test_update_parses(self):
+        statement = parse_statement("UPDATE t SET qty = qty + 1 WHERE a = 2")
+        assert isinstance(statement, UpdateStatement)
+        assert statement.assignments[0][0] == "qty"
+
+    def test_spaced_and_unspaced_minus(self):
+        for text in ("SELECT a - 1 AS x FROM t", "SELECT a -1 AS x FROM t"):
+            statement = parse_statement(text)
+            assert statement.items[0].column.op in ("-", "+")
+
+    def test_parenthesized_term_in_where(self):
+        parse_statement("SELECT a FROM t WHERE (a + 1) * 2 > 4")
+
+    def test_nested_condition_parens_still_work(self):
+        parse_statement("SELECT a FROM t WHERE (a = 1 OR a = 2) AND qty > 0")
+
+
+class TestComputedSelect:
+    def test_arithmetic_select(self, db):
+        result = db.evaluate(sql_to_expr("SELECT a, qty * 2 AS dbl FROM t", db))
+        assert result == Bag([(1, 10), (2, 14), (2, 14)])
+
+    def test_constant_column(self, db):
+        result = db.evaluate(sql_to_expr("SELECT a, 1 AS one FROM t", db))
+        assert all(row[1] == 1 for row in result.support)
+
+    def test_division_is_float(self, db):
+        result = db.evaluate(sql_to_expr("SELECT qty / 2 AS half FROM t", db))
+        assert (2.5,) in result
+
+    def test_arithmetic_in_where(self, db):
+        result = db.evaluate(sql_to_expr("SELECT a FROM t WHERE qty - 2 > 4", db))
+        assert result == Bag([(2,), (2,)])
+
+    def test_expression_over_join(self, db):
+        db.create_table("u", ["a", "price"], rows=[(1, 10.0), (2, 20.0)])
+        result = db.evaluate(
+            sql_to_expr(
+                "SELECT t.a, t.qty * u.price AS revenue FROM t, u WHERE t.a = u.a", db
+            )
+        )
+        assert result == Bag([(1, 50.0), (2, 140.0), (2, 140.0)])
+
+    def test_duplicates_collapse_and_sum(self, db):
+        # Both (2,7) rows map to the same image: multiplicity 2.
+        result = db.evaluate(sql_to_expr("SELECT qty + 0 AS q FROM t WHERE a = 2", db))
+        assert result.multiplicity((7,)) == 2
+
+
+class TestUpdate:
+    def test_update_with_where(self, db):
+        run(db, "UPDATE t SET qty = qty * 2 WHERE a = 2")
+        assert db["t"] == Bag([(1, 5), (2, 14), (2, 14)])
+
+    def test_update_all_rows(self, db):
+        run(db, "UPDATE t SET qty = 0")
+        assert all(row[1] == 0 for row in db["t"].support)
+
+    def test_update_to_constant(self, db):
+        run(db, "UPDATE t SET qty = 99 WHERE a = 1")
+        assert (1, 99) in db["t"]
+
+    def test_update_multiple_columns(self, db):
+        run(db, "UPDATE t SET qty = qty + 1, a = a * 10 WHERE a = 1")
+        assert (10, 6) in db["t"]
+
+    def test_update_reads_pre_state(self, db):
+        # Swap-style: both assignments read old values.
+        db.create_table("p", ["x", "y"], rows=[(1, 2)])
+        run(db, "UPDATE p SET x = y, y = x")
+        assert db["p"] == Bag([(2, 1)])
+
+    def test_update_unknown_column(self, db):
+        with pytest.raises(SchemaError):
+            run(db, "UPDATE t SET nope = 1")
+
+    def test_update_duplicate_assignment(self, db):
+        with pytest.raises(SchemaError):
+            run(db, "UPDATE t SET qty = 1, qty = 2")
+
+    def test_update_preserves_duplicates(self, db):
+        run(db, "UPDATE t SET qty = qty + 1 WHERE a = 2")
+        assert db["t"].multiplicity((2, 8)) == 2
+
+
+class TestMaintenanceOfComputedViews:
+    """The MapProject differentiation rule, end to end."""
+
+    @pytest.mark.parametrize("scenario", ["immediate", "base_log", "diff_table", "combined"])
+    def test_computed_view_maintained(self, scenario):
+        manager = ViewManager()
+        manager.create_table("t", ["a", "qty"], rows=[(1, 5), (2, 7)])
+        manager.define_view(
+            "V", "SELECT a, qty * 2 AS dbl FROM t WHERE qty > 0", scenario=scenario
+        )
+        manager.execute_sql("INSERT INTO t VALUES (3, 10); DELETE FROM t WHERE a = 1")
+        manager.check_invariants()
+        assert manager.query_fresh("V") == Bag([(2, 14), (3, 20)])
+
+    def test_update_statement_maintains_views(self):
+        manager = ViewManager()
+        manager.create_table("t", ["a", "qty"], rows=[(1, 5), (2, 7)])
+        manager.define_view("V", "SELECT a, qty FROM t WHERE qty > 6", scenario="combined")
+        manager.execute_sql("UPDATE t SET qty = qty + 10 WHERE a = 1")
+        manager.check_invariants()
+        assert manager.query_fresh("V") == Bag([(1, 15), (2, 7)])
+
+    def test_computed_view_with_churny_updates(self):
+        manager = ViewManager()
+        manager.create_table("t", ["a", "qty"], rows=[(1, 5), (1, 5), (2, 7)])
+        manager.define_view("V", "SELECT qty / 2 AS half FROM t", scenario="combined")
+        manager.execute_sql("UPDATE t SET qty = qty * 2")
+        manager.check_invariants()
+        expected = Bag([(5.0,), (5.0,), (7.0,)])
+        assert manager.query_fresh("V") == expected

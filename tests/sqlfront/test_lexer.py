@@ -1,0 +1,106 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sqlfront.lexer import tokenize
+
+
+def kinds(source):
+    return [(token.kind, token.text) for token in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where") == [
+            ("KEYWORD", "SELECT"),
+            ("KEYWORD", "FROM"),
+            ("KEYWORD", "WHERE"),
+        ]
+
+    def test_names_preserve_case(self):
+        assert kinds("custId") == [("NAME", "custId")]
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a  b")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_punctuation(self):
+        assert kinds("( ) , . *") == [
+            ("PUNCT", "("),
+            ("PUNCT", ")"),
+            ("PUNCT", ","),
+            ("PUNCT", "."),
+            ("PUNCT", "*"),
+        ]
+
+    def test_qualified_name_tokens(self):
+        assert kinds("c.custId") == [("NAME", "c"), ("PUNCT", "."), ("NAME", "custId")]
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("42") == [("NUMBER", "42")]
+
+    def test_float(self):
+        assert kinds("3.14") == [("NUMBER", "3.14")]
+
+    def test_negative(self):
+        assert kinds("-7") == [("NUMBER", "-7")]
+
+    def test_number_then_dot_name(self):
+        # "1.x" must not eat the dot into the number
+        assert kinds("1 . x")[0] == ("NUMBER", "1")
+
+
+class TestStrings:
+    def test_single_quoted(self):
+        assert kinds("'High'") == [("STRING", "High")]
+
+    def test_escaped_quote(self):
+        assert kinds("'o''hare'") == [("STRING", "o'hare")]
+
+    def test_double_quoted(self):
+        assert kinds('"hello"') == [("STRING", "hello")]
+
+    def test_unterminated(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_empty_string(self):
+        assert kinds("''") == [("STRING", "")]
+
+
+class TestOperators:
+    @pytest.mark.parametrize("source,expected", [("=", "="), ("!=", "!="), ("<>", "!="), ("<", "<"), ("<=", "<="), (">", ">"), (">=", ">=")])
+    def test_comparisons(self, source, expected):
+        assert kinds(source) == [("OP", expected)]
+
+    def test_bang_alone_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("a ! b")
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+    def test_semicolon_is_punctuation(self):
+        assert kinds(";") == [("PUNCT", ";")]
+
+
+class TestFullStatement:
+    def test_example_1_1(self):
+        source = (
+            "SELECT c.custId, c.name FROM customer c, sales s "
+            "WHERE c.custId = s.custId AND s.quantity != 0 AND c.score = 'High'"
+        )
+        tokens = tokenize(source)
+        assert tokens[-1].kind == "EOF"
+        texts = [token.text for token in tokens if token.kind == "STRING"]
+        assert texts == ["High"]

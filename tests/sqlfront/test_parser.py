@@ -1,0 +1,186 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sqlfront.parser import (
+    AndCond,
+    ColumnRef,
+    ComparisonCond,
+    CreateView,
+    LiteralValue,
+    NotCond,
+    OrCond,
+    SelectCore,
+    SetOp,
+    parse_query,
+    parse_statement,
+)
+
+
+class TestSelectCore:
+    def test_minimal(self):
+        query = parse_query("SELECT a FROM t")
+        assert isinstance(query, SelectCore)
+        assert query.items[0].column == ColumnRef("a")
+        assert query.from_items[0].table == "t"
+        assert query.where is None
+        assert not query.distinct
+
+    def test_star(self):
+        query = parse_query("SELECT * FROM t")
+        assert query.items is None
+
+    def test_distinct(self):
+        assert parse_query("SELECT DISTINCT a FROM t").distinct
+
+    def test_select_all_keyword(self):
+        assert not parse_query("SELECT ALL a FROM t").distinct
+
+    def test_qualified_columns(self):
+        query = parse_query("SELECT c.custId FROM customer c")
+        assert query.items[0].column == ColumnRef("custId", qualifier="c")
+
+    def test_output_alias_with_as(self):
+        query = parse_query("SELECT a AS renamed FROM t")
+        assert query.items[0].alias == "renamed"
+
+    def test_output_alias_bare(self):
+        query = parse_query("SELECT a renamed FROM t")
+        assert query.items[0].alias == "renamed"
+
+    def test_from_aliases(self):
+        query = parse_query("SELECT a FROM t1 x, t2 AS y")
+        assert query.from_items[0].binding == "x"
+        assert query.from_items[1].binding == "y"
+
+    def test_from_default_binding_is_table(self):
+        query = parse_query("SELECT a FROM t")
+        assert query.from_items[0].binding == "t"
+
+
+class TestConditions:
+    def test_comparison_with_string(self):
+        query = parse_query("SELECT a FROM t WHERE score = 'High'")
+        assert query.where == ComparisonCond("=", ColumnRef("score"), LiteralValue("High"))
+
+    def test_comparison_with_numbers(self):
+        query = parse_query("SELECT a FROM t WHERE q != 0")
+        assert query.where.right == LiteralValue(0)
+
+    def test_float_literal(self):
+        query = parse_query("SELECT a FROM t WHERE p >= 9.5")
+        assert query.where.right == LiteralValue(9.5)
+
+    def test_null_true_false_literals(self):
+        query = parse_query("SELECT a FROM t WHERE x = NULL AND y = TRUE OR z = FALSE")
+        assert isinstance(query.where, OrCond)
+
+    def test_and_binds_tighter_than_or(self):
+        query = parse_query("SELECT a FROM t WHERE p = 1 OR q = 2 AND r = 3")
+        assert isinstance(query.where, OrCond)
+        assert isinstance(query.where.right, AndCond)
+
+    def test_parentheses_override(self):
+        query = parse_query("SELECT a FROM t WHERE (p = 1 OR q = 2) AND r = 3")
+        assert isinstance(query.where, AndCond)
+        assert isinstance(query.where.left, OrCond)
+
+    def test_not(self):
+        query = parse_query("SELECT a FROM t WHERE NOT p = 1")
+        assert isinstance(query.where, NotCond)
+
+    def test_column_to_column(self):
+        query = parse_query("SELECT a FROM t, u WHERE t.k = u.k")
+        assert query.where.left.qualifier == "t"
+        assert query.where.right.qualifier == "u"
+
+
+class TestSetOps:
+    @pytest.mark.parametrize(
+        "sql_op,tree_op",
+        [
+            ("UNION ALL", "UNION ALL"),
+            ("EXCEPT", "EXCEPT"),
+            ("EXCEPT ALL", "EXCEPT ALL"),
+            ("INTERSECT", "INTERSECT"),
+            ("INTERSECT ALL", "INTERSECT ALL"),
+        ],
+    )
+    def test_operators(self, sql_op, tree_op):
+        query = parse_query(f"SELECT a FROM t {sql_op} SELECT b FROM u")
+        assert isinstance(query, SetOp)
+        assert query.op == tree_op
+
+    def test_bare_union_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a FROM t UNION SELECT b FROM u")
+
+    def test_left_associative(self):
+        query = parse_query("SELECT a FROM t UNION ALL SELECT b FROM u EXCEPT SELECT c FROM v")
+        assert query.op == "EXCEPT"
+        assert query.left.op == "UNION ALL"
+
+
+class TestCreateView:
+    def test_with_columns(self):
+        statement = parse_statement("CREATE VIEW V (x, y) AS SELECT a, b FROM t")
+        assert isinstance(statement, CreateView)
+        assert statement.name == "V"
+        assert statement.columns == ("x", "y")
+
+    def test_without_columns(self):
+        statement = parse_statement("CREATE VIEW V AS SELECT a FROM t")
+        assert statement.columns is None
+
+    def test_parse_query_rejects_create(self):
+        with pytest.raises(ParseError):
+            parse_query("CREATE VIEW V AS SELECT a FROM t")
+
+
+class TestCreateTable:
+    def test_basic(self):
+        from repro.sqlfront.parser import CreateTable
+
+        statement = parse_statement("CREATE TABLE t (a, b, c)")
+        assert isinstance(statement, CreateTable)
+        assert statement.name == "t"
+        assert statement.columns == ("a", "b", "c")
+
+    def test_single_column(self):
+        statement = parse_statement("CREATE TABLE t (only)")
+        assert statement.columns == ("only",)
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE TABLE t")
+
+    def test_empty_column_list_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE TABLE t ()")
+
+    def test_distinguished_from_create_view(self):
+        from repro.sqlfront.parser import CreateTable, CreateView
+
+        assert isinstance(parse_statement("CREATE TABLE t (a)"), CreateTable)
+        assert isinstance(parse_statement("CREATE VIEW v AS SELECT a FROM t"), CreateView)
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a FROM t extra ,")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a")
+
+    def test_missing_operand(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a FROM t WHERE a =")
+
+    def test_error_reports_position(self):
+        try:
+            parse_query("SELECT a FROM t WHERE a =")
+        except ParseError as error:
+            assert error.position is not None

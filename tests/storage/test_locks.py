@@ -1,0 +1,76 @@
+"""Unit tests for the lock ledger (downtime accounting)."""
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.algebra.evaluation import CostCounter, evaluate
+from repro.algebra.expr import table
+from repro.storage.locks import LockLedger
+
+
+class TestLedger:
+    def test_records_wall_time(self):
+        ledger = LockLedger()
+        with ledger.exclusive("MV"):
+            pass
+        assert ledger.section_count("MV") == 1
+        assert ledger.downtime_seconds("MV") >= 0.0
+
+    def test_records_counter_delta(self):
+        ledger = LockLedger()
+        counter = CostCounter()
+        state = {"R": Bag([(1,), (2,)])}
+        with ledger.exclusive("MV", counter=counter):
+            evaluate(table("R", ["a"]), state, counter=counter)
+        assert ledger.downtime_tuple_ops("MV") == 2
+
+    def test_sections_accumulate(self):
+        ledger = LockLedger()
+        with ledger.exclusive("MV"):
+            pass
+        with ledger.exclusive("MV"):
+            pass
+        assert ledger.section_count("MV") == 2
+
+    def test_resources_are_separate(self):
+        ledger = LockLedger()
+        with ledger.exclusive("A"):
+            pass
+        assert ledger.section_count("B") == 0
+        assert ledger.downtime_seconds("B") == 0.0
+
+    def test_label_recorded(self):
+        ledger = LockLedger()
+        with ledger.exclusive("MV", label="refresh"):
+            pass
+        assert ledger.sections[0].label == "refresh"
+
+    def test_section_recorded_even_on_exception(self):
+        ledger = LockLedger()
+        with pytest.raises(RuntimeError):
+            with ledger.exclusive("MV"):
+                raise RuntimeError("boom")
+        assert ledger.section_count("MV") == 1
+
+    def test_max_section(self):
+        ledger = LockLedger()
+        counter = CostCounter()
+        state = {"R": Bag([(1,)] * 5)}
+        with ledger.exclusive("MV", counter=counter):
+            evaluate(table("R", ["a"]), state, counter=counter)
+        with ledger.exclusive("MV", counter=counter):
+            pass
+        assert ledger.max_section_tuple_ops("MV") == 5
+        assert ledger.max_section_seconds("MV") >= 0.0
+
+    def test_max_of_empty_resource_is_zero(self):
+        ledger = LockLedger()
+        assert ledger.max_section_seconds("MV") == 0.0
+        assert ledger.max_section_tuple_ops("MV") == 0
+
+    def test_reset(self):
+        ledger = LockLedger()
+        with ledger.exclusive("MV"):
+            pass
+        ledger.reset()
+        assert ledger.section_count("MV") == 0

@@ -1,0 +1,151 @@
+"""Unit + randomized tests for the SQLite compilation backend."""
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.algebra.expr import (
+    DupElim,
+    Literal,
+    Monus,
+    Product,
+    Project,
+    Select,
+    UnionAll,
+    except_expr,
+    min_expr,
+    table,
+)
+from repro.algebra.predicates import And, Comparison, Not, Or, TruePredicate, attr, const
+from repro.algebra.schema import Schema
+from repro.errors import SchemaError, UnknownTableError
+from repro.storage.database import Database
+from repro.storage.sqlite_backend import SQLiteBackend
+from repro.workloads.randgen import RandomExpressionGenerator
+
+R = table("R", ["a", "b"])
+W = table("W", ["x"])
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("R", ["a", "b"], rows=[(1, 10), (1, 10), (2, 20)])
+    database.create_table("W", ["x"], rows=[(1,), (2,), (2,)])
+    return database
+
+
+@pytest.fixture
+def backend(db):
+    with SQLiteBackend() as be:
+        be.sync_from(db)
+        yield be
+
+
+class TestOperators:
+    def test_scan(self, backend, db):
+        assert backend.evaluate(R) == db["R"]
+
+    def test_literal(self, backend):
+        lit = Literal(Bag([(1, "x"), (1, "x")]), Schema(["a", "b"]))
+        assert backend.evaluate(lit) == lit.bag
+
+    def test_empty_literal(self, backend):
+        lit = Literal(Bag.empty(), Schema(["a"]))
+        assert backend.evaluate(lit) == Bag.empty()
+
+    def test_select(self, backend):
+        expr = Select(Comparison("=", attr("a"), const(1)), R)
+        assert backend.evaluate(expr) == Bag([(1, 10), (1, 10)])
+
+    def test_project_sums_multiplicities(self, backend):
+        expr = Project(("a",), R)
+        assert backend.evaluate(expr) == Bag([(1,), (1,), (2,)])
+
+    def test_dedup(self, backend):
+        assert backend.evaluate(DupElim(R)) == Bag([(1, 10), (2, 20)])
+
+    def test_union_all(self, backend):
+        assert backend.evaluate(UnionAll(W, W)) == Bag([(1,), (1,), (2,), (2,), (2,), (2,)])
+
+    def test_monus(self, backend):
+        expr = Monus(W, Literal(Bag([(2,)]), Schema(["x"])))
+        assert backend.evaluate(expr) == Bag([(1,), (2,)])
+
+    def test_monus_floors_at_zero(self, backend):
+        expr = Monus(W, Literal(Bag([(1,), (1,), (1,)]), Schema(["x"])))
+        assert backend.evaluate(expr) == Bag([(2,), (2,)])
+
+    def test_product(self, backend):
+        result = backend.evaluate(Product(W, W))
+        assert len(result) == 9
+        assert result.multiplicity((2, 2)) == 4
+
+    def test_min_and_except_compositions(self, backend, db):
+        other = Literal(Bag([(2,), (3,)]), Schema(["x"]))
+        assert backend.evaluate(min_expr(W, other)) == db.evaluate(min_expr(W, other))
+        assert backend.evaluate(except_expr(W, other)) == db.evaluate(except_expr(W, other))
+
+
+class TestPredicates:
+    def test_string_quoting(self, db):
+        db.create_table("T", ["s"], rows=[("o'hare",), ("plain",)])
+        with SQLiteBackend() as be:
+            be.sync_from(db)
+            expr = Select(Comparison("=", attr("s"), const("o'hare")), db.ref("T"))
+            assert be.evaluate(expr) == Bag([("o'hare",)])
+
+    def test_null_comparison_filtered(self, db):
+        db.create_table("N", ["v"], rows=[(None,), (1,)])
+        with SQLiteBackend() as be:
+            be.sync_from(db)
+            expr = Select(Comparison("=", attr("v"), const(1)), db.ref("N"))
+            assert be.evaluate(expr) == Bag([(1,)])
+
+    def test_not_of_null_comparison_matches_memory(self, db):
+        db.create_table("N", ["v"], rows=[(None,), (1,), (2,)])
+        expr = Select(Not(Comparison("=", attr("v"), const(1))), db.ref("N"))
+        with SQLiteBackend() as be:
+            be.sync_from(db)
+            assert be.evaluate(expr) == db.evaluate(expr)
+
+    def test_connectives(self, backend, db):
+        predicate = Or(
+            And(Comparison(">", attr("a"), const(0)), Comparison("<", attr("b"), const(15))),
+            Not(TruePredicate()),
+        )
+        expr = Select(predicate, R)
+        assert backend.evaluate(expr) == db.evaluate(expr)
+
+
+class TestMirror:
+    def test_sync_updates_existing_tables(self, db, backend):
+        db.set_table("W", Bag([(9,)]))
+        backend.sync_from(db)
+        assert backend.evaluate(W) == Bag([(9,)])
+
+    def test_load_unknown_table(self, backend):
+        with pytest.raises(UnknownTableError):
+            backend.load("nope", Bag([(1,)]))
+
+    def test_duplicate_create(self, backend):
+        with pytest.raises(SchemaError):
+            backend.create_table("R", ["a", "b"])
+
+    def test_cross_check_helper(self, db, backend):
+        assert backend.cross_check(db, Project(("a",), R))
+
+    def test_internal_table_names_are_quoted(self, db):
+        db.create_table("__mv__V", ["x"], rows=[(1,)], internal=True)
+        with SQLiteBackend() as be:
+            be.sync_from(db)
+            assert be.evaluate(db.ref("__mv__V")) == Bag([(1,)])
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_randomized_cross_check(seed):
+    generator = RandomExpressionGenerator(seed)
+    db = generator.database()
+    query = generator.query(db, depth=4)
+    with SQLiteBackend() as be:
+        be.sync_from(db)
+        assert be.evaluate(query) == db.evaluate(query)

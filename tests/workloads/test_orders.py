@@ -1,0 +1,111 @@
+"""Unit tests for the orders workload, including maintenance end-to-end."""
+
+import pytest
+
+from repro.sqlfront import sql_to_view
+from repro.storage.database import Database
+from repro.warehouse import ViewManager
+from repro.workloads.orders import (
+    EMPTY_ORDERS_SQL,
+    OPEN_ORDER_LINES_SQL,
+    ORDER_IDS_SQL,
+    OrdersConfig,
+    OrdersWorkload,
+)
+
+
+@pytest.fixture
+def loaded():
+    workload = OrdersWorkload(OrdersConfig(initial_orders=40, seed=3))
+    db = Database()
+    workload.setup_database(db)
+    return db, workload
+
+
+class TestSetup:
+    def test_tables_created(self, loaded):
+        db, __ = loaded
+        assert len(db["orders"]) == 40
+        assert db.schema_of("lineitems").attributes == ("orderId", "sku", "qty")
+
+    def test_deterministic(self):
+        db1, db2 = Database(), Database()
+        OrdersWorkload(OrdersConfig(seed=5)).setup_database(db1)
+        OrdersWorkload(OrdersConfig(seed=5)).setup_database(db2)
+        assert db1.snapshot() == db2.snapshot()
+
+    def test_views_compile(self, loaded):
+        db, __ = loaded
+        for sql in (OPEN_ORDER_LINES_SQL, ORDER_IDS_SQL, EMPTY_ORDERS_SQL):
+            view = sql_to_view(sql, db)
+            db.evaluate(view.query)
+
+    def test_empty_orders_semantics(self, loaded):
+        db, __ = loaded
+        view = sql_to_view(EMPTY_ORDERS_SQL, db)
+        empties = {row[0] for row in db.evaluate(view.query).support}
+        with_lines = {row[0] for row in db["lineitems"].support}
+        all_orders = {row[0] for row in db["orders"].support}
+        assert empties == all_orders - with_lines
+
+
+class TestTransactions:
+    def test_place_order_is_multi_table(self, loaded):
+        db, workload = loaded
+        txn = workload.place_order(db)
+        assert "orders" in txn.tables
+
+    def test_ship_order_flips_status(self, loaded):
+        db, workload = loaded
+        before_open = sum(1 for row in db["orders"] if row[2] == "open")
+        workload.ship_order(db).apply()
+        after_open = sum(1 for row in db["orders"] if row[2] == "open")
+        assert after_open == before_open - 1
+
+    def test_cancel_removes_lines(self, loaded):
+        db, workload = loaded
+        # Cancel until we hit an order that had line items.
+        for __ in range(30):
+            before = len(db["lineitems"])
+            txn = workload.cancel_order(db)
+            txn.apply()
+            if len(db["lineitems"]) < before:
+                return
+        pytest.skip("no cancellable order with lines in this seed")
+
+    def test_stream_applies(self, loaded):
+        db, workload = loaded
+        for txn in workload.transactions(db, 30):
+            txn.apply()
+
+
+class TestMaintenanceEndToEnd:
+    @pytest.mark.parametrize("scenario", ["immediate", "base_log", "diff_table", "combined"])
+    def test_three_views_stay_correct(self, scenario):
+        workload = OrdersWorkload(OrdersConfig(initial_orders=30, seed=9))
+        manager = ViewManager()
+        db = manager.db
+        workload.setup_database(db)
+        manager.define_view("open_order_lines", OPEN_ORDER_LINES_SQL, scenario=scenario)
+        manager.define_view("order_ids", ORDER_IDS_SQL, scenario=scenario)
+        manager.define_view("empty_orders", EMPTY_ORDERS_SQL, scenario=scenario)
+        for txn in workload.transactions(db, 15):
+            manager.execute(txn)
+            manager.check_invariants()
+        manager.refresh_all()
+        for name in manager.views():
+            assert not manager.is_stale(name), name
+
+    def test_empty_orders_tracks_cancellations(self):
+        """The monus view is exactly where naive deferred maintenance
+        breaks; ours must track placements and cancellations exactly."""
+        workload = OrdersWorkload(OrdersConfig(initial_orders=10, seed=11))
+        manager = ViewManager()
+        db = manager.db
+        workload.setup_database(db)
+        manager.define_view("empty_orders", EMPTY_ORDERS_SQL, scenario="combined")
+        for __ in range(20):
+            manager.execute(workload.next_transaction(db))
+        manager.refresh("empty_orders")
+        expected = db.evaluate(sql_to_view(EMPTY_ORDERS_SQL, db).query)
+        assert manager.query("empty_orders") == expected

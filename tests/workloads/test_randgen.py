@@ -1,0 +1,79 @@
+"""Unit tests for the randomized generators themselves."""
+
+import pytest
+
+from repro.workloads.randgen import RandomExpressionGenerator, RandomWorkloadGenerator
+
+
+class TestDatabaseGeneration:
+    def test_table_count(self):
+        db = RandomExpressionGenerator(0, tables=4).database()
+        assert len(db.external_tables()) == 4
+
+    def test_deterministic(self):
+        db1 = RandomExpressionGenerator(5).database()
+        db2 = RandomExpressionGenerator(5).database()
+        assert db1.snapshot() == db2.snapshot()
+
+    def test_arity_range(self):
+        db = RandomExpressionGenerator(1).database()
+        for name in db.external_tables():
+            assert 1 <= db.schema_of(name).arity <= 3
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_generated_queries_evaluate(seed):
+    generator = RandomExpressionGenerator(seed)
+    db = generator.database()
+    query = generator.query(db, depth=5)
+    db.evaluate(query)  # must not raise
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_queries_hit_every_operator_eventually(seed):
+    from repro.algebra.expr import DupElim, Monus, Product, Select, UnionAll
+
+    generator = RandomExpressionGenerator(seed)
+    db = generator.database()
+    seen = set()
+    for __ in range(30):
+        query = generator.query(db, depth=5)
+        seen.update(type(node) for node in query.walk())
+    assert {Select, Product, UnionAll, Monus, DupElim} <= seen
+
+
+class TestSubstitutionGeneration:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_weakly_minimal_deletes_are_subbags(self, seed):
+        generator = RandomExpressionGenerator(seed)
+        db = generator.database()
+        eta = generator.substitution(db, weakly_minimal=True)
+        for name in eta:
+            assert db.evaluate(eta.delete_of(name)).issubbag(db[name])
+
+    def test_non_minimal_can_over_delete(self):
+        found = False
+        for seed in range(30):
+            generator = RandomExpressionGenerator(seed)
+            db = generator.database()
+            eta = generator.substitution(db, weakly_minimal=False)
+            for name in eta:
+                if not db.evaluate(eta.delete_of(name)).issubbag(db[name]):
+                    found = True
+        assert found
+
+
+class TestTransactionGeneration:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_transactions_apply(self, seed):
+        generator = RandomExpressionGenerator(seed)
+        db = generator.database()
+        generator.transaction(db, allow_over_delete=True).apply()
+
+    def test_workload_generator(self):
+        generator = RandomWorkloadGenerator(3)
+        db = RandomExpressionGenerator(3).database()
+        txns = generator.transactions(db, 5)
+        assert len(txns) == 5
+        for txn in txns:
+            txn.apply()

@@ -1,0 +1,104 @@
+"""Unit tests for the retail workload generator (Example 1.1)."""
+
+import pytest
+
+from repro.sqlfront import sql_to_view
+from repro.storage.database import Database
+from repro.workloads.retail import VIEW_SQL, RetailConfig, RetailWorkload
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+def small_config(**overrides):
+    defaults = dict(customers=20, items=5, initial_sales=50, seed=7)
+    defaults.update(overrides)
+    return RetailConfig(**defaults)
+
+
+class TestSetup:
+    def test_tables_created(self, db):
+        RetailWorkload(small_config()).setup_database(db)
+        assert db.has_table("customer")
+        assert db.has_table("sales")
+        assert len(db["customer"]) == 20
+        assert len(db["sales"]) == 50
+
+    def test_view_sql_compiles(self, db):
+        RetailWorkload(small_config()).setup_database(db)
+        view = sql_to_view(VIEW_SQL, db)
+        assert view.name == "V"
+        result = db.evaluate(view.query)
+        # Every view row belongs to a High-score customer with quantity != 0.
+        high_ids = {row[0] for row in db["customer"] if row[3] == "High"}
+        for row in result.support:
+            assert row[0] in high_ids
+            assert row[4] != 0
+
+    def test_high_score_fraction(self, db):
+        workload = RetailWorkload(small_config(high_score_fraction=0.5))
+        workload.setup_database(db)
+        high = sum(1 for row in db["customer"] if row[3] == "High")
+        assert high == 10
+
+    def test_deterministic_by_seed(self):
+        db1, db2 = Database(), Database()
+        RetailWorkload(small_config()).setup_database(db1)
+        RetailWorkload(small_config()).setup_database(db2)
+        assert db1["sales"] == db2["sales"]
+        assert db1["customer"] == db2["customer"]
+
+    def test_different_seeds_differ(self):
+        db1, db2 = Database(), Database()
+        RetailWorkload(small_config(seed=1)).setup_database(db1)
+        RetailWorkload(small_config(seed=2)).setup_database(db2)
+        assert db1["sales"] != db2["sales"]
+
+
+class TestTransactionStream:
+    def test_transaction_inserts_configured_count(self, db):
+        workload = RetailWorkload(small_config(txn_inserts=4, delete_fraction=0.0))
+        workload.setup_database(db)
+        txn = workload.next_transaction(db)
+        inserted = db.evaluate(txn.insert_expr("sales"))
+        assert len(inserted) == 4
+
+    def test_deletes_only_existing_rows(self, db):
+        workload = RetailWorkload(small_config(delete_fraction=1.0))
+        workload.setup_database(db)
+        for __ in range(10):
+            txn = workload.next_transaction(db)
+            deleted = db.evaluate(txn.delete_expr("sales"))
+            txn.apply()
+            # Weak minimality means over-deletes are ignored, but the
+            # generator should never even produce phantom rows.
+            assert all(count >= 0 for __, count in deleted.items())
+
+    def test_stream_applies_cleanly(self, db):
+        workload = RetailWorkload(small_config())
+        workload.setup_database(db)
+        before = len(db["sales"])
+        for txn in workload.transactions(db, 20):
+            txn.apply()
+        assert len(db["sales"]) != before
+
+    def test_zero_quantity_rows_generated(self, db):
+        workload = RetailWorkload(small_config(zero_quantity_fraction=1.0, duplicate_fraction=0.0, initial_sales=30))
+        workload.setup_database(db)
+        assert all(row[2] == 0 for row in db["sales"].support)
+
+    def test_duplicates_generated(self, db):
+        workload = RetailWorkload(small_config(duplicate_fraction=0.9, initial_sales=200))
+        workload.setup_database(db)
+        assert db["sales"].distinct_count() < len(db["sales"])
+
+
+class TestSchedule:
+    def test_schedule_shape(self, db):
+        workload = RetailWorkload(small_config())
+        workload.setup_database(db)
+        schedule = workload.schedule(db, horizon=5, txns_per_tick=2)
+        assert [tick for tick, __ in schedule] == [1, 2, 3, 4, 5]
+        assert all(len(txns) == 2 for __, txns in schedule)
