@@ -49,25 +49,58 @@ class CostCounter:
     ``tuples_out`` counts tuples produced by every operator application
     (memoized hits are not recounted — shared work is shared).
     ``by_operator`` breaks the same total down per operator name.
+
+    The compiled executor (:mod:`repro.exec`) additionally reports how
+    its caches behaved: ``plan_hits``/``plan_misses`` count physical-plan
+    cache lookups, ``memo_hits`` counts version-stamped subexpression
+    results reused across ``evaluate`` calls, and ``index_probes`` counts
+    hash-index key lookups (each probe is also charged one tuple-op under
+    the probing operator, so ``tuples_out`` remains comparable between
+    the interpreted and compiled paths).
     """
 
     tuples_out: int = 0
     evaluations: int = 0
     by_operator: dict[str, int] = field(default_factory=dict)
+    plan_hits: int = 0
+    plan_misses: int = 0
+    memo_hits: int = 0
+    index_probes: int = 0
 
     def record(self, operator: str, produced: int) -> None:
         self.tuples_out += produced
         self.evaluations += 1
         self.by_operator[operator] = self.by_operator.get(operator, 0) + produced
 
-    def snapshot(self) -> dict[str, int]:
-        """A plain-dict summary (useful for report tables)."""
-        return {"tuples_out": self.tuples_out, "evaluations": self.evaluations, **self.by_operator}
+    def record_probes(self, operator: str, probes: int) -> None:
+        """Charge ``probes`` index-key lookups against ``operator``."""
+        self.index_probes += probes
+        self.record(operator, probes)
+
+    def snapshot(self) -> dict[str, object]:
+        """A plain-dict summary (useful for report tables).
+
+        Per-operator totals are nested under ``"operators"`` so they can
+        never collide with the top-level keys.
+        """
+        return {
+            "tuples_out": self.tuples_out,
+            "evaluations": self.evaluations,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "memo_hits": self.memo_hits,
+            "index_probes": self.index_probes,
+            "operators": dict(self.by_operator),
+        }
 
     def reset(self) -> None:
         self.tuples_out = 0
         self.evaluations = 0
         self.by_operator.clear()
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.memo_hits = 0
+        self.index_probes = 0
 
 
 def evaluate(
@@ -82,6 +115,16 @@ def evaluate(
     ``memo`` may be supplied to share memoized results across several
     ``evaluate`` calls against the *same* state (e.g. when a transaction
     evaluates many assignment right-hand sides simultaneously).
+
+    .. warning::
+
+        The memo is keyed by expression structure only — it knows nothing
+        about which state produced an entry.  Reusing one ``memo`` dict
+        across calls with *different* states returns stale results from
+        the first state.  Callers must create a fresh memo per state (as
+        :meth:`Database.apply` does).  For safe reuse *across* state
+        changes, use the compiled executor (:mod:`repro.exec`), whose
+        result cache is invalidated by per-table version stamps.
     """
     if memo is None:
         memo = {}

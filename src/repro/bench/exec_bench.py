@@ -1,0 +1,232 @@
+"""Compiled-engine benchmark: ``python -m repro.bench.exec_bench``.
+
+Runs the E7 (incremental-vs-recompute) and E13 (shared-view scaling)
+workloads at their largest sizes under **both** execution engines and
+writes a machine-readable ``BENCH_exec.json`` so future changes have a
+perf trajectory to compare against.
+
+The E1–E16 experiment suite itself is pinned to the interpreted engine
+(see ``benchmarks/conftest.py``) because it reproduces the *paper's*
+cost model; this module measures the *system-level* win of the compiled
+engine on the same workloads:
+
+* **E7_refresh** — the ``refresh_BL`` call at the largest pending-change
+  volume (3× the base table).  The compiled engine serves the deltas'
+  equi-joins from maintained hash indexes and reuses memoized
+  subexpression results, so refresh tuple-ops drop well over 3×.
+* **E13_shared_views** — sixteen join views over one base, a transaction
+  stream, then ``refresh`` of every view.  Reported per phase: install
+  (plan/memo sharing across structurally identical view queries),
+  transactions (which *pay* delta-proportional ``index_maint`` — the
+  overhead that buys the cheap refresh), and the refresh phase itself.
+
+Usage::
+
+    python -m repro.bench.exec_bench [--smoke] [--output PATH]
+
+``--smoke`` shrinks the workloads for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.algebra.evaluation import CostCounter
+from repro.core.plan import MaintenancePlan
+from repro.core.scenarios import BaseLogScenario
+from repro.core.views import ViewDefinition
+from repro.exec import COMPILED, INTERPRETED
+from repro.sqlfront import sql_to_view
+from repro.storage.database import Database
+from repro.workloads.retail import VIEW_SQL, RetailConfig, RetailWorkload
+
+__all__ = ["main", "run_e7_refresh", "run_e13_shared_views"]
+
+MODES = (INTERPRETED, COMPILED)
+
+
+def _counter_summary(counter: CostCounter) -> dict[str, object]:
+    return {
+        "plan_hits": counter.plan_hits,
+        "plan_misses": counter.plan_misses,
+        "memo_hits": counter.memo_hits,
+        "index_probes": counter.index_probes,
+        "operators": dict(counter.by_operator),
+    }
+
+
+def _ratio(interpreted: float, compiled: float) -> float | None:
+    if not compiled:
+        return None
+    return round(interpreted / compiled, 2)
+
+
+# ----------------------------------------------------------------------
+# E7: refresh_BL at the largest pending-change volume
+# ----------------------------------------------------------------------
+
+
+def run_e7_refresh(mode: str, *, smoke: bool = False) -> dict[str, object]:
+    """One E7-shaped run; returns the refresh-phase cost under ``mode``."""
+    initial_sales = 300 if smoke else 1500
+    pending = initial_sales if smoke else 3 * initial_sales  # the largest E7 fraction
+    config = RetailConfig(customers=150, initial_sales=initial_sales, txn_inserts=25, seed=96)
+    workload = RetailWorkload(config)
+    db = Database(exec_mode=mode)
+    workload.setup_database(db)
+    view = sql_to_view(VIEW_SQL, db)
+    scenario = BaseLogScenario(db, view)
+    scenario.install()
+    applied = 0
+    while applied < pending:
+        scenario.execute(workload.next_transaction(db))
+        applied += config.txn_inserts
+    before = scenario.counter.tuples_out
+    start = time.perf_counter()
+    scenario.refresh()
+    wall = time.perf_counter() - start
+    assert scenario.is_consistent()
+    return {
+        "pending_rows": pending,
+        "refresh_ops": scenario.counter.tuples_out - before,
+        "refresh_wall_s": round(wall, 6),
+        "counters": _counter_summary(scenario.counter),
+    }
+
+
+# ----------------------------------------------------------------------
+# E13: many views over one base — install, transactions, refresh_all
+# ----------------------------------------------------------------------
+
+
+def run_e13_shared_views(mode: str, *, smoke: bool = False) -> dict[str, object]:
+    """E13's scaling shape at its largest size (16 views), per phase."""
+    views = 4 if smoke else 16
+    txns = 10 if smoke else 30
+    config = RetailConfig(customers=80, initial_sales=200 if smoke else 800, txn_inserts=8, seed=5)
+    workload = RetailWorkload(config)
+    db = Database(exec_mode=mode)
+    workload.setup_database(db)
+    base_view = sql_to_view(VIEW_SQL, db)
+
+    phases: dict[str, dict[str, object]] = {}
+    scenarios: list[BaseLogScenario] = []
+
+    start = time.perf_counter()
+    for index in range(views):
+        scenario = BaseLogScenario(db, ViewDefinition(f"V{index}", base_view.query))
+        scenario.install()
+        scenarios.append(scenario)
+    counter = scenarios[0].counter
+    for scenario in scenarios[1:]:
+        scenario.counter = counter
+    phases["install"] = {"ops": counter.tuples_out, "wall_s": round(time.perf_counter() - start, 6)}
+
+    marker = counter.tuples_out
+    start = time.perf_counter()
+    for txn in workload.transactions(db, txns):
+        plan = MaintenancePlan(patches=txn.weakly_minimal().patches())
+        for scenario in scenarios:
+            plan = plan.merge(scenario.make_safe(txn))
+        plan.execute(db, counter=counter)
+    phases["transactions"] = {
+        "ops": counter.tuples_out - marker,
+        "wall_s": round(time.perf_counter() - start, 6),
+    }
+
+    marker = counter.tuples_out
+    start = time.perf_counter()
+    for scenario in scenarios:
+        scenario.refresh()
+    phases["refresh_all"] = {
+        "ops": counter.tuples_out - marker,
+        "wall_s": round(time.perf_counter() - start, 6),
+    }
+    for scenario in scenarios:
+        assert scenario.is_consistent()
+    return {
+        "views": views,
+        "txns": txns,
+        "phases": phases,
+        "total_ops": counter.tuples_out,
+        "counters": _counter_summary(counter),
+    }
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def run_all(*, smoke: bool = False) -> dict[str, object]:
+    e7 = {mode: run_e7_refresh(mode, smoke=smoke) for mode in MODES}
+    e13 = {mode: run_e13_shared_views(mode, smoke=smoke) for mode in MODES}
+    e13_refresh = {mode: e13[mode]["phases"]["refresh_all"] for mode in MODES}
+    return {
+        "benchmark": "repro.bench.exec_bench",
+        "smoke": smoke,
+        "experiments": {
+            "E7_refresh": {
+                **{mode: e7[mode] for mode in MODES},
+                "tuple_op_reduction": _ratio(
+                    e7[INTERPRETED]["refresh_ops"], e7[COMPILED]["refresh_ops"]
+                ),
+                "wall_speedup": _ratio(
+                    e7[INTERPRETED]["refresh_wall_s"], e7[COMPILED]["refresh_wall_s"]
+                ),
+            },
+            "E13_shared_views": {
+                **{mode: e13[mode] for mode in MODES},
+                "refresh_tuple_op_reduction": _ratio(
+                    e13_refresh[INTERPRETED]["ops"], e13_refresh[COMPILED]["ops"]
+                ),
+                "refresh_wall_speedup": _ratio(
+                    e13_refresh[INTERPRETED]["wall_s"], e13_refresh[COMPILED]["wall_s"]
+                ),
+                "total_tuple_op_reduction": _ratio(
+                    e13[INTERPRETED]["total_ops"], e13[COMPILED]["total_ops"]
+                ),
+            },
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="shrunk workloads (for CI)")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON (default: BENCH_exec.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    output = args.output
+    if output is None:
+        output = Path(__file__).resolve().parents[3] / "BENCH_exec.json"
+
+    results = run_all(smoke=args.smoke)
+    output.write_text(json.dumps(results, indent=2, sort_keys=False) + "\n")
+
+    e7 = results["experiments"]["E7_refresh"]
+    e13 = results["experiments"]["E13_shared_views"]
+    print(f"wrote {output}")
+    print(
+        f"E7 refresh: {e7[INTERPRETED]['refresh_ops']} -> {e7[COMPILED]['refresh_ops']} tuple-ops "
+        f"({e7['tuple_op_reduction']}x), wall {e7['wall_speedup']}x"
+    )
+    print(
+        f"E13 refresh_all: {e13[INTERPRETED]['phases']['refresh_all']['ops']} -> "
+        f"{e13[COMPILED]['phases']['refresh_all']['ops']} tuple-ops "
+        f"({e13['refresh_tuple_op_reduction']}x), wall {e13['refresh_wall_speedup']}x, "
+        f"end-to-end {e13['total_tuple_op_reduction']}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,12 @@
 """Regenerate every experiment table: ``python -m repro.bench.run_all``.
 
 A thin convenience wrapper over the benchmark suite — runs
-``pytest benchmarks/ --benchmark-only`` and then concatenates the
-report tables from ``benchmarks/reports/`` in experiment order, so a
-single command reproduces everything quoted in ``EXPERIMENTS.md``.
+``pytest benchmarks/ --benchmark-only``, then the compiled-engine
+benchmark (:mod:`repro.bench.exec_bench`, which writes the
+machine-readable ``BENCH_exec.json`` perf trajectory), and finally
+concatenates the report tables from ``benchmarks/reports/`` in
+experiment order, so a single command reproduces everything quoted in
+``EXPERIMENTS.md``.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ __all__ = ["main"]
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
     repo_root = Path(__file__).resolve().parents[3]
     benchmarks = repo_root / "benchmarks"
     if not benchmarks.is_dir():
@@ -25,6 +29,13 @@ def main(argv: list[str] | None = None) -> int:
     command = [sys.executable, "-m", "pytest", str(benchmarks), "--benchmark-only", "-q"]
     print("$", " ".join(command))
     completed = subprocess.run(command, cwd=repo_root)
+
+    from repro.bench import exec_bench
+
+    exec_args = ["--smoke"] if "--smoke" in argv else []
+    print("$", "python -m repro.bench.exec_bench", *exec_args)
+    exec_rc = exec_bench.main(exec_args)
+
     reports = benchmarks / "reports"
     if reports.is_dir():
         def experiment_number(path: Path) -> int:
@@ -37,7 +48,7 @@ def main(argv: list[str] | None = None) -> int:
         for path in sorted(reports.glob("E*.txt"), key=experiment_number):
             print()
             print(path.read_text().rstrip())
-    return completed.returncode
+    return completed.returncode or exec_rc
 
 
 if __name__ == "__main__":

@@ -1,0 +1,795 @@
+"""Compilation of bag-algebra expressions into physical plans.
+
+A physical plan is a tree of :class:`PNode` operators produced once per
+distinct expression and then reused across ``evaluate`` calls.  Lowering
+does, at compile time, all the work the interpreted evaluator repeats on
+every call:
+
+* every predicate and map term is **bound** against its input schema
+  exactly once;
+* ``σ_p(E × F)`` with cross-operand equality conjuncts becomes an
+  **equi-join** node with the key positions chosen and the residual
+  predicate split into probe-side, build-side, and cross parts;
+* a chain of ``σ``/``Π``/``map`` over a stored table becomes a fused
+  :class:`SourceAccess`, which an equi-join or constant-equality
+  selection can serve from a maintained **hash index** (O(|delta| +
+  |output|) probes instead of O(|table|) scans);
+* ``E ∸ R`` against a stored table becomes a **monus-probe** node;
+* adjacent projections compose into one.
+
+Cost accounting mirrors the interpreted evaluator's conventions: every
+row an operator touches is one tuple-op, recorded under the operator's
+name.  Index-backed operators charge their probes (also tallied in
+:attr:`CostCounter.index_probes`) and the bucket rows they examine,
+never the table rows they skip — that difference is the measured win.
+
+Each node carries the sorted tuple of table names it reads; the executor
+stamps results with the tables' current version numbers so a memoized
+result is reused exactly as long as none of its inputs changed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from repro.algebra.bag import Bag, Row
+from repro.algebra.evaluation import _conjuncts, _equijoin_keys
+from repro.algebra.expr import (
+    DupElim,
+    Expr,
+    Literal,
+    MapProject,
+    Monus,
+    Product,
+    Project,
+    Select,
+    TableRef,
+    UnionAll,
+)
+from repro.algebra.predicates import And, Attr, Comparison, Const, Predicate
+from repro.errors import ReproError, UnknownTableError
+
+__all__ = ["Compiler", "PNode", "SourceAccess"]
+
+
+# ----------------------------------------------------------------------
+# Fused access paths over stored tables
+# ----------------------------------------------------------------------
+
+
+class SourceAccess:
+    """A ``σ``/``Π``/``map`` chain over one stored table, fused.
+
+    ``steps`` transform a base-table row into the chain's output row (or
+    drop it); ``out_map`` maps each output position back to the base
+    column it carries, or ``None`` for computed columns.  Join keys and
+    constant-equality selections whose output positions all map to base
+    columns can be served by a hash index on the base table.
+    """
+
+    __slots__ = ("table", "out_map", "steps")
+
+    def __init__(self, table: str, out_map: tuple[int | None, ...]) -> None:
+        self.table = table
+        self.out_map = out_map
+        self.steps: list[tuple[str, Any]] = []
+
+    def base_positions(self, out_positions: tuple[int, ...]) -> tuple[int, ...] | None:
+        """Map output positions to base columns (``None`` if any is computed)."""
+        mapped = tuple(self.out_map[position] for position in out_positions)
+        if any(position is None for position in mapped):
+            return None
+        return mapped  # type: ignore[return-value]
+
+    def apply(self, row: Row) -> Row | None:
+        """Run the fused chain on one base row (``None`` = filtered out)."""
+        for kind, payload in self.steps:
+            if kind == "filter":
+                if not payload(row):
+                    return None
+            elif kind == "project":
+                row = tuple(row[position] for position in payload)
+            else:  # "map"
+                row = tuple(function(row) for function in payload)
+        return row
+
+
+def source_access(expr: Expr) -> SourceAccess | None:
+    """Build a :class:`SourceAccess` for ``expr`` when it is a fusable chain."""
+    if isinstance(expr, TableRef):
+        return SourceAccess(expr.name, tuple(range(expr.table_schema.arity)))
+    if isinstance(expr, Select):
+        access = source_access(expr.child)
+        if access is None:
+            return None
+        access.steps.append(("filter", expr.predicate.bind(expr.child.schema())))
+        return access
+    if isinstance(expr, Project):
+        access = source_access(expr.child)
+        if access is None:
+            return None
+        positions = expr.positions()
+        access.out_map = tuple(access.out_map[position] for position in positions)
+        access.steps.append(("project", positions))
+        return access
+    if isinstance(expr, MapProject):
+        access = source_access(expr.child)
+        if access is None:
+            return None
+        child_schema = expr.child.schema()
+        out_map: list[int | None] = []
+        for term in expr.terms:
+            if isinstance(term, Attr):
+                out_map.append(access.out_map[child_schema.index_of(term.name)])
+            else:
+                out_map.append(None)
+        access.out_map = tuple(out_map)
+        access.steps.append(("map", tuple(term.bind(child_schema) for term in expr.terms)))
+        return access
+    return None
+
+
+# ----------------------------------------------------------------------
+# Physical operators
+# ----------------------------------------------------------------------
+
+
+class PNode:
+    """A physical operator with a version-stamped cross-call result memo."""
+
+    __slots__ = ("tables", "_stamp", "_value")
+
+    #: Whether execute() may short-circuit to φ via runtime_empty().
+    check_empty = True
+
+    def __init__(self, tables: frozenset[str]) -> None:
+        self.tables = tuple(sorted(tables))
+        self._stamp: tuple[int, ...] | None = None
+        self._value: Bag | None = None
+
+    def children(self) -> tuple[PNode, ...]:
+        return ()
+
+    def runtime_empty(self, state: Mapping[str, Bag]) -> bool:
+        """Conservatively decide emptiness from table sizes (False = unknown)."""
+        return False
+
+    def execute(self, ctx) -> Bag:
+        stamp = ctx.stamp_for(self.tables)
+        if stamp == self._stamp and self._value is not None:
+            if ctx.counter is not None:
+                ctx.counter.memo_hits += 1
+            return self._value
+        if self.check_empty and self.runtime_empty(ctx.state):
+            result = Bag.empty()
+        else:
+            result = self._compute(ctx)
+        self._stamp = stamp
+        self._value = result
+        return result
+
+    def _compute(self, ctx) -> Bag:
+        raise NotImplementedError
+
+
+class PLiteral(PNode):
+    check_empty = False
+
+    __slots__ = ("bag",)
+
+    def __init__(self, bag: Bag) -> None:
+        super().__init__(frozenset())
+        self.bag = bag
+
+    def runtime_empty(self, state) -> bool:
+        return not self.bag
+
+    def _compute(self, ctx) -> Bag:
+        if ctx.counter is not None:
+            ctx.counter.record("literal", len(self.bag))
+        return self.bag
+
+
+class PScan(PNode):
+    check_empty = False
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        super().__init__(frozenset({name}))
+        self.name = name
+
+    def runtime_empty(self, state) -> bool:
+        value = state.get(self.name)
+        return value is not None and not value
+
+    def _compute(self, ctx) -> Bag:
+        try:
+            result = ctx.state[self.name]
+        except KeyError:
+            raise UnknownTableError(f"table {self.name!r} is not present in the database state") from None
+        if ctx.counter is not None:
+            ctx.counter.record("scan", len(result))
+        return result
+
+
+class PPipeline(PNode):
+    """A fused σ/Π/map chain over a stored table, evaluated in one pass.
+
+    Charges one ``scan`` tuple-op per base row read — intermediate
+    selection/projection materializations are pipelined away.
+    """
+
+    __slots__ = ("access",)
+
+    def __init__(self, access: SourceAccess) -> None:
+        super().__init__(frozenset({access.table}))
+        self.access = access
+
+    def runtime_empty(self, state) -> bool:
+        value = state.get(self.access.table)
+        return value is not None and not value
+
+    def _compute(self, ctx) -> Bag:
+        try:
+            base = ctx.state[self.access.table]
+        except KeyError:
+            raise UnknownTableError(
+                f"table {self.access.table!r} is not present in the database state"
+            ) from None
+        counts: dict[Row, int] = {}
+        read = 0
+        apply = self.access.apply
+        for row, count in base.items():
+            read += 1
+            image = apply(row)
+            if image is None:
+                continue
+            counts[image] = counts.get(image, 0) + count
+        if ctx.counter is not None:
+            ctx.counter.record("scan", read)
+        return Bag(counts=counts)
+
+
+class PIndexSelect(PNode):
+    """``σ_{attr=const ∧ …}`` over a fused source, via one index probe."""
+
+    __slots__ = ("access", "key_positions", "key_values", "residual")
+
+    def __init__(
+        self,
+        access: SourceAccess,
+        key_positions: tuple[int, ...],
+        key_values: tuple,
+        residual: Callable[[Row], bool] | None,
+    ) -> None:
+        super().__init__(frozenset({access.table}))
+        self.access = access
+        self.key_positions = key_positions
+        self.key_values = key_values
+        self.residual = residual
+
+    def runtime_empty(self, state) -> bool:
+        value = state.get(self.access.table)
+        return value is not None and not value
+
+    def _compute(self, ctx) -> Bag:
+        try:
+            base = ctx.state[self.access.table]
+        except KeyError:
+            raise UnknownTableError(
+                f"table {self.access.table!r} is not present in the database state"
+            ) from None
+        index = ctx.indexes.get(self.access.table, self.key_positions, base, counter=ctx.counter)
+        bucket = index.lookup(self.key_values)
+        counts: dict[Row, int] = {}
+        examined = 0
+        apply = self.access.apply
+        residual = self.residual
+        for row, count in bucket.items():
+            examined += 1
+            image = apply(row)
+            if image is None:
+                continue
+            if residual is not None and not residual(image):
+                continue
+            counts[image] = counts.get(image, 0) + count
+        if ctx.counter is not None:
+            ctx.counter.record_probes("index_probe", 1)
+            ctx.counter.record("index_select", examined)
+        return Bag(counts=counts)
+
+
+class PFilter(PNode):
+    __slots__ = ("child", "predicate")
+
+    def __init__(self, child: PNode, predicate: Callable[[Row], bool]) -> None:
+        super().__init__(frozenset(child.tables))
+        self.child = child
+        self.predicate = predicate
+
+    def children(self):
+        return (self.child,)
+
+    def runtime_empty(self, state) -> bool:
+        return self.child.runtime_empty(state)
+
+    def _compute(self, ctx) -> Bag:
+        result = self.child.execute(ctx).select(self.predicate)
+        if ctx.counter is not None:
+            ctx.counter.record("select", len(result))
+        return result
+
+
+class PProject(PNode):
+    __slots__ = ("child", "positions")
+
+    def __init__(self, child: PNode, positions: tuple[int, ...]) -> None:
+        super().__init__(frozenset(child.tables))
+        self.child = child
+        self.positions = positions
+
+    def children(self):
+        return (self.child,)
+
+    def runtime_empty(self, state) -> bool:
+        return self.child.runtime_empty(state)
+
+    def _compute(self, ctx) -> Bag:
+        result = self.child.execute(ctx).project(self.positions)
+        if ctx.counter is not None:
+            ctx.counter.record("project", len(result))
+        return result
+
+
+class PMap(PNode):
+    __slots__ = ("child", "functions")
+
+    def __init__(self, child: PNode, functions: tuple[Callable[[Row], Any], ...]) -> None:
+        super().__init__(frozenset(child.tables))
+        self.child = child
+        self.functions = functions
+
+    def children(self):
+        return (self.child,)
+
+    def runtime_empty(self, state) -> bool:
+        return self.child.runtime_empty(state)
+
+    def _compute(self, ctx) -> Bag:
+        counts: dict[Row, int] = {}
+        for row, count in self.child.execute(ctx).items():
+            image = tuple(function(row) for function in self.functions)
+            counts[image] = counts.get(image, 0) + count
+        result = Bag(counts=counts)
+        if ctx.counter is not None:
+            ctx.counter.record("map", len(result))
+        return result
+
+
+class PDedup(PNode):
+    __slots__ = ("child",)
+
+    def __init__(self, child: PNode) -> None:
+        super().__init__(frozenset(child.tables))
+        self.child = child
+
+    def children(self):
+        return (self.child,)
+
+    def runtime_empty(self, state) -> bool:
+        return self.child.runtime_empty(state)
+
+    def _compute(self, ctx) -> Bag:
+        result = self.child.execute(ctx).dedup()
+        if ctx.counter is not None:
+            ctx.counter.record("dedup", len(result))
+        return result
+
+
+class PUnionAll(PNode):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: PNode, right: PNode) -> None:
+        super().__init__(frozenset(left.tables) | frozenset(right.tables))
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def runtime_empty(self, state) -> bool:
+        return self.left.runtime_empty(state) and self.right.runtime_empty(state)
+
+    def _compute(self, ctx) -> Bag:
+        result = self.left.execute(ctx).union_all(self.right.execute(ctx))
+        if ctx.counter is not None:
+            ctx.counter.record("union_all", len(result))
+        return result
+
+
+class PMonus(PNode):
+    """``E ∸ F``, probing the stored table's hash map when ``F`` is one."""
+
+    __slots__ = ("left", "right", "probe_table")
+
+    def __init__(self, left: PNode, right: PNode, probe_table: str | None) -> None:
+        super().__init__(frozenset(left.tables) | frozenset(right.tables))
+        self.left = left
+        self.right = right
+        self.probe_table = probe_table
+
+    def children(self):
+        return (self.left, self.right)
+
+    def runtime_empty(self, state) -> bool:
+        return self.left.runtime_empty(state)
+
+    def _compute(self, ctx) -> Bag:
+        if self.right.runtime_empty(ctx.state):
+            # ``E ∸ φ`` is ``E``: skip the anti-join entirely.
+            return self.left.execute(ctx)
+        left = self.left.execute(ctx)
+        if self.probe_table is not None:
+            try:
+                right = ctx.state[self.probe_table]
+            except KeyError:
+                raise UnknownTableError(
+                    f"table {self.probe_table!r} is not present in the database state"
+                ) from None
+            if ctx.counter is not None:
+                ctx.counter.record_probes("probe", left.distinct_count())
+        else:
+            right = self.right.execute(ctx)
+        result = left.monus(right)
+        if ctx.counter is not None:
+            ctx.counter.record("monus", len(result))
+        return result
+
+
+class PProduct(PNode):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: PNode, right: PNode) -> None:
+        super().__init__(frozenset(left.tables) | frozenset(right.tables))
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def runtime_empty(self, state) -> bool:
+        return self.left.runtime_empty(state) or self.right.runtime_empty(state)
+
+    def _compute(self, ctx) -> Bag:
+        result = self.left.execute(ctx).product(self.right.execute(ctx))
+        if ctx.counter is not None:
+            ctx.counter.record("product", len(result))
+        return result
+
+
+class _JoinSide:
+    """Compile-time description of one equi-join operand."""
+
+    __slots__ = ("node", "key_positions", "access", "base_key_positions", "side_filter")
+
+    def __init__(
+        self,
+        node: PNode,
+        key_positions: tuple[int, ...],
+        access: SourceAccess | None,
+        side_filter: Callable[[Row], bool] | None,
+    ) -> None:
+        self.node = node
+        self.key_positions = key_positions
+        self.access = access
+        # Base columns behind the join keys; None = not index-servable.
+        self.base_key_positions = access.base_positions(key_positions) if access is not None else None
+        self.side_filter = side_filter
+
+    @property
+    def indexable(self) -> bool:
+        return self.base_key_positions is not None
+
+
+class PEquiJoin(PNode):
+    """``σ_p(E × F)`` with equality keys: hash join or index-probe join.
+
+    At execute time the join picks the cheapest strategy available: if
+    one operand is a fused chain over a stored table whose join keys map
+    to base columns, that side is served from a maintained hash index
+    (its scan is skipped entirely) and the other side drives the probes.
+    Otherwise both operands are evaluated and hashed classically.
+    """
+
+    __slots__ = ("left", "right", "residual")
+
+    def __init__(self, left: _JoinSide, right: _JoinSide, residual: Callable[[Row], bool] | None) -> None:
+        super().__init__(frozenset(left.node.tables) | frozenset(right.node.tables))
+        self.left = left
+        self.right = right
+        self.residual = residual
+
+    def children(self):
+        return (self.left.node, self.right.node)
+
+    def runtime_empty(self, state) -> bool:
+        return self.left.node.runtime_empty(state) or self.right.node.runtime_empty(state)
+
+    def _index_side(self, ctx) -> _JoinSide | None:
+        """The side to serve from an index (the larger stored table wins)."""
+        candidates = [side for side in (self.left, self.right) if side.indexable]
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        sizes = [len(ctx.state.get(side.access.table, ())) for side in candidates]
+        return candidates[0] if sizes[0] >= sizes[1] else candidates[1]
+
+    def _compute(self, ctx) -> Bag:
+        indexed = self._index_side(ctx)
+        if indexed is not None:
+            return self._probe_join(ctx, indexed)
+        return self._hash_join(ctx)
+
+    def _probe_join(self, ctx, indexed: _JoinSide) -> Bag:
+        probe = self.right if indexed is self.left else self.left
+        probe_bag = probe.node.execute(ctx)
+        try:
+            base = ctx.state[indexed.access.table]
+        except KeyError:
+            raise UnknownTableError(
+                f"table {indexed.access.table!r} is not present in the database state"
+            ) from None
+        index = ctx.indexes.get(
+            indexed.access.table, indexed.base_key_positions, base, counter=ctx.counter
+        )
+        probe_positions = probe.key_positions
+        probe_filter = probe.side_filter
+        indexed_filter = indexed.side_filter
+        apply = indexed.access.apply
+        residual = self.residual
+        left_is_probe = probe is self.left
+        counts: dict[Row, int] = {}
+        probes = 0
+        examined = 0
+        for probe_row, probe_count in probe_bag.items():
+            if probe_filter is not None and not probe_filter(probe_row):
+                continue
+            probes += 1
+            bucket = index.lookup(tuple(probe_row[position] for position in probe_positions))
+            if not bucket:
+                continue
+            for base_row, base_count in bucket.items():
+                examined += 1
+                image = apply(base_row)
+                if image is None:
+                    continue
+                if indexed_filter is not None and not indexed_filter(image):
+                    continue
+                joined = probe_row + image if left_is_probe else image + probe_row
+                if residual is not None and not residual(joined):
+                    continue
+                counts[joined] = counts.get(joined, 0) + probe_count * base_count
+        if ctx.counter is not None:
+            ctx.counter.record_probes("index_probe", probes)
+            ctx.counter.record("index_join", examined)
+        return Bag(counts=counts)
+
+    def _hash_join(self, ctx) -> Bag:
+        left = self.left.node.execute(ctx)
+        right = self.right.node.execute(ctx)
+        left_filter = self.left.side_filter
+        right_filter = self.right.side_filter
+        # Build on the smaller operand for wall-clock; cost charges are
+        # symmetric (inputs are charged at the child nodes, the join
+        # charges its output — same convention as the interpreted path).
+        swap = len(left) < len(right)
+        build_bag, build_positions, build_filter = (
+            (left, self.left.key_positions, left_filter)
+            if swap
+            else (right, self.right.key_positions, right_filter)
+        )
+        probe_bag, probe_positions, probe_filter = (
+            (right, self.right.key_positions, right_filter)
+            if swap
+            else (left, self.left.key_positions, left_filter)
+        )
+        buckets: dict[tuple, list[tuple[Row, int]]] = {}
+        for row, count in build_bag.items():
+            if build_filter is not None and not build_filter(row):
+                continue
+            buckets.setdefault(tuple(row[position] for position in build_positions), []).append((row, count))
+        residual = self.residual
+        counts: dict[Row, int] = {}
+        for row, count in probe_bag.items():
+            if probe_filter is not None and not probe_filter(row):
+                continue
+            bucket = buckets.get(tuple(row[position] for position in probe_positions))
+            if not bucket:
+                continue
+            for other_row, other_count in bucket:
+                if swap:
+                    joined = other_row + row if probe_bag is right else row + other_row
+                else:
+                    joined = row + other_row
+                if residual is not None and not residual(joined):
+                    continue
+                counts[joined] = counts.get(joined, 0) + count * other_count
+        result = Bag(counts=counts)
+        if ctx.counter is not None:
+            ctx.counter.record("hash_join", len(result))
+        return result
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+
+
+def _pad_row(arity: int):
+    pad = (None,) * arity
+    return pad
+
+
+class Compiler:
+    """Lowers expressions to physical plans, sharing nodes structurally.
+
+    The node table is shared with the owning executor, so structurally
+    equal subexpressions — within one plan or across plans for different
+    views — compile to the *same* node object and therefore share one
+    version-stamped result memo.
+    """
+
+    def __init__(self, nodes: dict[Expr, PNode]) -> None:
+        self._nodes = nodes
+
+    def compile(self, expr: Expr) -> PNode:
+        node = self._nodes.get(expr)
+        if node is None:
+            node = self._build(expr)
+            self._nodes[expr] = node
+        return node
+
+    def _build(self, expr: Expr) -> PNode:
+        if isinstance(expr, TableRef):
+            return PScan(expr.name)
+        if isinstance(expr, Literal):
+            return PLiteral(expr.bag)
+        if isinstance(expr, Select):
+            return self._build_select(expr)
+        if isinstance(expr, Project):
+            return self._build_project(expr)
+        if isinstance(expr, MapProject):
+            access = source_access(expr)
+            if access is not None:
+                return PPipeline(access)
+            child_schema = expr.child.schema()
+            functions = tuple(term.bind(child_schema) for term in expr.terms)
+            return PMap(self.compile(expr.child), functions)
+        if isinstance(expr, DupElim):
+            return PDedup(self.compile(expr.child))
+        if isinstance(expr, UnionAll):
+            return PUnionAll(self.compile(expr.left), self.compile(expr.right))
+        if isinstance(expr, Monus):
+            probe_table = expr.right.name if isinstance(expr.right, TableRef) else None
+            return PMonus(self.compile(expr.left), self.compile(expr.right), probe_table)
+        if isinstance(expr, Product):
+            return PProduct(self.compile(expr.left), self.compile(expr.right))
+        raise ReproError(f"unknown expression node: {type(expr).__name__}")
+
+    # -- selections ----------------------------------------------------
+
+    def _build_select(self, expr: Select) -> PNode:
+        if isinstance(expr.child, Product):
+            join = self._build_equijoin(expr, expr.child)
+            if join is not None:
+                return join
+        index_select = self._build_index_select(expr)
+        if index_select is not None:
+            return index_select
+        access = source_access(expr)
+        if access is not None:
+            return PPipeline(access)
+        predicate = expr.predicate.bind(expr.child.schema())
+        return PFilter(self.compile(expr.child), predicate)
+
+    def _build_index_select(self, expr: Select) -> PNode | None:
+        """``σ_{attr=const ∧ rest}(chain over R)`` as an index lookup."""
+        access = source_access(expr.child)
+        if access is None:
+            return None
+        child_schema = expr.child.schema()
+        key_out_positions: list[int] = []
+        key_values: list = []
+        residual: list[Predicate] = []
+        for conjunct in _conjuncts(expr.predicate):
+            if isinstance(conjunct, Comparison) and conjunct.op == "=":
+                attr_side = const_side = None
+                if isinstance(conjunct.left, Attr) and isinstance(conjunct.right, Const):
+                    attr_side, const_side = conjunct.left, conjunct.right
+                elif isinstance(conjunct.right, Attr) and isinstance(conjunct.left, Const):
+                    attr_side, const_side = conjunct.right, conjunct.left
+                if attr_side is not None and const_side is not None and const_side.value is not None:
+                    key_out_positions.append(child_schema.index_of(attr_side.name))
+                    key_values.append(const_side.value)
+                    continue
+            residual.append(conjunct)
+        if not key_out_positions:
+            return None
+        base_positions = access.base_positions(tuple(key_out_positions))
+        if base_positions is None:
+            return None
+        residual_check = None
+        if residual:
+            predicate = residual[0]
+            for extra in residual[1:]:
+                predicate = And(predicate, extra)
+            residual_check = predicate.bind(child_schema)
+        return PIndexSelect(access, base_positions, tuple(key_values), residual_check)
+
+    # -- equi-joins ----------------------------------------------------
+
+    def _build_equijoin(self, expr: Select, product: Product) -> PNode | None:
+        schema = product.schema()
+        left_arity = product.left.schema().arity
+        keys, residual = _equijoin_keys(expr.predicate, schema, left_arity)
+        if not keys:
+            return None
+        left_only: list[Predicate] = []
+        right_only: list[Predicate] = []
+        cross: list[Predicate] = []
+        for conjunct in residual:
+            positions = [schema.index_of(name) for name in conjunct.attributes()]
+            if positions and all(position < left_arity for position in positions):
+                left_only.append(conjunct)
+            elif positions and all(position >= left_arity for position in positions):
+                right_only.append(conjunct)
+            else:
+                cross.append(conjunct)
+
+        def bind_all(conjuncts: list[Predicate]) -> Callable[[Row], bool] | None:
+            if not conjuncts:
+                return None
+            predicate = conjuncts[0]
+            for extra in conjuncts[1:]:
+                predicate = And(predicate, extra)
+            return predicate.bind(schema)
+
+        left_filter = bind_all(left_only)
+        right_joint = bind_all(right_only)
+        right_filter = None
+        if right_joint is not None:
+            pad = _pad_row(left_arity)
+            right_filter = lambda row, _fn=right_joint, _pad=pad: _fn(_pad + row)  # noqa: E731
+        cross_check = bind_all(cross)
+
+        left_side = _JoinSide(
+            self.compile(product.left),
+            tuple(position for position, __ in keys),
+            source_access(product.left),
+            left_filter,
+        )
+        right_side = _JoinSide(
+            self.compile(product.right),
+            tuple(position for __, position in keys),
+            source_access(product.right),
+            right_filter,
+        )
+        return PEquiJoin(left_side, right_side, cross_check)
+
+    # -- projections ---------------------------------------------------
+
+    def _build_project(self, expr: Project) -> PNode:
+        access = source_access(expr)
+        if access is not None:
+            return PPipeline(access)
+        # Compose adjacent projections: Π_A(Π_B(E)) = Π_{B∘A}(E).
+        positions = expr.positions()
+        child: Expr = expr.child
+        while isinstance(child, Project):
+            inner = child.positions()
+            positions = tuple(inner[position] for position in positions)
+            child = child.child
+        return PProject(self.compile(child), positions)

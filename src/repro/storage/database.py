@@ -27,17 +27,77 @@ from repro.algebra.evaluation import CostCounter, evaluate
 from repro.algebra.expr import Expr, TableRef
 from repro.algebra.schema import Schema
 from repro.errors import SchemaError, TransactionError, UnknownTableError
+from repro.exec import COMPILED, Executor, default_exec_mode, resolve_exec_mode
+from repro.exec.indexes import IndexManager
 
 __all__ = ["Database"]
 
 
 class Database:
-    """A mutable collection of named bag tables with schemas."""
+    """A mutable collection of named bag tables with schemas.
 
-    def __init__(self) -> None:
+    Queries run through one of two engines (see :mod:`repro.exec`):
+
+    * ``exec_mode="compiled"`` (the default) lowers expressions once
+      into cached physical plans whose subexpression results are reused
+      across calls, guarded by per-table *version stamps* — a monotonic
+      clock value bumped on every write to a table;
+    * ``exec_mode="interpreted"`` walks the AST on every call and serves
+      as the correctness oracle.
+
+    The database also owns the :class:`~repro.exec.indexes.IndexManager`
+    holding hash indexes on stored tables; every write path below
+    forwards its delta (or replacement value) so indexes stay current
+    incrementally.
+    """
+
+    def __init__(self, *, exec_mode: str | None = None) -> None:
         self._tables: dict[str, Bag] = {}
         self._schemas: dict[str, Schema] = {}
         self._internal: set[str] = set()
+        self._exec_mode = default_exec_mode() if exec_mode is None else resolve_exec_mode(exec_mode)
+        self._versions: dict[str, int] = {}
+        self._clock = 0
+        self._indexes = IndexManager()
+        self._executor: Executor | None = None
+
+    # ------------------------------------------------------------------
+    # Execution engine
+    # ------------------------------------------------------------------
+
+    @property
+    def exec_mode(self) -> str:
+        return self._exec_mode
+
+    @property
+    def indexes(self) -> IndexManager:
+        return self._indexes
+
+    @property
+    def executor(self) -> Executor:
+        if self._executor is None:
+            self._executor = Executor(self)
+        return self._executor
+
+    def version_of(self, name: str) -> int:
+        """The table's current version stamp (bumped on every write)."""
+        return self._versions.get(name, -1)
+
+    def _bump(self, name: str) -> None:
+        self._clock += 1
+        self._versions[name] = self._clock
+
+    def prime(self, *exprs: Expr, counter: CostCounter | None = None) -> None:
+        """Compile ``exprs`` now and pre-build the indexes their plans use.
+
+        Scenarios call this at install time while log tables are still
+        empty, so index builds are free and all later maintenance is
+        incremental.  A no-op in interpreted mode.
+        """
+        if self._exec_mode != COMPILED:
+            return
+        for expr in exprs:
+            self.executor.prime(expr, counter=counter)
 
     # ------------------------------------------------------------------
     # Catalog operations
@@ -63,6 +123,7 @@ class Database:
         self._schemas[name] = schema
         if internal:
             self._internal.add(name)
+        self._bump(name)
         return TableRef(name, schema)
 
     def drop_table(self, name: str) -> None:
@@ -71,6 +132,8 @@ class Database:
         del self._tables[name]
         del self._schemas[name]
         self._internal.discard(name)
+        self._versions.pop(name, None)
+        self._indexes.drop(name)
 
     def has_table(self, name: str) -> bool:
         return name in self._tables
@@ -116,6 +179,8 @@ class Database:
 
     def evaluate(self, expr: Expr, *, counter: CostCounter | None = None) -> Bag:
         """Evaluate a query in the current state."""
+        if self._exec_mode == COMPILED:
+            return self.executor.evaluate(expr, counter=counter)
         return evaluate(expr, self._tables, counter=counter)
 
     def total_rows(self) -> int:
@@ -134,6 +199,8 @@ class Database:
                 f"cannot set {name!r}: bag arity {bag.arity} vs schema arity {self._schemas[name].arity}"
             )
         self._tables[name] = bag
+        self._bump(name)
+        self._indexes.on_replace(name, bag)
 
     def load(self, name: str, rows: Iterable[Row]) -> None:
         """Bulk-insert rows (bypasses transactions; for initial loading)."""
@@ -175,8 +242,21 @@ class Database:
         overlap = set(assignments) & set(patches)
         if overlap:
             raise TransactionError(f"tables both assigned and patched: {sorted(overlap)}")
+        compiled = self._exec_mode == COMPILED
         memo: dict[Expr, Bag] = {}
+
+        def run(expr: Expr) -> Bag:
+            # Compiled: the executor's version-stamped memo shares work
+            # both within this transaction and with earlier evaluations
+            # of the (unchanged) pre-state.  Interpreted: a fresh memo
+            # scoped to this transaction's pre-state (see the warning on
+            # :func:`repro.algebra.evaluation.evaluate`).
+            if compiled:
+                return self.executor.evaluate(expr, counter=counter)
+            return evaluate(expr, self._tables, counter=counter, memo=memo)
+
         new_values: dict[str, Bag] = {}
+        patch_deltas: dict[str, tuple[Bag, Bag]] = {}
 
         def check_target(name: str, arity: int, kind: str) -> None:
             self._require(name)
@@ -190,16 +270,24 @@ class Database:
 
         for name, expr in assignments.items():
             check_target(name, expr.schema().arity, "assignment")
-            new_values[name] = evaluate(expr, self._tables, counter=counter, memo=memo)
+            new_values[name] = run(expr)
         for name, (delete, insert) in patches.items():
             check_target(name, delete.schema().arity, "patch delete")
             check_target(name, insert.schema().arity, "patch insert")
-            delete_value = evaluate(delete, self._tables, counter=counter, memo=memo)
-            insert_value = evaluate(insert, self._tables, counter=counter, memo=memo)
+            delete_value = run(delete)
+            insert_value = run(insert)
             if counter is not None:
                 counter.record("patch", len(delete_value) + len(insert_value))
             new_values[name] = self._tables[name].patch(delete_value, insert_value)
+            patch_deltas[name] = (delete_value, insert_value)
         self._tables.update(new_values)
+        for name in new_values:
+            self._bump(name)
+            delta = patch_deltas.get(name)
+            if delta is not None:
+                self._indexes.on_patch(name, delta[0], delta[1], counter=counter)
+            else:
+                self._indexes.on_replace(name, new_values[name], counter=counter)
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -214,13 +302,23 @@ class Database:
         for name in snapshot:
             self._require(name)
         self._tables.update(snapshot)
+        for name, bag in snapshot.items():
+            self._bump(name)
+            self._indexes.on_replace(name, bag)
 
     def clone(self) -> Database:
-        """An independent copy sharing the (immutable) bag values."""
-        other = Database()
+        """An independent copy sharing the (immutable) bag values.
+
+        The clone keeps the execution mode and version history but gets
+        its own executor and (empty) index manager, so plans, memos, and
+        indexes are never shared between divergent states.
+        """
+        other = Database(exec_mode=self._exec_mode)
         other._tables = dict(self._tables)
         other._schemas = dict(self._schemas)
         other._internal = set(self._internal)
+        other._versions = dict(self._versions)
+        other._clock = self._clock
         return other
 
     def __repr__(self) -> str:

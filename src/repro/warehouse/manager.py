@@ -81,12 +81,24 @@ class ManagedTransaction:
 class ViewManager:
     """Manages base tables and materialized views over one database."""
 
-    def __init__(self, db: Database | None = None) -> None:
-        self.db = db if db is not None else Database()
+    def __init__(self, db: Database | None = None, *, exec_mode: str | None = None) -> None:
+        """``exec_mode`` picks the query engine for a fresh database —
+        ``"compiled"`` (default) or the ``"interpreted"`` oracle; see
+        :mod:`repro.exec`.  Ignored when an existing ``db`` is passed."""
+        self.db = db if db is not None else Database(exec_mode=exec_mode)
         self.counter = CostCounter()
         self.ledger = LockLedger()
         self._scenarios: dict[str, Scenario] = {}
         self._drivers: dict[str, MaintenanceDriver] = {}
+
+    def exec_stats(self) -> dict[str, int]:
+        """Plan-cache and index counters of the compiled engine so far."""
+        return {
+            "plan_hits": self.counter.plan_hits,
+            "plan_misses": self.counter.plan_misses,
+            "memo_hits": self.counter.memo_hits,
+            "index_probes": self.counter.index_probes,
+        }
 
     # ------------------------------------------------------------------
     # Base tables

@@ -93,6 +93,39 @@ class TestMemoization:
         assert counter.by_operator["scan"] == 3  # second call hits the memo
 
 
+class TestMemoContract:
+    """The memo is scoped to ONE state — reuse across states is unsafe.
+
+    This pins down the documented contract (see the warning on
+    ``evaluate``): the memo knows nothing about which state produced an
+    entry, so sharing one dict across calls against different states
+    returns stale results.  Callers needing safe cross-state reuse must
+    go through the compiled executor, whose per-node results are
+    invalidated by table version stamps (tests/exec/test_executor.py).
+    """
+
+    def test_shared_memo_within_one_state_reuses_results(self):
+        shared = Project(("a",), R)
+        memo = {}
+        counter = CostCounter()
+        evaluate(shared, STATE, counter=counter, memo=memo)
+        evaluate(UnionAll(shared, shared), STATE, counter=counter, memo=memo)
+        # R holds 3 tuples and is scanned once overall (3, not 6).
+        assert counter.by_operator["scan"] == 3
+
+    def test_shared_memo_across_states_returns_stale_results(self):
+        expr = Project(("a",), R)
+        memo = {}
+        first = evaluate(expr, STATE, counter=None, memo=memo)
+        changed = dict(STATE, R=Bag([(7, 70)]))
+        stale = evaluate(expr, changed, counter=None, memo=memo)
+        # The memo wins over the new state: this IS the documented hazard.
+        assert stale == first
+        assert stale != evaluate(expr, changed)
+        # A fresh memo (the default) sees the new state.
+        assert evaluate(expr, changed, memo={}) == Bag([(7,)])
+
+
 class TestCostCounter:
     def test_records_tuples_and_evaluations(self):
         counter = CostCounter()
@@ -105,7 +138,10 @@ class TestCostCounter:
         evaluate(R, STATE, counter=counter)
         snap = counter.snapshot()
         assert snap["tuples_out"] == 3
-        assert snap["scan"] == 3
+        # Per-operator totals are nested so they can never shadow the
+        # top-level keys (a "tuples_out" operator would have collided).
+        assert snap["operators"] == {"scan": 3}
+        assert "scan" not in snap
 
     def test_reset(self):
         counter = CostCounter()

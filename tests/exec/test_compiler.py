@@ -1,0 +1,198 @@
+"""Unit tests for expression lowering into physical plans."""
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.algebra.evaluation import CostCounter, evaluate
+from repro.algebra.expr import Literal, MapProject, Select
+from repro.algebra.predicates import And, Arith, Attr, Comparison, Const
+from repro.algebra.schema import Schema
+from repro.errors import UnknownTableError
+from repro.exec.compiler import (
+    Compiler,
+    PEquiJoin,
+    PFilter,
+    PIndexSelect,
+    PLiteral,
+    PMonus,
+    PPipeline,
+    PProject,
+    PScan,
+    PUnionAll,
+    source_access,
+)
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def db():
+    database = Database(exec_mode="compiled")
+    database.create_table(
+        "customer", ["custId", "name", "score"], rows=[(1, "ann", "High"), (2, "bob", "Low")]
+    )
+    database.create_table(
+        "sales", ["saleId", "cId", "qty"], rows=[(10, 1, 5), (11, 1, 0), (12, 2, 7)]
+    )
+    return database
+
+
+def compile_expr(expr):
+    return Compiler({}).compile(expr)
+
+
+def plan_for(db, expr):
+    db.evaluate(expr)
+    return db.executor.node_for(expr)
+
+
+class TestSourceAccess:
+    def test_chain_fuses(self, db):
+        expr = (
+            db.ref("customer")
+            .where(Comparison("=", Attr("score"), Const("High")))
+            .project(["name", "custId"])
+        )
+        access = source_access(expr)
+        assert access.table == "customer"
+        assert access.out_map == (1, 0)
+        assert access.apply((1, "ann", "High")) == ("ann", 1)
+        assert access.apply((2, "bob", "Low")) is None
+
+    def test_map_terms_break_base_positions(self, db):
+        schema = db.schema_of("sales")
+        expr = MapProject(
+            (Attr("cId"), Arith("+", Attr("qty"), Const(1))), db.ref("sales"), ("cId", "qtyPlus")
+        )
+        access = source_access(expr)
+        assert access.out_map == (1, None)
+        assert access.base_positions((0,)) == (1,)
+        assert access.base_positions((1,)) is None
+        assert schema.arity == 3
+
+    def test_union_breaks_fusion(self, db):
+        expr = db.ref("sales").union_all(db.ref("sales"))
+        assert source_access(expr) is None
+
+
+class TestLowering:
+    def test_scan_and_literal(self, db):
+        assert isinstance(compile_expr(db.ref("sales")), PScan)
+        literal = Literal(Bag([(1,)]), Schema(["x"]))
+        assert isinstance(compile_expr(literal), PLiteral)
+
+    def test_fused_chain_becomes_pipeline(self, db):
+        expr = db.ref("sales").project(["cId"])
+        assert isinstance(compile_expr(expr), PPipeline)
+
+    def test_projection_composition(self, db):
+        expr = db.ref("customer").project(["name", "score"]).project(["score"])
+        node = compile_expr(expr)
+        # The fused pipeline applies both projections in one pass...
+        assert isinstance(node, PPipeline)
+        assert node.access.out_map == (2,)
+        # ...and a non-fusable child still gets a single composed PProject.
+        union = db.ref("customer").union_all(db.ref("customer"))
+        composed = compile_expr(union.project(["name", "score"]).project(["score"]))
+        assert isinstance(composed, PProject)
+        assert composed.positions == (2,)
+        assert isinstance(composed.child, PUnionAll)
+
+    def test_const_equality_becomes_index_select(self, db):
+        expr = db.ref("customer").where(
+            And(
+                Comparison("=", Attr("score"), Const("High")),
+                Comparison("!=", Attr("custId"), Const(7)),
+            )
+        )
+        node = compile_expr(expr)
+        assert isinstance(node, PIndexSelect)
+        assert node.key_positions == (2,)
+        assert node.key_values == ("High",)
+        assert node.residual is not None
+
+    def test_select_without_constant_key_stays_filter(self, db):
+        union = db.ref("customer").union_all(db.ref("customer"))
+        expr = union.where(Comparison("=", Attr("score"), Const("High")))
+        assert isinstance(compile_expr(expr), PFilter)
+
+    def test_join_lowering_splits_residual(self, db):
+        predicate = And(
+            Comparison("=", Attr("custId"), Attr("cId")),
+            And(
+                Comparison("=", Attr("score"), Const("High")),  # probe-side only
+                Comparison("!=", Attr("qty"), Const(0)),  # indexed-side only
+            ),
+        )
+        expr = Select(predicate, db.ref("customer").product(db.ref("sales")))
+        node = compile_expr(expr)
+        assert isinstance(node, PEquiJoin)
+        assert node.left.key_positions == (0,)
+        assert node.right.key_positions == (1,)
+        assert node.left.indexable and node.right.indexable
+        assert node.left.side_filter is not None
+        assert node.right.side_filter is not None
+        assert node.residual is None
+
+    def test_monus_against_table_probes(self, db):
+        expr = db.ref("sales").monus(db.ref("sales"))
+        node = compile_expr(expr)
+        assert isinstance(node, PMonus)
+        assert node.probe_table == "sales"
+        literal = Literal(Bag.empty(), db.schema_of("sales"))
+        no_probe = compile_expr(db.ref("sales").monus(Literal(Bag([(1, 1, 1)]), db.schema_of("sales"))))
+        assert no_probe.probe_table is None
+        assert literal.bag == Bag.empty()
+
+    def test_structural_sharing(self, db):
+        shared = db.ref("sales").project(["cId"])
+        compiler = Compiler({})
+        first = compiler.compile(shared.union_all(shared))
+        assert first.left is first.right
+
+
+class TestExecutionMatchesOracle:
+    def test_every_node_shape(self, db):
+        sales, customer = db.ref("sales"), db.ref("customer")
+        join_pred = And(
+            Comparison("=", Attr("custId"), Attr("cId")),
+            Comparison("=", Attr("score"), Const("High")),
+        )
+        exprs = [
+            sales,
+            Literal(Bag([(1, 2)]), Schema(["a", "b"])),
+            sales.project(["cId", "qty"]),
+            sales.where(Comparison("=", Attr("cId"), Const(1))),
+            sales.where(Comparison("<", Attr("qty"), Attr("saleId"))),
+            MapProject((Arith("+", Attr("qty"), Const(1)),), sales, ("q1",)),
+            sales.project(["cId"]).dedup(),
+            sales.union_all(sales),
+            sales.monus(sales.where(Comparison("=", Attr("qty"), Const(0)))),
+            customer.product(sales),
+            Select(join_pred, customer.product(sales)),
+            Select(join_pred, customer.product(sales)).project(["name", "qty"]),
+        ]
+        for expr in exprs:
+            compiled = db.evaluate(expr)
+            assert compiled == evaluate(expr, db.state), expr
+
+    def test_missing_table_raises(self, db):
+        expr = db.ref("sales")
+        db.drop_table("sales")
+        with pytest.raises(UnknownTableError):
+            db.evaluate(expr)
+
+    def test_index_join_counts_probes_not_scans(self, db):
+        expr = Select(
+            Comparison("=", Attr("custId"), Attr("cId")),
+            db.ref("customer").product(db.ref("sales")),
+        )
+        counter = CostCounter()
+        result = db.evaluate(expr, counter=counter)
+        assert result == evaluate(expr, db.state)
+        ops = counter.by_operator
+        # The sales side is served from the index: probes + bucket rows
+        # examined are charged, but not a sales scan.
+        assert ops["index_probe"] == 2
+        assert ops["index_join"] == 3
+        assert ops["scan"] == 2  # probe side (customer) only
+        assert counter.index_probes == 2

@@ -1,0 +1,128 @@
+"""Unit tests for incrementally-maintained hash indexes.
+
+Includes the randomized ``Bag.patch`` / index consistency check: after
+any sequence of patch-driven writes, an index lookup must return exactly
+what a full-scan selection over the table returns.
+"""
+
+import random
+
+from repro.algebra.bag import Bag
+from repro.algebra.evaluation import CostCounter
+from repro.exec.indexes import HashIndex, IndexManager
+
+
+def bag_of(*rows):
+    return Bag(rows)
+
+
+class TestHashIndex:
+    def test_build_and_lookup(self):
+        bag = bag_of((1, "a"), (1, "b"), (2, "c"), (1, "a"))
+        index = HashIndex.build((0,), bag)
+        assert index.lookup((1,)) == {(1, "a"): 2, (1, "b"): 1}
+        assert index.lookup((2,)) == {(2, "c"): 1}
+        assert index.lookup((9,)) == {}
+        assert len(index) == len(bag)
+
+    def test_compound_key(self):
+        bag = bag_of((1, "a", 5), (1, "b", 5), (1, "a", 6))
+        index = HashIndex.build((0, 2), bag)
+        assert index.lookup((1, 5)) == {(1, "a", 5): 1, (1, "b", 5): 1}
+
+    def test_apply_delta_mirrors_patch(self):
+        bag = bag_of((1, "a"), (2, "b"))
+        index = HashIndex.build((0,), bag)
+        delete, insert = bag_of((1, "a")), bag_of((3, "c"), (3, "c"))
+        index.apply_delta(delete, insert)
+        patched = bag.patch(delete, insert)
+        assert index.lookup((1,)) == {}
+        assert index.lookup((3,)) == {(3, "c"): 2}
+        assert len(index) == len(patched)
+
+    def test_delete_floors_at_zero(self):
+        # Bag.patch floors multiplicities at zero; the index must agree.
+        bag = bag_of((1, "a"))
+        index = HashIndex.build((0,), bag)
+        index.apply_delta(bag_of((1, "a"), (1, "a"), (1, "a")), Bag.empty())
+        assert index.lookup((1,)) == {}
+        assert index.bucket_count() == 0
+
+    def test_delete_of_absent_row_is_noop(self):
+        index = HashIndex.build((0,), bag_of((1, "a")))
+        index.apply_delta(bag_of((7, "z")), Bag.empty())
+        assert index.lookup((1,)) == {(1, "a"): 1}
+
+
+class TestIndexManager:
+    def test_lazy_build_charges_once(self):
+        manager = IndexManager()
+        counter = CostCounter()
+        bag = bag_of((1,), (2,), (3,))
+        first = manager.get("R", (0,), bag, counter=counter)
+        second = manager.get("R", (0,), bag, counter=counter)
+        assert first is second
+        assert counter.by_operator["index_build"] == 3
+        assert counter.by_operator.get("index_maint") is None
+
+    def test_on_patch_maintains_every_index(self):
+        manager = IndexManager()
+        bag = bag_of((1, "a"), (2, "b"))
+        by_key = manager.get("R", (0,), bag)
+        by_val = manager.get("R", (1,), bag)
+        counter = CostCounter()
+        manager.on_patch("R", bag_of((1, "a")), bag_of((1, "z")), counter=counter)
+        assert by_key.lookup((1,)) == {(1, "z"): 1}
+        assert by_val.lookup(("a",)) == {}
+        assert by_val.lookup(("z",)) == {(1, "z"): 1}
+        # O(|delta|) per index, two indexes maintained.
+        assert counter.by_operator["index_maint"] == 4
+
+    def test_on_patch_without_indexes_is_free(self):
+        manager = IndexManager()
+        counter = CostCounter()
+        manager.on_patch("unindexed", bag_of((1,)), bag_of((2,)), counter=counter)
+        assert counter.tuples_out == 0
+
+    def test_on_replace_rebuilds_in_place(self):
+        manager = IndexManager()
+        index = manager.get("R", (0,), bag_of((1, "a")))
+        manager.on_replace("R", bag_of((5, "e"), (5, "f")))
+        rebuilt = manager.indexes_on("R")[0]
+        assert rebuilt is not index
+        assert rebuilt.lookup((5,)) == {(5, "e"): 1, (5, "f"): 1}
+        # The cleared-log case: replacing with empty keeps the index alive.
+        manager.on_replace("R", Bag.empty())
+        assert manager.indexes_on("R")[0].lookup((5,)) == {}
+
+    def test_drop(self):
+        manager = IndexManager()
+        manager.get("R", (0,), bag_of((1,)))
+        manager.drop("R")
+        assert manager.indexes_on("R") == ()
+
+
+class TestRandomizedPatchConsistency:
+    """Randomized patch sequences keep index lookups == full-scan selects."""
+
+    def test_random_patch_sequences(self):
+        rng = random.Random(1996)
+        for trial in range(20):
+            table = Bag((rng.randrange(6), rng.randrange(4)) for _ in range(rng.randrange(30)))
+            manager = IndexManager()
+            index = manager.get("T", (0,), table)
+            for _ in range(15):
+                delete = Bag(
+                    (rng.randrange(6), rng.randrange(4)) for _ in range(rng.randrange(5))
+                )
+                insert = Bag(
+                    (rng.randrange(6), rng.randrange(4)) for _ in range(rng.randrange(5))
+                )
+                table = table.patch(delete, insert)
+                manager.on_patch("T", delete, insert)
+                for key in range(6):
+                    scanned = table.select(lambda row, key=key: row[0] == key)
+                    assert dict(index.lookup((key,))) == dict(scanned.items()), (
+                        f"trial {trial}: index diverged from full scan for key {key}"
+                    )
+                assert len(index) == len(table)

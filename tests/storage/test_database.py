@@ -108,7 +108,13 @@ class TestApply:
             db.apply({"S": singleton((5,), Schema(["b"])), "R": db.ref("R").product(db.ref("R"))})
         assert db.snapshot() == before
 
-    def test_memo_shared_across_assignments(self, db):
+    def test_memo_shared_across_assignments(self):
+        # The interpreted engine shares one memo across a transaction's
+        # right-hand sides (the compiled engine fuses projection chains
+        # into per-plan pipelines instead, so its scan charges differ).
+        db = Database(exec_mode="interpreted")
+        db.create_table("R", ["a"], rows=[(1,), (2,)])
+        db.create_table("S", ["b"], rows=[(10,)])
         counter = CostCounter()
         shared = db.ref("R").project(["a"])
         db.apply({"R": shared, "S": shared.project(["a"], ["b"])}, counter=counter)
