@@ -10,8 +10,7 @@ end-of-day refresh wall time.
 
 import time
 
-from benchmarks.common import ExperimentResult, retail_setup, write_report
-from repro.core.scenarios import CombinedScenario, ImmediateScenario
+from benchmarks.common import ExperimentResult, write_report
 from repro.warehouse import ViewManager
 from repro.workloads.retail import VIEW_SQL, RetailConfig, RetailWorkload
 

@@ -12,7 +12,6 @@ measure per-transaction tuple-ops under both designs.
 
 from benchmarks.common import ExperimentResult, write_report
 from repro.core.scenarios import BaseLogScenario
-from repro.core.transactions import UserTransaction
 from repro.core.views import ViewDefinition
 from repro.extensions.sharedlog import SharedLogScenario
 from repro.storage.database import Database

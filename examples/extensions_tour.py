@@ -22,6 +22,14 @@ from repro.extensions import (
 )
 from repro.storage.database import Database
 
+# Manifest for `python -m repro lint examples/extensions_tour.py`.  The
+# tour builds its views programmatically; the equivalent SQL is linted.
+LINT_SCHEMA = "CREATE TABLE orders (id, region)"
+LINT_QUERIES = {
+    "V": "SELECT id, region FROM orders",
+    "east_slice": "SELECT id, region FROM orders WHERE region = 'east'",
+}
+
 
 def shared_log_demo() -> None:
     print("1. shared sequenced log: cost per transaction vs number of views")

@@ -17,11 +17,25 @@ Run:  python examples/order_fulfillment.py
 from repro.warehouse import ViewManager
 from repro.workloads.orders import (
     EMPTY_ORDERS_SQL,
+    LINEITEMS_ATTRS,
     OPEN_ORDER_LINES_SQL,
     ORDER_IDS_SQL,
+    ORDERS_ATTRS,
     OrdersConfig,
     OrdersWorkload,
 )
+
+# Manifest for `python -m repro lint examples/order_fulfillment.py`.
+LINT_SCHEMA = (
+    f"CREATE TABLE orders ({', '.join(ORDERS_ATTRS)});\n"
+    f"CREATE TABLE lineitems ({', '.join(LINEITEMS_ATTRS)})"
+)
+LINT_QUERIES = {
+    "open_order_lines": OPEN_ORDER_LINES_SQL,
+    "order_ids": ORDER_IDS_SQL,
+    "empty_orders": EMPTY_ORDERS_SQL,
+    "spot_check": "SELECT DISTINCT orderId FROM orders EXCEPT SELECT DISTINCT orderId FROM lineitems",
+}
 
 
 def main() -> None:

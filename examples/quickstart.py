@@ -16,6 +16,13 @@ FROM customer c, sales s
 WHERE c.custId = s.custId AND s.quantity != 0 AND c.score = 'High'
 """
 
+# Manifest for `python -m repro lint examples/quickstart.py`.
+LINT_SCHEMA = """
+CREATE TABLE customer (custId, name, address, score);
+CREATE TABLE sales (custId, itemNo, quantity, salesPrice)
+"""
+LINT_QUERIES = {"V": VIEW_SQL}
+
 
 def main() -> None:
     manager = ViewManager()

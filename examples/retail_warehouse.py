@@ -30,7 +30,20 @@ from repro.core import (
 )
 from repro.sqlfront import sql_to_view
 from repro.storage.database import Database
-from repro.workloads.retail import VIEW_SQL, RetailConfig, RetailWorkload
+from repro.workloads.retail import (
+    CUSTOMER_ATTRS,
+    SALES_ATTRS,
+    VIEW_SQL,
+    RetailConfig,
+    RetailWorkload,
+)
+
+# Manifest for `python -m repro lint examples/retail_warehouse.py`.
+LINT_SCHEMA = (
+    f"CREATE TABLE customer ({', '.join(CUSTOMER_ATTRS)});\n"
+    f"CREATE TABLE sales ({', '.join(SALES_ATTRS)})"
+)
+LINT_QUERIES = {"V": VIEW_SQL}
 
 HORIZON = 24  # "hours"
 TXNS_PER_TICK = 5

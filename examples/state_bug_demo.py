@@ -15,6 +15,12 @@ from repro.core import BaseLogScenario, UserTransaction, ViewDefinition
 from repro.sqlfront import sql_to_view
 from repro.storage.database import Database
 
+# Manifest for `python -m repro lint examples/state_bug_demo.py`.  The
+# SQL itself is clean; the linter's state-bug detector flags this file
+# because it (deliberately) exercises the pre-update baseline.
+LINT_SCHEMA = "CREATE TABLE R (A, B);\nCREATE TABLE S (B, C)"
+LINT_QUERIES = {"U": "CREATE VIEW U (A) AS SELECT r.A FROM R r, S s WHERE r.B = s.B"}
+
 
 def show(label, bag):
     rows = ", ".join(f"{row}" for row in sorted(bag))

@@ -22,7 +22,7 @@ memoizes on structural equality so they are computed once.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 from repro.algebra.bag import Bag
@@ -186,7 +186,10 @@ class Select(Expr):
         # Validate that every referenced attribute resolves unambiguously.
         child_schema = self.child.schema()
         for name in self.predicate.attributes():
-            child_schema.index_of(name)
+            try:
+                child_schema.index_of(name)
+            except SchemaError as exc:
+                raise exc.with_context(expression=f"sigma[{self.predicate}](...)") from None
 
     def schema(self) -> Schema:
         return self.child.schema()
@@ -222,14 +225,21 @@ class Project(Expr):
     def positions(self) -> tuple[int, ...]:
         """Resolve ``attrs`` to input positions."""
         child_schema = self.child.schema()
+        context = "pi[{}](...)".format(", ".join(str(attr) for attr in self.attrs))
         resolved: list[int] = []
         for item in self.attrs:
             if isinstance(item, int):
                 if not 0 <= item < child_schema.arity:
-                    raise SchemaError(f"project: position {item} out of range for arity {child_schema.arity}")
+                    raise SchemaError(
+                        f"project: position {item} out of range for arity {child_schema.arity}",
+                        expression=context,
+                    )
                 resolved.append(item)
             else:
-                resolved.append(child_schema.index_of(item))
+                try:
+                    resolved.append(child_schema.index_of(item))
+                except SchemaError as exc:
+                    raise exc.with_context(expression=context) from None
         return tuple(resolved)
 
     def schema(self) -> Schema:
@@ -282,7 +292,10 @@ class MapProject(Expr):
         child_schema = self.child.schema()
         for term in self.terms:
             for name in term.attributes():
-                child_schema.index_of(name)
+                try:
+                    child_schema.index_of(name)
+                except SchemaError as exc:
+                    raise exc.with_context(expression=f"map[{term} AS ...](...)") from None
 
     def schema(self) -> Schema:
         return Schema(self.names)

@@ -73,10 +73,16 @@ class Schema:
         Raises :class:`SchemaError` when the name is absent or ambiguous.
         """
         if attr not in self._positions:
-            raise SchemaError(f"unknown attribute {attr!r}; schema has {list(self._attrs)}")
+            raise SchemaError(
+                f"unknown attribute {attr!r}; schema has {list(self._attrs)}",
+                attribute=attr,
+            )
         position = self._positions[attr]
         if position is None:
-            raise SchemaError(f"ambiguous attribute {attr!r} in schema {list(self._attrs)}")
+            raise SchemaError(
+                f"ambiguous attribute {attr!r} in schema {list(self._attrs)}",
+                attribute=attr,
+            )
         return position
 
     def positions_of(self, attrs: Iterable[str]) -> tuple[int, ...]:

@@ -1,0 +1,259 @@
+"""Property derivation over bag-algebra expressions (Lemmas 2–4 support).
+
+All judgements here are *conservative*: ``True`` means *provable from
+the expression's structure alone*, ``False`` means *unknown* — never
+"provably false".  The derived properties power
+
+* the **weak-minimality classifier** (:func:`classify_substitution`):
+  decides statically whether a factored substitution satisfies
+  :math:`D_i \\subseteq R_i` in every state, which is the side condition
+  of the Figure 2 differential rules and lets
+  :math:`\\blacktriangle = Q \\min \\mathrm{Del}(\\widehat{L},Q)`
+  simplify to :math:`\\mathrm{Del}(\\widehat{L},Q)` (Lemma 2);
+* compile-time pruning in :mod:`repro.exec.compiler`
+  (:func:`always_empty`, :func:`redundant_min_guard`).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+
+from repro.algebra.expr import (
+    DupElim,
+    Expr,
+    Literal,
+    MapProject,
+    Monus,
+    Product,
+    Project,
+    Select,
+    TableRef,
+    UnionAll,
+)
+
+__all__ = [
+    "Minimality",
+    "always_empty",
+    "empty_when_empty",
+    "duplicate_free",
+    "degrees",
+    "is_linear",
+    "subsumed_by",
+    "match_min",
+    "redundant_min_guard",
+    "classify_substitution",
+]
+
+
+# ----------------------------------------------------------------------
+# Emptiness
+# ----------------------------------------------------------------------
+
+
+def always_empty(expr: Expr) -> bool:
+    """Provably :math:`\\phi` in **every** database state.
+
+    Structural rules: the empty literal; any unary operator over an
+    empty input; ⊎ of two empty operands; ∸ with an empty (or
+    self-cancelling, :math:`E \\dot{-} E`) left side; × with an empty
+    factor.
+    """
+    return empty_when_empty(expr, frozenset())
+
+
+def empty_when_empty(expr: Expr, empty_tables: Iterable[str]) -> bool:
+    """Provably empty whenever every table in ``empty_tables`` is empty.
+
+    This is the "emptiness under empty logs" judgement: a refresh delta
+    is dead code exactly when it is empty under empty log tables.
+    """
+    empty = frozenset(empty_tables)
+
+    def walk(node: Expr) -> bool:
+        if isinstance(node, Literal):
+            return not node.bag
+        if isinstance(node, TableRef):
+            return node.name in empty
+        if isinstance(node, (Select, Project, MapProject, DupElim)):
+            return walk(node.child)
+        if isinstance(node, UnionAll):
+            return walk(node.left) and walk(node.right)
+        if isinstance(node, Monus):
+            # E ∸ F is empty when E is, and when E ≡ F syntactically.
+            return walk(node.left) or node.left == node.right
+        if isinstance(node, Product):
+            return walk(node.left) or walk(node.right)
+        return False
+
+    return walk(expr)
+
+
+# ----------------------------------------------------------------------
+# Duplicate-freeness
+# ----------------------------------------------------------------------
+
+
+def duplicate_free(expr: Expr) -> bool:
+    """Provably a *set* (every multiplicity ≤ 1) in every state."""
+    if isinstance(expr, DupElim):
+        return True
+    if isinstance(expr, Literal):
+        return all(count <= 1 for count in expr.bag.counts().values())
+    if isinstance(expr, Select):
+        return duplicate_free(expr.child)
+    if isinstance(expr, Project):
+        # A projection keeping *all* input columns (a permutation) is a
+        # bijection on rows; narrowing projections can merge rows.
+        positions = expr.positions()
+        child_arity = expr.child.schema().arity
+        is_permutation = sorted(positions) == list(range(child_arity))
+        return is_permutation and duplicate_free(expr.child)
+    if isinstance(expr, Monus):
+        # Multiplicities only decrease from the left operand.
+        return duplicate_free(expr.left)
+    if isinstance(expr, Product):
+        # Pairs of distinct rows are distinct.
+        return duplicate_free(expr.left) and duplicate_free(expr.right)
+    if isinstance(expr, UnionAll):
+        # ⊎ adds multiplicities; only safe if one side is provably empty.
+        if always_empty(expr.left):
+            return duplicate_free(expr.right)
+        if always_empty(expr.right):
+            return duplicate_free(expr.left)
+        return False
+    return False  # TableRef, MapProject: unknown
+
+
+# ----------------------------------------------------------------------
+# Per-table degree / linearity
+# ----------------------------------------------------------------------
+
+
+def degrees(expr: Expr) -> dict[str, int]:
+    """Maximum join degree of each base table in ``expr``.
+
+    Degree 1 means the table occurs linearly (no self-join through a
+    product); differential deltas of linear occurrences stay
+    delta-proportional, quadratic and higher degrees multiply delta
+    terms (the cross products in Figure 2's × rule).
+    """
+    if isinstance(expr, TableRef):
+        return {expr.name: 1}
+    if isinstance(expr, Literal):
+        return {}
+    if isinstance(expr, (Select, Project, MapProject, DupElim)):
+        return degrees(expr.child)
+    if isinstance(expr, Product):
+        left, right = degrees(expr.left), degrees(expr.right)
+        return {name: left.get(name, 0) + right.get(name, 0) for name in left.keys() | right.keys()}
+    if isinstance(expr, (UnionAll, Monus)):
+        left, right = degrees(expr.left), degrees(expr.right)
+        return {name: max(left.get(name, 0), right.get(name, 0)) for name in left.keys() | right.keys()}
+    return {}
+
+
+def is_linear(expr: Expr, table: str) -> bool:
+    """Whether ``table`` occurs with join degree ≤ 1 in ``expr``."""
+    return degrees(expr).get(table, 0) <= 1
+
+
+# ----------------------------------------------------------------------
+# Containment (the heart of the weak-minimality classifier)
+# ----------------------------------------------------------------------
+
+
+def match_min(expr: Expr) -> tuple[Expr, Expr] | None:
+    """Recognize the derived operator :math:`X \\min Y`.
+
+    ``min_expr`` expands to :math:`X \\dot{-} (X \\dot{-} Y)`; return
+    ``(X, Y)`` when ``expr`` has exactly that shape.
+    """
+    if (
+        isinstance(expr, Monus)
+        and isinstance(expr.right, Monus)
+        and expr.left == expr.right.left
+    ):
+        return expr.left, expr.right.right
+    return None
+
+
+def subsumed_by(sub: Expr, sup: Expr) -> bool:
+    """Provably :math:`sub \\subseteq sup` (as bags) in every state.
+
+    Conservative structural containment:
+
+    * anything provably empty is contained in anything;
+    * :math:`E \\subseteq E`;
+    * :math:`\\sigma_p(E) \\subseteq E` and :math:`E \\dot{-} F \\subseteq E`;
+    * :math:`X \\min Y \\subseteq X` and :math:`X \\min Y \\subseteq Y`;
+    * :math:`E \\subseteq E \\uplus F` (either side).
+    """
+    if always_empty(sub):
+        return True
+    if sub == sup:
+        return True
+    minimum = match_min(sub)
+    if minimum is not None:
+        x, y = minimum
+        if subsumed_by(x, sup) or subsumed_by(y, sup):
+            return True
+    elif isinstance(sub, Monus):
+        if subsumed_by(sub.left, sup):
+            return True
+    if isinstance(sub, Select) and subsumed_by(sub.child, sup):
+        return True
+    if isinstance(sup, UnionAll) and (subsumed_by(sub, sup.left) or subsumed_by(sub, sup.right)):
+        return True
+    return False
+
+
+def redundant_min_guard(expr: Expr) -> Expr | None:
+    """When ``expr`` is :math:`X \\min Y` with :math:`X \\subseteq Y`
+    provable, the guard is a no-op — return the simplified ``X``.
+    """
+    minimum = match_min(expr)
+    if minimum is None:
+        return None
+    x, y = minimum
+    if subsumed_by(x, y):
+        return x
+    return None
+
+
+# ----------------------------------------------------------------------
+# Weak-minimality classification
+# ----------------------------------------------------------------------
+
+
+class Minimality(enum.Enum):
+    """Outcome of the static weak-minimality judgement."""
+
+    WEAKLY_MINIMAL = "weakly_minimal"
+    UNKNOWN = "unknown"
+
+
+def classify_substitution(eta) -> Minimality:
+    """Decide statically whether a factored substitution is weakly minimal.
+
+    A :class:`~repro.core.substitution.FactoredSubstitution` is weakly
+    minimal when :math:`D_i \\subseteq R_i` in every state (Section 4.1).
+    Two sources of proof:
+
+    * **provenance** — substitutions built by machinery that maintains
+      the invariant by construction carry
+      ``claims_weak_minimality`` (``Log.substitution`` under Lemma 4's
+      ``makesafe`` discipline, and the result of
+      :meth:`~repro.core.substitution.FactoredSubstitution.weakly_minimal`);
+    * **structure** — :math:`D_i` is provably empty, or provably
+      contained in :math:`R_i` by :func:`subsumed_by` (e.g. the
+      :math:`D \\min R` normal form).
+    """
+    if getattr(eta, "claims_weak_minimality", False):
+        return Minimality.WEAKLY_MINIMAL
+    for name in eta:
+        delete = eta.delete_of(name)
+        ref = TableRef(name, eta.schema_of(name))
+        if not subsumed_by(delete, ref):
+            return Minimality.UNKNOWN
+    return Minimality.WEAKLY_MINIMAL

@@ -1,0 +1,254 @@
+"""Schema/type checker over the bag-algebra AST.
+
+The ``Expr`` constructors already reject most ill-typed trees eagerly
+(:mod:`repro.algebra.expr` raises :class:`~repro.errors.SchemaError`
+from ``__post_init__``).  The checker here complements that in three
+ways:
+
+* it produces *all* findings as structured diagnostics instead of
+  stopping at the first exception, with the expression **path** of every
+  offending node;
+* it validates table references against a **catalog** (a
+  :class:`~repro.storage.database.Database` or a plain name → schema
+  mapping) — unknown tables and schema drift are *not* checked by the
+  constructors and today surface as deep ``KeyError`` at evaluation
+  time;
+* it flags name-level style problems constructors deliberately allow
+  (duplicate result-attribute names, operand name mismatches under
+  ⊎ / ∸ / min).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Protocol
+
+from repro.algebra.expr import (
+    DupElim,
+    Expr,
+    Literal,
+    MapProject,
+    Monus,
+    Product,
+    Project,
+    Select,
+    TableRef,
+    UnionAll,
+)
+from repro.algebra.schema import Schema
+from repro.analysis.diagnostics import AnalysisReport, Severity
+from repro.errors import SchemaError
+
+__all__ = ["Catalog", "check_expr"]
+
+
+class Catalog(Protocol):
+    """Anything that can answer "does table X exist, with what schema"."""
+
+    def has_table(self, name: str) -> bool: ...
+
+    def schema_of(self, name: str) -> Schema: ...
+
+
+class _MappingCatalog:
+    """Adapt a plain ``{name: Schema}`` mapping to the Catalog protocol."""
+
+    def __init__(self, schemas: Mapping[str, Schema]) -> None:
+        self._schemas = dict(schemas)
+
+    def has_table(self, name: str) -> bool:
+        return name in self._schemas
+
+    def schema_of(self, name: str) -> Schema:
+        return self._schemas[name]
+
+
+def _child_roles(expr: Expr) -> tuple[tuple[str, Expr], ...]:
+    if isinstance(expr, (UnionAll, Monus, Product)):
+        return (("left", expr.left), ("right", expr.right))
+    children = expr.children()
+    if len(children) == 1:
+        return (("child", children[0]),)
+    return tuple((f"child{i}", child) for i, child in enumerate(children))
+
+
+def check_expr(
+    expr: Expr,
+    catalog: Catalog | Mapping[str, Schema] | None = None,
+    *,
+    root: str = "Q",
+    position: int | None = None,
+) -> AnalysisReport:
+    """Check ``expr`` and every subexpression, returning all findings.
+
+    ``catalog`` enables table-existence and schema-drift checks; pass the
+    database the expression will be evaluated against.  ``position`` is
+    attached to every diagnostic when the expression came from a known
+    span of SQL source.
+    """
+    if catalog is not None and not hasattr(catalog, "has_table"):
+        catalog = _MappingCatalog(catalog)
+    report = AnalysisReport()
+    _check_node(expr, catalog, root, position, report)
+    _check_root_schema(expr, root, position, report)
+    return report
+
+
+def _check_root_schema(expr: Expr, path: str, position: int | None, report: AnalysisReport) -> None:
+    """Duplicate names in the *result* schema make the output ambiguous."""
+    try:
+        schema = expr.schema()
+    except SchemaError:
+        return  # already reported by the node walk
+    seen: set[str] = set()
+    duplicates: list[str] = []
+    for attr in schema:
+        if attr in seen and attr not in duplicates:
+            duplicates.append(attr)
+        seen.add(attr)
+    if duplicates:
+        report.add(
+            "RVM106",
+            Severity.WARNING,
+            f"result schema has duplicate attribute names {duplicates}; "
+            "downstream name resolution will be ambiguous (project or rename first)",
+            path=path,
+            position=position,
+        )
+
+
+def _check_node(
+    expr: Expr,
+    catalog: Catalog | None,
+    path: str,
+    position: int | None,
+    report: AnalysisReport,
+) -> None:
+    if isinstance(expr, TableRef):
+        _check_table_ref(expr, catalog, path, position, report)
+    elif isinstance(expr, Select):
+        _check_attribute_refs(expr.predicate.attributes(), expr.child, f"sigma[{expr.predicate}]", path, position, report)
+    elif isinstance(expr, MapProject):
+        for term in expr.terms:
+            _check_attribute_refs(term.attributes(), expr.child, f"map[{term}]", path, position, report)
+    elif isinstance(expr, Project):
+        _check_project(expr, path, position, report)
+    elif isinstance(expr, (UnionAll, Monus)):
+        _check_union_like(expr, path, position, report)
+    elif isinstance(expr, (Literal, DupElim, Product)):
+        pass  # no node-local conditions beyond what constructors enforce
+    for role, child in _child_roles(expr):
+        _check_node(child, catalog, f"{path}.{role}", position, report)
+
+
+def _check_table_ref(
+    expr: TableRef,
+    catalog: Catalog | None,
+    path: str,
+    position: int | None,
+    report: AnalysisReport,
+) -> None:
+    if catalog is None:
+        return
+    if not catalog.has_table(expr.name):
+        report.add(
+            "RVM107",
+            Severity.ERROR,
+            f"table {expr.name!r} does not exist in the catalog",
+            path=path,
+            position=position,
+        )
+        return
+    actual = catalog.schema_of(expr.name)
+    if actual != expr.table_schema:
+        report.add(
+            "RVM108",
+            Severity.ERROR,
+            f"reference to {expr.name!r} carries schema {list(expr.table_schema)} "
+            f"but the catalog has {list(actual)} (stale expression?)",
+            path=path,
+            position=position,
+        )
+
+
+def _check_attribute_refs(
+    attrs,
+    child: Expr,
+    what: str,
+    path: str,
+    position: int | None,
+    report: AnalysisReport,
+) -> None:
+    try:
+        child_schema = child.schema()
+    except SchemaError:
+        return  # the child's own walk reports the cause
+    for name in attrs:
+        if name not in child_schema:
+            report.add(
+                "RVM101",
+                Severity.ERROR,
+                f"{what} references unknown attribute {name!r}; "
+                f"input schema has {list(child_schema)}",
+                path=path,
+                position=position,
+            )
+            continue
+        try:
+            child_schema.index_of(name)
+        except SchemaError:
+            report.add(
+                "RVM102",
+                Severity.ERROR,
+                f"{what} references ambiguous attribute {name!r} "
+                f"in schema {list(child_schema)}",
+                path=path,
+                position=position,
+            )
+
+
+def _check_project(expr: Project, path: str, position: int | None, report: AnalysisReport) -> None:
+    try:
+        child_schema = expr.child.schema()
+    except SchemaError:
+        return
+    for item in expr.attrs:
+        if isinstance(item, int):
+            if not 0 <= item < child_schema.arity:
+                report.add(
+                    "RVM105",
+                    Severity.ERROR,
+                    f"projection position {item} out of range for arity {child_schema.arity}",
+                    path=path,
+                    position=position,
+                )
+        else:
+            _check_attribute_refs((item,), expr.child, "pi", path, position, report)
+
+
+def _check_union_like(expr: UnionAll | Monus, path: str, position: int | None, report: AnalysisReport) -> None:
+    op = "union_all" if isinstance(expr, UnionAll) else "monus"
+    try:
+        left_schema = expr.left.schema()
+        right_schema = expr.right.schema()
+    except SchemaError:
+        return
+    if left_schema.arity != right_schema.arity:
+        report.add(
+            "RVM103",
+            Severity.ERROR,
+            f"{op}: operand arities differ ({left_schema.arity} vs {right_schema.arity})",
+            path=path,
+            position=position,
+        )
+        return
+    if left_schema.attributes != right_schema.attributes:
+        report.add(
+            "RVM104",
+            Severity.INFO,
+            f"{op}: operand attribute names differ "
+            f"({list(left_schema)} vs {list(right_schema)}); "
+            "positional combination is used (rename to silence)",
+            path=path,
+            position=position,
+        )

@@ -20,8 +20,6 @@ that slowdown, which is the baseline's entry in experiment E5.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
-
 from repro.algebra.bag import Bag
 from repro.algebra.evaluation import CostCounter
 from repro.algebra.expr import Expr, Literal, Monus, TableRef, UnionAll

@@ -291,7 +291,7 @@ def post_update_delta(
     log: Log,
     query: Expr,
     *,
-    assume_weakly_minimal_log: bool = True,
+    assume_weakly_minimal_log: bool | None = None,
 ) -> tuple[Expr, Expr]:
     """Incremental queries for *deferred* maintenance, post-update state.
 
@@ -316,11 +316,24 @@ def post_update_delta(
       :math:`\\mathrm{Del}(\\widehat{\\mathcal{L}},Q)` when the log is
       weakly minimal (``makesafe_BL`` maintains exactly that invariant).
 
-    Pass ``assume_weakly_minimal_log=False`` for logs of unknown
-    provenance; the result is then correct for *any* log at the price of
-    the extra ``min`` with ``Q``.
+    By default (``assume_weakly_minimal_log=None``) the choice is
+    **analysis-backed**: the static classifier
+    (:func:`repro.analysis.properties.classify_substitution`) decides
+    whether :math:`\\widehat{\\mathcal{L}}` is provably weakly minimal —
+    by provenance (Lemma 4's ``makesafe`` discipline marks the
+    substitution) or by structure (:math:`D \\min R` normal forms) — and
+    the ``min`` guard is emitted only when no proof exists.  Pass
+    ``True`` to force the simplification, or ``False`` to force the
+    conservative guard (correct for *any* log at the price of the extra
+    ``min`` with ``Q``).
     """
     eta = log.substitution()
+    if assume_weakly_minimal_log is None:
+        from repro.analysis.properties import Minimality, classify_substitution
+
+        assume_weakly_minimal_log = (
+            classify_substitution(eta) is Minimality.WEAKLY_MINIMAL
+        )
     if not assume_weakly_minimal_log:
         eta = eta.weakly_minimal()
     del_hat, add_hat = differentiate(eta, query)

@@ -121,7 +121,10 @@ class Log:
             for name in self._tables
         }
         schemas = {name: self._db.schema_of(name) for name in self._tables}
-        return FactoredSubstitution(entries, schemas)
+        # makesafe_BL maintains ▲R ⊆ R (Lemma 4), so the substitution is
+        # weakly minimal by construction — provenance the static
+        # classifier can rely on without a runtime subset check.
+        return FactoredSubstitution(entries, schemas, claims_weak_minimality=True)
 
     # ------------------------------------------------------------------
     # Assignment fragments for Figure 3

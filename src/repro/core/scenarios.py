@@ -30,6 +30,7 @@ experiments can compare overhead and downtime across scenarios.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 
 from repro.algebra.bag import Bag
@@ -67,21 +68,42 @@ class Scenario(ABC):
         *,
         counter: CostCounter | None = None,
         ledger: LockLedger | None = None,
+        strict: bool = False,
     ) -> None:
         self.db = db
         self.view = view
         self.counter = counter if counter is not None else CostCounter()
         self.ledger = ledger if ledger is not None else LockLedger()
+        #: When True, install-time lint findings raise instead of warn.
+        self.strict = strict
         self._installed = False
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
+    def _lint_on_install(self) -> None:
+        """Run the static analyzer over the view definition.
+
+        Warn-by-default: findings are emitted as
+        :class:`~repro.analysis.diagnostics.AnalysisWarning`; with
+        ``strict=True`` they raise :class:`~repro.errors.AnalysisError`.
+        """
+        from repro.analysis.diagnostics import AnalysisWarning
+        from repro.analysis.lint import lint_view
+
+        report = lint_view(self.view, self.db, properties=False)
+        if self.strict:
+            report.raise_if_failed(context=f"install of view {self.view.name!r}")
+        else:
+            for diagnostic in report.errors + report.warnings:
+                warnings.warn(diagnostic.format(), AnalysisWarning, stacklevel=4)
+
     def install(self) -> None:
         """Create and initialize ``MV`` and the scenario's auxiliary tables."""
         if self._installed:
             return
+        self._lint_on_install()
         # Compile the view query and pre-build the indexes its plan can
         # use, so every later delta evaluation probes instead of scans
         # (a no-op under the interpreted oracle).
@@ -188,8 +210,8 @@ class BaseLogScenario(Scenario):
 
     tag = "BL"
 
-    def __init__(self, db, view, *, counter=None, ledger=None) -> None:
-        super().__init__(db, view, counter=counter, ledger=ledger)
+    def __init__(self, db, view, *, counter=None, ledger=None, strict: bool = False) -> None:
+        super().__init__(db, view, counter=counter, ledger=ledger, strict=strict)
         self.log = Log(db, view.base_tables(), owner=view.name)
 
     def _install_auxiliary(self) -> None:
@@ -246,8 +268,10 @@ class DiffTableScenario(Scenario):
 
     tag = "DT"
 
-    def __init__(self, db, view, *, counter=None, ledger=None, strong_minimality: bool = False) -> None:
-        super().__init__(db, view, counter=counter, ledger=ledger)
+    def __init__(
+        self, db, view, *, counter=None, ledger=None, strong_minimality: bool = False, strict: bool = False
+    ) -> None:
+        super().__init__(db, view, counter=counter, ledger=ledger, strict=strict)
         self.strong_minimality = strong_minimality
 
     def _install_auxiliary(self) -> None:
@@ -327,8 +351,12 @@ class CombinedScenario(DiffTableScenario):
 
     tag = "C"
 
-    def __init__(self, db, view, *, counter=None, ledger=None, strong_minimality: bool = False) -> None:
-        super().__init__(db, view, counter=counter, ledger=ledger, strong_minimality=strong_minimality)
+    def __init__(
+        self, db, view, *, counter=None, ledger=None, strong_minimality: bool = False, strict: bool = False
+    ) -> None:
+        super().__init__(
+            db, view, counter=counter, ledger=ledger, strong_minimality=strong_minimality, strict=strict
+        )
         self.log = Log(db, view.base_tables(), owner=view.name)
 
     def _install_auxiliary(self) -> None:

@@ -33,14 +33,27 @@ __all__ = ["FactoredSubstitution"]
 class FactoredSubstitution:
     """A substitution :math:`\\eta = [(R_i \\dot{-} D_i) \\uplus A_i / R_i]`."""
 
-    def __init__(self, entries: Mapping[str, tuple[Expr, Expr]], schemas: Mapping[str, Schema]) -> None:
+    def __init__(
+        self,
+        entries: Mapping[str, tuple[Expr, Expr]],
+        schemas: Mapping[str, Schema],
+        *,
+        claims_weak_minimality: bool = False,
+    ) -> None:
         """``entries`` maps a table name to its ``(D, A)`` pair.
 
         ``schemas`` must cover every table in ``entries``; arities of
         ``D`` and ``A`` are validated against them.
+
+        ``claims_weak_minimality`` is a *provenance* flag: set it only
+        when the builder guarantees :math:`D_i \\subseteq R_i` in every
+        reachable state (e.g. a log maintained under Lemma 4's
+        ``makesafe`` discipline).  The static classifier in
+        :mod:`repro.analysis.properties` trusts it.
         """
         self._entries: dict[str, tuple[Expr, Expr]] = {}
         self._schemas: dict[str, Schema] = {}
+        self._claims_weak_minimality = bool(claims_weak_minimality)
         for name, (delete, insert) in entries.items():
             schema = schemas.get(name)
             if schema is None:
@@ -53,6 +66,11 @@ class FactoredSubstitution:
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
+
+    @property
+    def claims_weak_minimality(self) -> bool:
+        """Whether the builder vouched for :math:`D_i \\subseteq R_i`."""
+        return self._claims_weak_minimality
 
     def tables(self) -> frozenset[str]:
         return frozenset(self._entries)
@@ -95,7 +113,7 @@ class FactoredSubstitution:
         for name, (delete, insert) in self._entries.items():
             ref = TableRef(name, self._schemas[name])
             entries[name] = (min_expr(delete, ref), insert)
-        return FactoredSubstitution(entries, self._schemas)
+        return FactoredSubstitution(entries, self._schemas, claims_weak_minimality=True)
 
     def is_trivial(self) -> bool:
         """True when every delta is a literal empty bag (η is the identity)."""

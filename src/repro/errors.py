@@ -18,7 +18,43 @@ class SchemaError(ReproError):
 
     Raised for unknown attributes, arity mismatches in bag operations,
     ambiguous attribute references, and incompatible operand schemas.
+
+    Structured context for diagnostics (all optional):
+
+    * ``attribute`` — the offending attribute name, when one exists;
+    * ``expression`` — a short rendering of the expression node that was
+      being validated when the error was raised;
+    * ``position`` — character offset into SQL source text, when the
+      expression came from the SQL front end.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        attribute: str | None = None,
+        expression: str | None = None,
+        position: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.attribute = attribute
+        self.expression = expression
+        self.position = position
+
+    def with_context(
+        self,
+        *,
+        attribute: str | None = None,
+        expression: str | None = None,
+        position: int | None = None,
+    ) -> SchemaError:
+        """A copy of this error with missing context fields filled in."""
+        return SchemaError(
+            str(self),
+            attribute=self.attribute if self.attribute is not None else attribute,
+            expression=self.expression if self.expression is not None else expression,
+            position=self.position if self.position is not None else position,
+        )
 
 
 class UnknownTableError(ReproError):
@@ -49,3 +85,17 @@ class InvariantViolation(ReproError):
 
 class PolicyError(ReproError):
     """A maintenance policy was configured or driven incorrectly."""
+
+
+class AnalysisError(ReproError):
+    """Static analysis rejected an expression or maintenance plan.
+
+    Raised by the :mod:`repro.analysis` lint driver in ``strict`` mode;
+    carries the list of :class:`~repro.analysis.diagnostics.Diagnostic`
+    objects that caused the failure.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        super().__init__(message)
+        #: The diagnostics (errors and warnings) behind the failure.
+        self.diagnostics = tuple(diagnostics)

@@ -653,6 +653,9 @@ class Compiler:
         return node
 
     def _build(self, expr: Expr) -> PNode:
+        pruned = self._prune(expr)
+        if pruned is not None:
+            return pruned
         if isinstance(expr, TableRef):
             return PScan(expr.name)
         if isinstance(expr, Literal):
@@ -678,6 +681,31 @@ class Compiler:
         if isinstance(expr, Product):
             return PProduct(self.compile(expr.left), self.compile(expr.right))
         raise ReproError(f"unknown expression node: {type(expr).__name__}")
+
+    def _prune(self, expr: Expr) -> PNode | None:
+        """Statically-derived plan simplifications.
+
+        Uses the conservative property engine
+        (:mod:`repro.analysis.properties`): expressions provably empty
+        in every state compile to a literal; ∸/⊎ drop provably-empty
+        operands; a ``min`` guard the classifier proves redundant
+        (:math:`X \\min Y` with :math:`X \\subseteq Y`) collapses to its
+        left operand.  The physical plan is memoized under the
+        *original* expression, so plan-cache keys are unchanged.
+        """
+        from repro.analysis.properties import always_empty, redundant_min_guard
+
+        if not isinstance(expr, Literal) and always_empty(expr):
+            return PLiteral(Bag.empty())
+        if isinstance(expr, (UnionAll, Monus)):
+            collapsed = redundant_min_guard(expr)
+            if collapsed is not None:
+                return self.compile(collapsed)
+            if always_empty(expr.right):
+                return self.compile(expr.left)
+            if isinstance(expr, UnionAll) and always_empty(expr.left):
+                return self.compile(expr.right)
+        return None
 
     # -- selections ----------------------------------------------------
 

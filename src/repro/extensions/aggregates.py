@@ -30,7 +30,6 @@ read.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.algebra.bag import Bag, Row

@@ -52,7 +52,6 @@ from repro.sqlfront.parser import (
     CreateView,
     DeleteStatement,
     InsertStatement,
-    LiteralValue,
     NotCond,
     Operand,
     OrCond,
@@ -100,15 +99,31 @@ class _Resolver:
         if column.qualifier is not None:
             binding = column.qualifier
             if binding not in self._bindings:
-                raise SchemaError(f"unknown range variable {binding!r} in {column.display()!r}")
+                raise SchemaError(
+                    f"unknown range variable {binding!r} in {column.display()!r}",
+                    attribute=column.display(),
+                    position=column.position,
+                )
             if column.name not in self._bindings[binding]:
-                raise SchemaError(f"table bound to {binding!r} has no column {column.name!r}")
+                raise SchemaError(
+                    f"table bound to {binding!r} has no column {column.name!r}",
+                    attribute=column.display(),
+                    position=column.position,
+                )
             return f"{binding}.{column.name}"
         candidates = self._unqualified.get(column.name, [])
         if not candidates:
-            raise SchemaError(f"unknown column {column.name!r}")
+            raise SchemaError(
+                f"unknown column {column.name!r}",
+                attribute=column.name,
+                position=column.position,
+            )
         if len(candidates) > 1:
-            raise SchemaError(f"ambiguous column {column.name!r}: {candidates}")
+            raise SchemaError(
+                f"ambiguous column {column.name!r}: {candidates}",
+                attribute=column.name,
+                position=column.position,
+            )
         return candidates[0]
 
     def all_columns(self) -> tuple[tuple[str, str], ...]:

@@ -8,7 +8,7 @@ emits :class:`~repro.algebra.expr.Expr` trees.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Union
 
 from repro.errors import ParseError
@@ -46,10 +46,16 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ColumnRef:
-    """``[qualifier.]name`` in a select list or predicate."""
+    """``[qualifier.]name`` in a select list or predicate.
+
+    ``position`` is the character offset of the reference in the source
+    text; it is excluded from equality/hashing so column identity stays
+    purely name-based.
+    """
 
     name: str
     qualifier: str | None = None
+    position: int | None = field(default=None, compare=False)
 
     def display(self) -> str:
         return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
@@ -219,8 +225,14 @@ class _Parser:
     def __init__(self, tokens: list[Token]) -> None:
         self._tokens = tokens
         self._index = 0
+        self._last: Token | None = None
 
     # Token helpers -----------------------------------------------------
+
+    @property
+    def last_position(self) -> int:
+        """Position of the most recently consumed token (0 before any)."""
+        return self._last.position if self._last is not None else 0
 
     def _peek(self) -> Token:
         return self._tokens[self._index]
@@ -229,6 +241,7 @@ class _Parser:
         token = self._tokens[self._index]
         if token.kind != "EOF":
             self._index += 1
+            self._last = token
         return token
 
     def _check(self, kind: str, text: str | None = None) -> bool:
@@ -459,11 +472,11 @@ class _Parser:
         return FromItem(name, alias)
 
     def column_ref(self) -> ColumnRef:
-        first = self._expect("NAME").text
+        token = self._expect("NAME")
         if self._accept("PUNCT", "."):
             second = self._expect("NAME").text
-            return ColumnRef(second, qualifier=first)
-        return ColumnRef(first)
+            return ColumnRef(second, qualifier=token.text, position=token.position)
+        return ColumnRef(token.text, position=token.position)
 
     # Conditions ---------------------------------------------------------
 
@@ -573,7 +586,11 @@ def parse_script(source: str) -> list[Statement]:
 
 def parse_query(source: str) -> Query:
     """Parse a query; reject DDL/DML statements."""
-    result = parse_statement(source)
+    parser = _Parser(tokenize(source))
+    result = parser.statement()
     if not isinstance(result, (SelectCore, SetOp)):
-        raise ParseError(f"expected a query, found {type(result).__name__}")
+        raise ParseError(
+            f"expected a query, found {type(result).__name__}",
+            parser.last_position,
+        )
     return result

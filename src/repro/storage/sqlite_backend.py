@@ -30,7 +30,7 @@ workload generators produce — behave identically.
 from __future__ import annotations
 
 import sqlite3
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable
 from typing import Any
 
 from repro.algebra.bag import Bag, Row

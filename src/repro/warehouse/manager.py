@@ -130,6 +130,7 @@ class ViewManager:
         scenario: str = "combined",
         policy: MaintenancePolicy | None = None,
         strong_minimality: bool = False,
+        strict: bool = False,
     ) -> Scenario:
         """Define and materialize a view under the given scenario.
 
@@ -137,6 +138,10 @@ class ViewManager:
         :class:`ViewDefinition`, or a bag-algebra expression.  When a
         ``policy`` is supplied, a :class:`MaintenanceDriver` is attached
         and can be advanced with :meth:`tick`.
+
+        The static analyzer (:mod:`repro.analysis`) runs at install
+        time; findings warn by default, and raise
+        :class:`~repro.errors.AnalysisError` with ``strict=True``.
         """
         if name in self._scenarios:
             raise SchemaError(f"view {name!r} is already defined")
@@ -161,7 +166,7 @@ class ViewManager:
             scenario_cls = SCENARIOS[scenario]
         except KeyError:
             raise PolicyError(f"unknown scenario {scenario!r}; pick one of {sorted(SCENARIOS)}") from None
-        kwargs = {"counter": self.counter, "ledger": self.ledger}
+        kwargs = {"counter": self.counter, "ledger": self.ledger, "strict": strict}
         if scenario_cls in (DiffTableScenario, CombinedScenario):
             kwargs["strong_minimality"] = strong_minimality
         elif strong_minimality:

@@ -10,7 +10,6 @@ from repro.algebra.expr import (
     Product,
     Project,
     Select,
-    TableRef,
     UnionAll,
     empty,
     except_expr,

@@ -4,9 +4,7 @@ import pytest
 
 from repro.algebra.predicates import (
     And,
-    Attr,
     Comparison,
-    Const,
     Not,
     Or,
     TruePredicate,

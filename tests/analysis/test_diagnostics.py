@@ -1,0 +1,73 @@
+"""Unit tests for the diagnostic registry and report container."""
+
+import pytest
+
+from repro.analysis import AnalysisReport, Diagnostic, Severity
+from repro.analysis.diagnostics import CODES
+from repro.errors import AnalysisError
+
+
+class TestDiagnostic:
+    def test_format_includes_code_severity_path_position(self):
+        diag = Diagnostic("RVM101", Severity.ERROR, "unknown column 'c'", path="Q.left", position=37)
+        text = diag.format()
+        assert text == "RVM101 error [at Q.left, offset 37]: unknown column 'c'"
+
+    def test_format_without_location(self):
+        diag = Diagnostic("RVM203", Severity.INFO, "provably empty")
+        assert diag.format() == "RVM203 info: provably empty"
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("RVM999", Severity.ERROR, "no such code")
+
+    def test_registry_covers_all_families(self):
+        families = {code[:4] + code[4] for code in CODES}
+        # parse (RVM0xx), schema (RVM1xx), properties (RVM2xx), state (RVM3xx)
+        assert any(code.startswith("RVM0") for code in CODES)
+        assert any(code.startswith("RVM1") for code in CODES)
+        assert any(code.startswith("RVM2") for code in CODES)
+        assert any(code.startswith("RVM3") for code in CODES)
+        assert families  # registry is non-empty
+
+
+class TestAnalysisReport:
+    def test_ok_requires_no_errors_and_no_warnings(self):
+        report = AnalysisReport()
+        assert report.ok()
+        report.add("RVM204", Severity.INFO, "note")
+        assert report.ok()  # infos do not fail a report
+        report.add("RVM106", Severity.WARNING, "dup names")
+        assert not report.ok()
+
+    def test_severity_buckets(self):
+        report = AnalysisReport()
+        report.add("RVM101", Severity.ERROR, "e")
+        report.add("RVM106", Severity.WARNING, "w")
+        report.add("RVM204", Severity.INFO, "i")
+        assert [d.code for d in report.errors] == ["RVM101"]
+        assert [d.code for d in report.warnings] == ["RVM106"]
+        assert [d.code for d in report.infos] == ["RVM204"]
+        assert len(report) == 3
+        assert [d.code for d in report] == ["RVM101", "RVM106", "RVM204"]
+
+    def test_raise_if_failed_carries_diagnostics(self):
+        report = AnalysisReport()
+        report.add("RVM101", Severity.ERROR, "unknown column", path="V")
+        with pytest.raises(AnalysisError) as excinfo:
+            report.raise_if_failed(context="install of view 'V'")
+        assert "install of view 'V'" in str(excinfo.value)
+        assert [d.code for d in excinfo.value.diagnostics] == ["RVM101"]
+
+    def test_raise_if_failed_passes_clean_report(self):
+        report = AnalysisReport()
+        report.add("RVM204", Severity.INFO, "note")
+        report.raise_if_failed()  # must not raise
+
+    def test_extend_merges(self):
+        left = AnalysisReport()
+        left.add("RVM101", Severity.ERROR, "e")
+        right = AnalysisReport()
+        right.add("RVM106", Severity.WARNING, "w")
+        left.extend(right)
+        assert [d.code for d in left] == ["RVM101", "RVM106"]

@@ -1,0 +1,64 @@
+"""Analysis-backed minimality decisions in the differential hot path."""
+
+from repro.analysis.properties import match_min
+from repro.core import BaseLogScenario, ViewDefinition
+from repro.core.differential import post_update_delta
+from repro.core.logs import Log
+from repro.storage.database import Database
+from repro.workloads.randgen import RandomExpressionGenerator
+
+
+def _log_fixture():
+    db = Database()
+    r = db.create_table("R", ("x",), rows=[("a",), ("b",), ("c",)])
+    s = db.create_table("S", ("x",), rows=[("c",), ("d",)])
+    log = Log(db, ("R", "S"), owner="minimality_test")
+    log.install()
+    return db, log, r, s
+
+
+class TestAnalysisBackedDefault:
+    def test_default_matches_provenance_for_logs(self):
+        # Log substitutions carry Lemma 4's weak-minimality provenance,
+        # so the analysis-backed default must pick the simplified form.
+        from repro.algebra.expr import Monus
+
+        _db, log, r, s = _log_fixture()
+        query = Monus(r, s)
+        assert post_update_delta(log, query) == post_update_delta(
+            log, query, assume_weakly_minimal_log=True
+        )
+
+    def test_forced_conservative_emits_min_guard(self):
+        from repro.algebra.expr import Monus
+
+        _db, log, r, s = _log_fixture()
+        query = Monus(r, s)
+        _delete, insert = post_update_delta(log, query, assume_weakly_minimal_log=False)
+        assert match_min(insert) is not None
+
+    def test_simplified_and_guarded_refresh_agree(self):
+        # Both forms are correct on weakly-minimal logs; a full random
+        # workload must refresh to identical view contents either way.
+        for seed in range(8):
+            results = []
+            for forced in (True, False):
+                gen = RandomExpressionGenerator(seed)
+                db = gen.database()
+                query = gen.query(db, depth=3)
+                view = ViewDefinition("V", query)
+                scenario = BaseLogScenario(db, view)
+                scenario.install()
+                for _ in range(3):
+                    scenario.execute(gen.transaction(db))
+                delete, insert = post_update_delta(
+                    scenario.log, query, assume_weakly_minimal_log=forced
+                )
+                refreshed = (
+                    db[view.mv_table]
+                    .monus(db.evaluate(delete))
+                    .union_all(db.evaluate(insert))
+                )
+                results.append(refreshed)
+                assert refreshed == db.evaluate(query), f"seed {seed}"
+            assert results[0] == results[1], f"seed {seed}"

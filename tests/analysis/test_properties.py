@@ -1,0 +1,160 @@
+"""Unit tests for the conservative property-derivation engine."""
+
+from repro.algebra.bag import Bag
+from repro.algebra.expr import (
+    DupElim,
+    Literal,
+    Monus,
+    Product,
+    Project,
+    Select,
+    UnionAll,
+    empty,
+    rename,
+)
+from repro.algebra.predicates import Comparison, attr, const
+from repro.algebra.schema import Schema
+from repro.analysis import (
+    Minimality,
+    always_empty,
+    classify_substitution,
+    degrees,
+    duplicate_free,
+    empty_when_empty,
+    is_linear,
+    redundant_min_guard,
+    subsumed_by,
+)
+from repro.analysis.properties import match_min
+from repro.core.logs import Log
+from repro.storage.database import Database
+from repro.workloads.randgen import RandomExpressionGenerator
+
+
+def _db():
+    db = Database()
+    db.create_table("R", ("a", "b"), rows=[(1, 2), (1, 2), (3, 4)])
+    db.create_table("S", ("a", "b"), rows=[(1, 2)])
+    return db
+
+
+class TestEmptiness:
+    def test_empty_literal(self):
+        assert always_empty(empty(Schema(("x",))))
+
+    def test_self_cancelling_monus(self):
+        db = _db()
+        assert always_empty(Monus(db.ref("R"), db.ref("R")))
+
+    def test_nonempty_table_is_unknown(self):
+        db = _db()
+        assert not always_empty(db.ref("R"))
+
+    def test_empty_when_empty(self):
+        db = _db()
+        joined = Product(db.ref("R"), db.ref("S"))
+        assert empty_when_empty(joined, ["R"])
+        assert empty_when_empty(joined, ["S"])
+        union = UnionAll(db.ref("R"), db.ref("S"))
+        assert not empty_when_empty(union, ["R"])
+        assert empty_when_empty(union, ["R", "S"])
+
+
+class TestDuplicateFreeness:
+    def test_dup_elim(self):
+        db = _db()
+        assert duplicate_free(DupElim(db.ref("R")))
+
+    def test_table_with_duplicates_unknown(self):
+        db = _db()
+        assert not duplicate_free(db.ref("R"))
+
+    def test_projection_of_all_columns_preserves(self):
+        db = _db()
+        clean = DupElim(db.ref("R"))
+        permuted = Project((1, 0), clean, ("b", "a"))
+        assert duplicate_free(permuted)
+        narrowed = Project((0,), clean, ("a",))
+        assert not duplicate_free(narrowed)  # narrowing can merge rows
+
+    def test_monus_inherits_from_left(self):
+        db = _db()
+        assert duplicate_free(Monus(DupElim(db.ref("R")), db.ref("S")))
+        assert not duplicate_free(Monus(db.ref("R"), DupElim(db.ref("S"))))
+
+    def test_literal_counts(self):
+        flat = Literal(Bag([(1,), (2,)]), Schema(("x",)))
+        dup = Literal(Bag([(1,), (1,)]), Schema(("x",)))
+        assert duplicate_free(flat)
+        assert not duplicate_free(dup)
+
+
+class TestLinearity:
+    def test_product_degree_sums(self):
+        db = _db()
+        self_join = Product(db.ref("R"), db.ref("R"))
+        assert degrees(self_join)["R"] == 2
+        assert not is_linear(self_join, "R")
+
+    def test_select_is_linear(self):
+        db = _db()
+        shrunk = Select(Comparison("=", attr("a"), const(1)), db.ref("R"))
+        assert is_linear(shrunk, "R")
+        assert is_linear(shrunk, "S")  # degree 0 is linear too
+
+    def test_union_takes_max(self):
+        db = _db()
+        union = UnionAll(db.ref("R"), rename(db.ref("S"), ("a", "b")))
+        assert degrees(union)["R"] == 1
+        assert is_linear(union, "R")
+
+
+class TestMinRecognition:
+    def test_match_min(self):
+        db = _db()
+        x, y = db.ref("R"), db.ref("S")
+        guard = Monus(x, Monus(x, y))
+        assert match_min(guard) == (x, y)
+        assert match_min(Monus(x, y)) is None
+
+    def test_subsumption(self):
+        db = _db()
+        r = db.ref("R")
+        shrunk = Select(Comparison("=", attr("a"), const(1)), r)
+        assert subsumed_by(shrunk, r)
+        assert subsumed_by(Monus(r, db.ref("S")), r)
+        assert subsumed_by(r, UnionAll(r, db.ref("S")))
+        assert not subsumed_by(r, db.ref("S"))
+
+    def test_redundant_min_guard(self):
+        db = _db()
+        r = db.ref("R")
+        shrunk = Monus(r, db.ref("S"))  # shrunk ⊆ R provable
+        guard = Monus(shrunk, Monus(shrunk, r))  # shrunk min R
+        assert redundant_min_guard(guard) == shrunk
+        # An unprovable guard is left in place.
+        other = Monus(r, Monus(r, db.ref("S")))
+        assert redundant_min_guard(other) is None
+
+
+class TestClassifier:
+    def test_log_substitution_is_weakly_minimal_by_provenance(self):
+        db = _db()
+        log = Log(db, ("R", "S"), owner="test")
+        log.install()
+        eta = log.substitution()
+        assert eta.claims_weak_minimality
+        assert classify_substitution(eta) is Minimality.WEAKLY_MINIMAL
+
+    def test_literal_substitution_with_deletes_is_unknown(self):
+        gen = RandomExpressionGenerator(0)
+        db = gen.database()
+        eta = gen.substitution(db, weakly_minimal=False)
+        assert not eta.claims_weak_minimality
+        assert classify_substitution(eta) is Minimality.UNKNOWN
+
+    def test_weakly_minimal_wrapper_sets_provenance(self):
+        gen = RandomExpressionGenerator(1)
+        db = gen.database()
+        eta = gen.substitution(db, weakly_minimal=False).weakly_minimal()
+        assert classify_substitution(eta) is Minimality.WEAKLY_MINIMAL

@@ -1,0 +1,118 @@
+"""Property tests: the analyzer's judgements are sound on random inputs.
+
+Reuses :mod:`repro.workloads.randgen` (the same distribution the E3/E4
+correctness experiments sample) to check, over many seeds:
+
+* analyzer-clean expressions evaluate without schema errors in **both**
+  the interpreted and the compiled engine, and the two engines agree —
+  including with the analysis-backed pruning enabled;
+* every rewrite in :mod:`repro.algebra.rewrite` preserves the inferred
+  schema and keeps the derived property judgements sound.
+"""
+
+from repro.algebra.evaluation import evaluate
+from repro.algebra.expr import Monus, UnionAll, empty
+from repro.algebra.rewrite import optimize
+from repro.analysis import always_empty, check_expr, duplicate_free, redundant_min_guard
+from repro.analysis.properties import degrees
+from repro.storage.database import Database
+from repro.workloads.randgen import RandomExpressionGenerator
+
+SEEDS = range(30)
+
+
+def _compiled_twin(db):
+    """The same state in an explicitly compiled database."""
+    twin = Database(exec_mode="compiled")
+    for name in db.external_tables():
+        twin.create_table(name, db.schema_of(name).attributes, rows=db[name])
+    return twin
+
+
+def _generated(seed, depth=4):
+    gen = RandomExpressionGenerator(seed)
+    db = gen.database()
+    return db, gen.query(db, depth)
+
+
+class TestCleanExpressionsEvaluate:
+    def test_generated_queries_are_analyzer_clean(self):
+        for seed in SEEDS:
+            db, query = _generated(seed)
+            report = check_expr(query, db)
+            assert not report.errors, f"seed {seed}: {report.format()}"
+            assert not report.warnings, f"seed {seed}: {report.format()}"
+
+    def test_clean_queries_agree_across_engines(self):
+        for seed in SEEDS:
+            db, query = _generated(seed)
+            if not check_expr(query, db).ok():
+                continue
+            interpreted = evaluate(query, db.snapshot())
+            compiled = _compiled_twin(db).evaluate(query)
+            assert interpreted == compiled, f"seed {seed}: engines disagree"
+
+    def test_pruned_forms_agree_with_the_oracle(self):
+        # Exercise the analysis-backed folds the compiler applies: the
+        # self-cancelling monus, the empty union branch, and the
+        # redundant min-guard — all must stay oracle-equal.
+        for seed in SEEDS:
+            db, query = _generated(seed, depth=3)
+            schema = query.schema()
+            cancelled = Monus(query, query)
+            padded = UnionAll(empty(schema), query)
+            guarded = Monus(query, Monus(query, query))  # query min query
+            assert always_empty(cancelled)
+            assert redundant_min_guard(guarded) is not None
+            twin = _compiled_twin(db)
+            state = db.snapshot()
+            for expr in (cancelled, padded, guarded):
+                assert twin.evaluate(expr) == evaluate(expr, state), f"seed {seed}"
+
+
+class TestRewritePreservation:
+    def test_optimize_preserves_schema(self):
+        for seed in SEEDS:
+            db, query = _generated(seed)
+            optimized = optimize(query)
+            assert optimized.schema().attributes == query.schema().attributes, f"seed {seed}"
+
+    def test_optimize_preserves_value(self):
+        for seed in SEEDS:
+            db, query = _generated(seed)
+            state = db.snapshot()
+            assert evaluate(optimize(query), state) == evaluate(query, state), f"seed {seed}"
+
+    def test_optimize_preserves_derived_properties(self):
+        # The judgements are conservative (True = proven), so a proof on
+        # the original must remain *semantically true* of the optimized
+        # form: provably-empty stays empty, duplicate-free stays
+        # duplicate-free, and linearity never increases actual degree.
+        for seed in SEEDS:
+            db, query = _generated(seed)
+            optimized = optimize(query)
+            state = db.snapshot()
+            result = evaluate(optimized, state)
+            if always_empty(query):
+                assert not len(result), f"seed {seed}: emptiness proof broken"
+            if duplicate_free(query):
+                assert all(count == 1 for count in result.counts().values()), (
+                    f"seed {seed}: duplicate-freeness proof broken"
+                )
+
+    def test_optimize_preserves_emptiness_proofs_structurally(self):
+        # Folding an expression must never *lose* an emptiness proof:
+        # optimize() turns provably-empty trees into empty literals.
+        for seed in SEEDS:
+            db, query = _generated(seed, depth=3)
+            cancelled = Monus(query, query)
+            optimized = optimize(cancelled)
+            assert always_empty(optimized), f"seed {seed}"
+
+    def test_optimize_never_raises_degree(self):
+        for seed in SEEDS:
+            db, query = _generated(seed)
+            before = degrees(query)
+            after = degrees(optimize(query))
+            for table, degree in after.items():
+                assert degree <= before.get(table, 0), f"seed {seed}: {table}"

@@ -1,0 +1,86 @@
+"""Unit tests for the expression-level schema checker."""
+
+from repro.algebra.expr import Monus, Product, UnionAll, rename
+from repro.algebra.schema import Schema
+from repro.analysis import check_expr
+from repro.analysis.schema_check import _MappingCatalog
+from repro.storage.database import Database
+
+
+def _db():
+    db = Database()
+    db.create_table("R", ("a", "b"), rows=[(1, 2)])
+    db.create_table("S", ("c",), rows=[(3,)])
+    return db
+
+
+class TestCatalogChecks:
+    def test_clean_expression(self):
+        db = _db()
+        report = check_expr(db.ref("R"), db)
+        assert report.ok()
+
+    def test_unknown_table_rvm107(self):
+        db = _db()
+        expr = db.ref("R")
+        catalog = _MappingCatalog({})
+        report = check_expr(expr, catalog)
+        assert [d.code for d in report.errors] == ["RVM107"]
+        assert "'R'" in report.errors[0].message
+
+    def test_schema_drift_rvm108(self):
+        db = _db()
+        expr = db.ref("R")  # carries schema (a, b)
+        catalog = _MappingCatalog({"R": Schema(("a",))})
+        report = check_expr(expr, catalog)
+        assert [d.code for d in report.errors] == ["RVM108"]
+
+    def test_no_catalog_skips_table_checks(self):
+        db = _db()
+        report = check_expr(db.ref("R"))
+        assert report.ok()
+
+
+class TestStructuralChecks:
+    def test_duplicate_root_names_rvm106_warning(self):
+        db = _db()
+        expr = Product(db.ref("R"), db.ref("R"))
+        report = check_expr(expr, db)
+        assert [d.code for d in report.warnings] == ["RVM106"]
+        assert not report.errors
+        assert not report.ok()
+
+    def test_duplicate_names_below_root_not_flagged(self):
+        # Interior self-products are legal as long as the *result* schema
+        # is disambiguated (exactly what randgen's rename wrappers do).
+        db = _db()
+        inner = Product(db.ref("R"), db.ref("R"))
+        expr = rename(inner, ("w", "x", "y", "z"))
+        report = check_expr(expr, db)
+        assert report.ok()
+
+    def test_union_name_mismatch_rvm104_is_info(self):
+        db = _db()
+        left = db.ref("S")
+        right = rename(db.ref("S"), ("other",))
+        report = check_expr(UnionAll(left, right), db)
+        assert report.ok()  # infos do not fail the report
+        assert [d.code for d in report.infos] == ["RVM104"]
+
+    def test_paths_locate_the_offending_node(self):
+        db = _db()
+        bad = Monus(db.ref("S"), db.ref("S"))
+        expr = UnionAll(bad, db.ref("S"))
+        catalog = _MappingCatalog({"S": Schema(("c",))})
+        report = check_expr(expr, catalog, root="V")
+        # Walking reaches every TableRef; paths are rooted at "V".
+        assert report.ok()
+        deep = check_expr(expr, _MappingCatalog({}), root="V")
+        paths = {d.path for d in deep.errors}
+        assert all(path.startswith("V") for path in paths)
+        assert any(".left" in path or ".right" in path for path in paths)
+
+    def test_position_is_threaded_through(self):
+        db = _db()
+        report = check_expr(db.ref("R"), _MappingCatalog({}), position=12)
+        assert report.errors[0].position == 12

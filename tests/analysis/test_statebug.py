@@ -1,0 +1,65 @@
+"""The state-bug detector: known positives flagged, the fix passes."""
+
+from repro.algebra.expr import Monus
+from repro.analysis import audit_refresh_pair, check_log_polarity
+from repro.baselines.preupdate_bug import (
+    _log_as_transaction_substitution,
+    buggy_post_update_delta,
+)
+from repro.core.differential import post_update_delta
+from repro.core.logs import Log
+from repro.storage.database import Database
+
+
+def _fixture():
+    """The paper's Example 1.3: U = R - S with R={a,b,c}, S={c,d}."""
+    db = Database()
+    r = db.create_table("R", ("x",), rows=[("a",), ("b",), ("c",)])
+    s = db.create_table("S", ("x",), rows=[("c",), ("d",)])
+    log = Log(db, ("R", "S"), owner="statebug_test")
+    log.install()
+    return db, log, Monus(r, s)
+
+
+class TestPolarityCheck:
+    def test_buggy_substitution_flagged_per_table(self):
+        db, log, _query = _fixture()
+        eta = _log_as_transaction_substitution(log, db)
+        report = check_log_polarity(eta, log)
+        assert [d.code for d in report.errors] == ["RVM301", "RVM301"]
+        assert {d.path for d in report.errors} == {"R", "S"}
+        assert "pre-update polarity" in report.errors[0].message
+
+    def test_correct_substitution_clean(self):
+        db, log, _query = _fixture()
+        report = check_log_polarity(log.substitution(), log)
+        assert report.ok()
+
+
+class TestSemanticOracle:
+    def test_buggy_pair_fails_the_past_state_oracle(self):
+        db, log, query = _fixture()
+        delete, insert = buggy_post_update_delta(log, db, query)
+        report = audit_refresh_pair(log, query, delete, insert)
+        assert [d.code for d in report.errors] == ["RVM302"]
+        assert "state bug" in report.errors[0].message
+
+    def test_correct_pair_passes(self):
+        _db, log, query = _fixture()
+        delete, insert = post_update_delta(log, query)
+        report = audit_refresh_pair(log, query, delete, insert)
+        assert report.ok()
+
+    def test_conservative_pair_also_passes(self):
+        # The min-guarded form is correct with or without weak minimality.
+        _db, log, query = _fixture()
+        delete, insert = post_update_delta(log, query, assume_weakly_minimal_log=False)
+        report = audit_refresh_pair(log, query, delete, insert)
+        assert report.ok()
+
+    def test_oracle_is_deterministic(self):
+        db, log, query = _fixture()
+        delete, insert = buggy_post_update_delta(log, db, query)
+        first = audit_refresh_pair(log, query, delete, insert)
+        second = audit_refresh_pair(log, query, delete, insert)
+        assert [d.message for d in first] == [d.message for d in second]

@@ -1,11 +1,8 @@
 """Unit tests for the Hanson-style suspended-updates baseline."""
 
-import pytest
-
 from repro.algebra.bag import Bag
 from repro.baselines.hanson import HansonDifferentialFiles
 from repro.core.transactions import UserTransaction
-from repro.core.views import ViewDefinition
 from repro.sqlfront import sql_to_view
 from repro.storage.database import Database
 

@@ -12,7 +12,6 @@ from repro.algebra.expr import (
     Project,
     Select,
     UnionAll,
-    table,
 )
 from repro.algebra.predicates import Comparison, attr, const
 from repro.algebra.schema import Schema

@@ -24,7 +24,7 @@ from repro.algebra.expr import (
     rename,
     table,
 )
-from repro.algebra.predicates import Comparison, attr, const
+from repro.algebra.predicates import Comparison, attr
 from repro.core.differential import differentiate
 from repro.core.substitution import FactoredSubstitution
 from repro.algebra.schema import Schema

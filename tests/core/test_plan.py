@@ -4,7 +4,7 @@ import pytest
 
 from repro.algebra.bag import Bag
 from repro.algebra.evaluation import CostCounter
-from repro.algebra.expr import Literal, singleton
+from repro.algebra.expr import Literal
 from repro.algebra.schema import Schema
 from repro.core.plan import MaintenancePlan
 from repro.errors import TransactionError

@@ -19,7 +19,6 @@ from repro.core.scenarios import (
     ImmediateScenario,
 )
 from repro.core.transactions import UserTransaction
-from repro.core.views import ViewDefinition
 from repro.sqlfront import sql_to_view
 from repro.storage.database import Database
 

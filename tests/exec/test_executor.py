@@ -6,7 +6,6 @@ from repro.algebra.bag import Bag
 from repro.algebra.evaluation import CostCounter
 from repro.algebra.expr import Literal
 from repro.algebra.predicates import Attr, Comparison, Const
-from repro.algebra.schema import Schema
 from repro.errors import ReproError
 from repro.exec import COMPILED, INTERPRETED, resolve_exec_mode
 from repro.storage.database import Database

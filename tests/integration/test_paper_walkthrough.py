@@ -6,10 +6,8 @@ exactly as the paper uses its formalism.  If the reproduction drifts
 from the paper, this file says where.
 """
 
-import pytest
-
 from repro.algebra.bag import Bag
-from repro.algebra.expr import Monus, table
+from repro.algebra.expr import Monus
 from repro.core import (
     BaseLogScenario,
     CombinedScenario,
@@ -19,7 +17,6 @@ from repro.core import (
     differentiate,
     future_query,
     past_query,
-    post_update_delta,
 )
 from repro.core.substitution import FactoredSubstitution
 from repro.algebra.schema import Schema

@@ -184,3 +184,22 @@ class TestErrors:
             parse_query("SELECT a FROM t WHERE a =")
         except ParseError as error:
             assert error.position is not None
+
+    def test_non_query_statement_reports_position(self):
+        source = "CREATE TABLE t (a)"
+        with pytest.raises(ParseError) as excinfo:
+            parse_query(source)
+        assert excinfo.value.position is not None
+        assert 0 < excinfo.value.position <= len(source)
+
+    def test_column_refs_carry_source_offsets(self):
+        source = "SELECT a FROM t WHERE b = 1"
+        query = parse_query(source)
+        column = query.items[0].column
+        assert source[column.position] == "a"
+
+    def test_column_positions_do_not_affect_equality(self):
+        first = parse_query("SELECT a FROM t").items[0].column
+        second = parse_query("SELECT  a FROM t").items[0].column
+        assert first.position != second.position
+        assert first == second

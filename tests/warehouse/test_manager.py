@@ -4,7 +4,7 @@ import pytest
 
 from repro.algebra.bag import Bag
 from repro.core.policies import Policy2
-from repro.core.scenarios import CombinedScenario, ImmediateScenario
+from repro.core.scenarios import ImmediateScenario
 from repro.core.views import ViewDefinition
 from repro.errors import PolicyError, SchemaError, UnknownTableError
 from repro.warehouse import ViewManager
