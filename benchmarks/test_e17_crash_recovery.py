@@ -1,0 +1,107 @@
+"""E17 — extension: crash-recovery cost vs deferred log size.
+
+The crash-safety layer (`repro.robustness`) rolls an interrupted
+maintenance operation forward from the journal and the snapshot's
+surviving logs.  The work that replay must redo is exactly the deferred
+maintenance that was in flight — so recovery cost should track the *log
+size at the crash*, which the maintenance policy controls:
+
+* under **Policy 1** (refresh every k-th transaction, no propagation)
+  the logs grow with the deferral depth, and so does the refresh that
+  recovery re-runs;
+* under **Policy 2** (propagate after every transaction) the logs are
+  already folded into the differential tables when the crash hits, so
+  the journaled refresh watermark stays at zero regardless of depth.
+
+The experiment crashes a combined-scenario refresh at
+``crash-mid-refresh`` after ``d`` deferred transactions and measures the
+pending intent's log watermark and the recovery wall time.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import ExperimentResult, write_report
+from repro.robustness.durable import DurableWarehouse
+from repro.robustness.faults import INJECTOR, InjectedCrash
+from repro.robustness.journal import IntentJournal, journal_path
+from repro.robustness.recovery import recover
+from repro.workloads.retail import VIEW_SQL, RetailConfig, RetailWorkload
+
+DEFERRAL_DEPTHS = (2, 6, 12)
+TXN_INSERTS = 20
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    INJECTOR.reset()
+    yield
+    INJECTOR.reset()
+
+
+def run_case(base_dir, policy, deferral):
+    """Defer ``deferral`` txns under ``policy``, crash the refresh, recover."""
+    config = RetailConfig(customers=60, items=30, initial_sales=600, txn_inserts=TXN_INSERTS, seed=96)
+    workload = RetailWorkload(config)
+    path = base_dir / f"{policy.replace(' ', '_')}_{deferral}.db"
+    warehouse = DurableWarehouse(path)
+    warehouse.create_table("customer", ("custId", "name", "address", "score"))
+    warehouse.load("customer", workload.customer_rows())
+    warehouse.create_table("sales", ("custId", "itemNo", "quantity", "salesPrice"))
+    warehouse.load("sales", workload.initial_sales_rows())
+    warehouse.define_view("V", VIEW_SQL, scenario="combined")
+    for __ in range(deferral):
+        rows = [workload._sale_row() for __ in range(TXN_INSERTS)]
+        warehouse.transaction().insert("sales", rows).run()
+        if policy == "Policy 2":
+            warehouse.propagate("V")
+
+    INJECTOR.arm("crash-mid-refresh")
+    with pytest.raises(InjectedCrash):
+        warehouse.refresh("V")
+    INJECTOR.reset()
+    warehouse.close()
+
+    with IntentJournal(journal_path(path)) as journal:
+        watermark = journal.pending().watermark
+    started = time.perf_counter()
+    report = recover(path)
+    recovery_ms = (time.perf_counter() - started) * 1000
+    assert report.action == "rolled_forward" and report.green, report.format()
+    return {
+        "policy": policy,
+        "deferred txns": deferral,
+        "log watermark": watermark,
+        "recovery": "rolled_forward",
+        "recovery_ms": round(recovery_ms, 1),
+    }
+
+
+def run_experiment(base_dir):
+    rows = []
+    for depth in DEFERRAL_DEPTHS:
+        rows.append(run_case(base_dir, "Policy 1", depth))
+    for depth in DEFERRAL_DEPTHS:
+        rows.append(run_case(base_dir, "Policy 2", depth))
+    return rows
+
+
+def test_e17_crash_recovery(benchmark, tmp_path):
+    rows = benchmark.pedantic(run_experiment, args=(tmp_path,), rounds=1, iterations=1)
+    result = ExperimentResult("E17", "crash-recovery replay work vs deferred log size")
+    for row in rows:
+        result.add(**row)
+    write_report(result)
+
+    by_case = {(row["policy"], row["deferred txns"]): row for row in rows}
+    # Policy 1: the journaled refresh watermark — the log replay must
+    # re-read — grows strictly with the deferral depth.
+    watermarks = [by_case[("Policy 1", depth)]["log watermark"] for depth in DEFERRAL_DEPTHS]
+    assert watermarks == sorted(watermarks) and watermarks[0] < watermarks[-1]
+    assert watermarks[-1] >= DEFERRAL_DEPTHS[-1] * TXN_INSERTS
+    # Policy 2: propagation already drained the logs into the
+    # differential tables — the crashed refresh has nothing deferred to
+    # re-read, independent of depth.
+    for depth in DEFERRAL_DEPTHS:
+        assert by_case[("Policy 2", depth)]["log watermark"] == 0

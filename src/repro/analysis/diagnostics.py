@@ -11,7 +11,9 @@ Code ranges:
 * ``RVM0xx`` — front-end (parse) problems surfaced through the linter;
 * ``RVM1xx`` — schema/typing problems (Section 2.1 well-formedness);
 * ``RVM2xx`` — derived-property and minimality findings (Lemmas 2–4);
-* ``RVM3xx`` — state-bug findings (Section 1.2 / Lemma 1 duality).
+* ``RVM3xx`` — state-bug findings (Section 1.2 / Lemma 1 duality);
+* ``RVM4xx`` — robustness/durability findings (crash safety of the
+  maintenance state; see :mod:`repro.robustness`).
 """
 
 from __future__ import annotations
@@ -60,6 +62,7 @@ CODES: dict[str, str] = {
     "RVM204": "derived properties",
     "RVM301": "state bug: log substitution has pre-update polarity",
     "RVM302": "state bug: refresh pair disagrees with PAST-state oracle",
+    "RVM401": "scenario installed on persistent database without journaling",
 }
 
 

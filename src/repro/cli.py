@@ -304,12 +304,16 @@ def run_stream(shell: WarehouseShell, lines: Iterable[str], out) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: ``python -m repro [lint …| script.sql …]``."""
+    """Entry point: ``python -m repro [lint …| recover FILE | script.sql …]``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "lint":
         from repro.analysis.lint import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "recover":
+        from repro.robustness.recovery import main as recover_main
+
+        return recover_main(argv[1:])
     shell = WarehouseShell()
     if argv:
         for path in argv:

@@ -43,6 +43,7 @@ from repro.core.plan import MaintenancePlan
 from repro.core.transactions import UserTransaction
 from repro.core.views import ViewDefinition
 from repro.errors import InvariantViolation
+from repro.robustness.faults import fault_point
 from repro.storage.database import Database
 from repro.storage.locks import LockLedger
 
@@ -93,6 +94,22 @@ class Scenario(ABC):
         from repro.analysis.lint import lint_view
 
         report = lint_view(self.view, self.db, properties=False)
+        # RVM401: maintenance state on this database is persistent, but
+        # no write-ahead journal guards it — a crash inside refresh /
+        # propagate / makesafe can leave MV, logs, and differentials
+        # mutually inconsistent on disk (see repro.robustness).
+        if getattr(self.db, "durable_origin", None) is not None and not getattr(self.db, "journaled", False):
+            from repro.analysis.diagnostics import Severity
+
+            report.add(
+                "RVM401",
+                Severity.WARNING,
+                f"view {self.view.name!r} is installed on persistent database "
+                f"{self.db.durable_origin} without journaling; use "
+                "repro.robustness.DurableWarehouse (or accept that a crash during "
+                "maintenance leaves the snapshot unrecoverable)",
+                path=self.view.name,
+            )
         if self.strict:
             report.raise_if_failed(context=f"install of view {self.view.name!r}")
         else:
@@ -251,6 +268,7 @@ class BaseLogScenario(Scenario):
         plan = MaintenancePlan(assignments=self.log.clear_assignments())
         plan.add_patch(self.view.mv_table, view_delete, view_insert)
         with self.ledger.exclusive(self.view.mv_table, label="refresh_BL", counter=self.counter):
+            fault_point("crash-mid-refresh")
             plan.execute(self.db, counter=self.counter)
 
     def invariant_holds(self) -> bool:
@@ -329,6 +347,7 @@ class DiffTableScenario(Scenario):
     def refresh(self) -> None:
         """``refresh_DT``: apply precomputed differentials — minimal downtime."""
         with self.ledger.exclusive(self.view.mv_table, label="refresh_DT", counter=self.counter):
+            fault_point("crash-mid-refresh")
             self._apply_dt_plan().execute(self.db, counter=self.counter)
 
     def invariant_holds(self) -> bool:
@@ -387,12 +406,14 @@ class CombinedScenario(DiffTableScenario):
         view_delete, view_insert = post_update_delta(self.log, self.view.query)
         plan = MaintenancePlan(assignments=self.log.clear_assignments())
         self._fold_into_dt(plan, view_delete, view_insert)
+        fault_point("crash-mid-propagate")
         plan.execute(self.db, counter=self.counter)
         super().post_execute()  # strong-minimality normalization, if enabled
 
     def partial_refresh(self) -> None:
         """``partial_refresh_C``: apply differentials; ``MV`` becomes ``PAST(L,Q)``."""
         with self.ledger.exclusive(self.view.mv_table, label="partial_refresh_C", counter=self.counter):
+            fault_point("crash-mid-refresh")
             self._apply_dt_plan().execute(self.db, counter=self.counter)
 
     def refresh(self, *, order: str = "propagate_first") -> None:
@@ -407,6 +428,7 @@ class CombinedScenario(DiffTableScenario):
         if order not in ("propagate_first", "partial_first"):
             raise ValueError(f"unknown refresh order: {order!r}")
         with self.ledger.exclusive(self.view.mv_table, label="refresh_C", counter=self.counter):
+            fault_point("crash-mid-refresh")
             if order == "propagate_first":
                 view_delete, view_insert = post_update_delta(self.log, self.view.query)
                 propagate_plan = MaintenancePlan(assignments=self.log.clear_assignments())

@@ -87,6 +87,16 @@ class PolicyError(ReproError):
     """A maintenance policy was configured or driven incorrectly."""
 
 
+class RecoveryError(ReproError):
+    """The crash-safety layer was misused or found unrecoverable state.
+
+    Raised by the intent journal (e.g. starting a new operation while a
+    crashed operation's intent is still pending) and by the recovery
+    runner (e.g. a snapshot whose contents match neither the pre- nor a
+    consistent post-operation state).
+    """
+
+
 class AnalysisError(ReproError):
     """Static analysis rejected an expression or maintenance plan.
 

@@ -1,0 +1,302 @@
+"""The crash-safe warehouse: journaled ops over an atomic checkpoint.
+
+:class:`DurableWarehouse` wraps a :class:`~repro.warehouse.ViewManager`
+bound to a snapshot file and makes every state-changing operation follow
+the write-ahead protocol::
+
+    intent journaled (fsync)  →  op runs in memory  →
+    atomic checkpoint (temp file + os.replace)  →  intent committed
+
+A crash at *any* instant leaves the disk in one of exactly three
+states, all of which :func:`repro.robustness.recovery.recover` resolves:
+
+* no pending intent — nothing was in flight; the snapshot is consistent;
+* pending intent + pre-op snapshot — the operation never reached disk;
+  recovery **rolls it forward** from the journal payload (user
+  transactions carry their fully evaluated delta bags; maintenance
+  operations re-run from the snapshot's surviving logs/differentials —
+  the paper's refresh/propagate idempotence), or **rolls it back** when
+  the intent is not replayable (DDL);
+* pending intent + post-op snapshot — the checkpoint landed but the
+  commit mark didn't; recovery verifies the invariants and marks the
+  intent committed.
+
+User transactions accept an optional idempotency ``token``; a token the
+journal has already committed is skipped, so a client retrying after a
+crash gets exactly-once semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from pathlib import Path
+from typing import Any
+
+from repro.algebra.bag import Bag, Row
+from repro.algebra.expr import Expr
+from repro.core.transactions import UserTransaction
+from repro.core.views import ViewDefinition
+from repro.errors import RecoveryError
+from repro.robustness.faults import fault_point
+from repro.robustness.journal import (
+    IntentJournal,
+    journal_path,
+    serialize_bag,
+    table_digests,
+)
+from repro.warehouse.manager import ViewManager
+from repro.warehouse.persistence import load_warehouse, save_warehouse
+
+__all__ = ["DurableWarehouse", "DurableTransaction"]
+
+
+class DurableTransaction:
+    """Fluent transaction builder that commits through the journal."""
+
+    def __init__(self, warehouse: DurableWarehouse, token: str | None) -> None:
+        self._warehouse = warehouse
+        self._token = token
+        self._txn = UserTransaction(warehouse.db)
+
+    def insert(self, table: str, rows: Iterable[Row] | Bag) -> DurableTransaction:
+        self._txn.insert(table, rows)
+        return self
+
+    def delete(self, table: str, rows: Iterable[Row] | Bag) -> DurableTransaction:
+        self._txn.delete(table, rows)
+        return self
+
+    def insert_query(self, table: str, expr: Expr) -> DurableTransaction:
+        self._txn.insert_query(table, expr)
+        return self
+
+    def delete_query(self, table: str, expr: Expr) -> DurableTransaction:
+        self._txn.delete_query(table, expr)
+        return self
+
+    def run(self) -> bool:
+        """Execute journaled; False when the token was already committed."""
+        return self._warehouse.execute(self._txn, token=self._token)
+
+
+class DurableWarehouse:
+    """A :class:`ViewManager` whose every mutation survives a crash."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        exec_mode: str | None = None,
+        _manager: ViewManager | None = None,
+        _skip_baseline: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        if _manager is None:
+            if self.path.exists():
+                raise RecoveryError(
+                    f"snapshot {self.path} already exists; use DurableWarehouse.open() to resume it"
+                )
+            _manager = ViewManager(exec_mode=exec_mode)
+        self.manager = _manager
+        self.db = self.manager.db
+        self.db.journaled = True
+        self.db.durable_origin = self.path
+        self.journal = IntentJournal(journal_path(self.path))
+        pending = self.journal.pending()
+        if pending is not None:
+            self.journal.close()
+            raise RecoveryError(
+                f"journal has a pending intent ({pending.describe()}); "
+                f"run `python -m repro recover {self.path}` (or recovery.recover) first"
+            )
+        if not _skip_baseline and not self.path.exists():
+            # Establish a baseline snapshot so recovery always has a
+            # well-defined pre-state, even for a crash in the first op.
+            self._checkpoint()
+
+    @classmethod
+    def open(cls, path: str | Path, *, auto_recover: bool = True) -> DurableWarehouse:
+        """Resume a durable warehouse from its snapshot (+ journal).
+
+        With ``auto_recover`` (the default) any interrupted operation is
+        resolved first, exactly as ``python -m repro recover`` would.
+        """
+        path = Path(path)
+        if auto_recover:
+            from repro.robustness.recovery import recover
+
+            recover(path)
+        manager = load_warehouse(path)
+        return cls(path, _manager=manager, _skip_baseline=True)
+
+    def close(self) -> None:
+        self.journal.close()
+
+    def __enter__(self) -> DurableWarehouse:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The write-ahead protocol
+    # ------------------------------------------------------------------
+
+    def _checkpoint(self) -> None:
+        save_warehouse(self.manager, self.path)
+
+    def checkpoint(self) -> None:
+        """Force a snapshot of the current state (not itself journaled)."""
+        self._checkpoint()
+
+    def _run_journaled(
+        self,
+        kind: str,
+        action: Callable[[], Any],
+        *,
+        view: str | None = None,
+        token: str | None = None,
+        payload: dict[str, Any] | None = None,
+    ) -> bool:
+        fault_point("crash-before-journal")
+        if token is not None and self.journal.has_committed(token):
+            return False
+        full_payload = dict(payload or {})
+        full_payload.setdefault("pre_digests", table_digests(self.db))
+        op_id = self.journal.begin(kind, view=view, token=token, payload=full_payload)
+        fault_point("crash-after-journal")
+        action()
+        self._checkpoint()
+        fault_point("crash-after-checkpoint")
+        self.journal.commit_op(op_id)
+        fault_point("crash-after-commit")
+        return True
+
+    def _watermark(self, names: Iterable[str]) -> int:
+        total = 0
+        for name in names:
+            log = getattr(self.manager.scenario(name), "log", None)
+            if log is not None:
+                total += log.recorded_changes()
+        return total
+
+    # ------------------------------------------------------------------
+    # Catalog (journaled as non-replayable intents: rolled back on crash)
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str, attrs: Iterable[str], *, rows: Iterable[Row] = ()) -> None:
+        self._run_journaled("ddl", lambda: self.manager.create_table(name, attrs, rows=rows))
+
+    def load(self, name: str, rows: Iterable[Row]) -> None:
+        rows = list(rows)
+        self._run_journaled("ddl", lambda: self.manager.load(name, rows))
+
+    def define_view(self, name: str, definition: str | ViewDefinition | Expr, **options: Any) -> None:
+        self._run_journaled("ddl", lambda: self.manager.define_view(name, definition, **options), view=name)
+
+    def drop_view(self, name: str) -> None:
+        self._run_journaled("ddl", lambda: self.manager.drop_view(name), view=name)
+
+    # ------------------------------------------------------------------
+    # Transactions (journaled with evaluated deltas: rolled forward)
+    # ------------------------------------------------------------------
+
+    def transaction(self, *, token: str | None = None) -> DurableTransaction:
+        return DurableTransaction(self, token)
+
+    def execute(self, txn: UserTransaction, *, token: str | None = None) -> bool:
+        """Run a user transaction under the write-ahead protocol.
+
+        The transaction's delete/insert expressions are evaluated against
+        the pre-state *once*, journaled as literal delta bags (making the
+        intent replayable from the journal alone), and applied as a
+        literal transaction — so a recovery replay is bit-identical to
+        the original application.
+
+        Returns ``False`` without doing anything when ``token`` was
+        already committed (a client retry of an applied transaction).
+        """
+        deltas: dict[str, dict[str, list[list[Any]]]] = {}
+        literal = UserTransaction(self.db)
+        for name in sorted(txn.tables):
+            delete = self.db.evaluate(txn.delete_expr(name))
+            insert = self.db.evaluate(txn.insert_expr(name))
+            deltas[name] = {"delete": serialize_bag(delete), "insert": serialize_bag(insert)}
+            if delete:
+                literal.delete(name, delete)
+            if insert:
+                literal.insert(name, insert)
+        return self._run_journaled(
+            "txn",
+            lambda: self.manager.execute(literal),
+            token=token,
+            payload={"deltas": deltas, "pre_digests": table_digests(self.db)},
+        )
+
+    def execute_sql(self, script: str, *, token: str | None = None) -> bool:
+        from repro.sqlfront.compiler import script_to_transaction
+
+        txn = UserTransaction(self.db)
+        script_to_transaction(script, self.db, txn)
+        return self.execute(txn, token=token)
+
+    # ------------------------------------------------------------------
+    # Maintenance (journaled with watermark: re-run to completion)
+    # ------------------------------------------------------------------
+
+    def refresh(self, name: str) -> None:
+        self._run_journaled(
+            "refresh",
+            lambda: self.manager.refresh(name),
+            view=name,
+            payload={"watermark": self._watermark([name]), "pre_digests": table_digests(self.db)},
+        )
+
+    def refresh_all(self) -> None:
+        self._run_journaled(
+            "refresh_all",
+            self.manager.refresh_all,
+            payload={"watermark": self._watermark(self.views()), "pre_digests": table_digests(self.db)},
+        )
+
+    def propagate(self, name: str) -> None:
+        self._run_journaled(
+            "propagate",
+            lambda: self.manager.propagate(name),
+            view=name,
+            payload={"watermark": self._watermark([name]), "pre_digests": table_digests(self.db)},
+        )
+
+    def partial_refresh(self, name: str) -> None:
+        self._run_journaled(
+            "partial_refresh",
+            lambda: self.manager.partial_refresh(name),
+            view=name,
+            payload={"watermark": self._watermark([name]), "pre_digests": table_digests(self.db)},
+        )
+
+    # ------------------------------------------------------------------
+    # Reads and introspection (not journaled)
+    # ------------------------------------------------------------------
+
+    def query(self, name: str) -> Bag:
+        return self.manager.query(name)
+
+    def query_fresh(self, name: str) -> Bag:
+        self.refresh(name)
+        return self.manager.query(name)
+
+    def sql(self, query: str) -> Bag:
+        return self.manager.sql(query)
+
+    def views(self) -> tuple[str, ...]:
+        return self.manager.views()
+
+    def scenario(self, name: str):
+        return self.manager.scenario(name)
+
+    def is_stale(self, name: str) -> bool:
+        return self.manager.is_stale(name)
+
+    def check_invariants(self) -> None:
+        self.manager.check_invariants()

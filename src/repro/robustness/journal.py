@@ -1,0 +1,262 @@
+"""The write-ahead intent journal.
+
+Crash safety for a deferred-maintenance warehouse rests on two pieces:
+an **atomic checkpoint** (``save_database`` writes a temp file and
+``os.replace``\\ s it, so the snapshot on disk is always entirely pre-op
+or entirely post-op) and this **intent journal**, an fsync'd SQLite file
+sitting next to the snapshot that records what operation was *about* to
+run before any state mutates.
+
+Each journal record carries:
+
+* ``kind`` — ``"txn"``, ``"refresh"``, ``"propagate"``,
+  ``"partial_refresh"``, ``"refresh_all"``, or ``"ddl"``;
+* ``view`` — the target view, when the operation has one;
+* ``token`` — an optional client-supplied idempotency token for user
+  transactions (exactly-once replay: a committed token is never
+  re-applied);
+* ``status`` — ``intent`` → ``committed`` / ``aborted``;
+* ``payload`` — JSON: the **pre-operation digests** of every table (the
+  recovery oracle uses them to classify the on-disk snapshot as pre- or
+  post-op), the log **watermark** (recorded log tuples at intent time),
+  and — for user transactions — the fully evaluated per-table
+  ``(delete, insert)`` **delta bags**, which make the operation
+  replayable from the journal alone.
+
+Durability: the journal connection runs with ``PRAGMA
+synchronous=FULL``, so every ``begin``/``commit_op`` is fsync'd before
+the caller proceeds — the write-ahead property the recovery protocol
+depends on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.algebra.bag import Bag
+from repro.errors import RecoveryError
+from repro.storage.database import Database
+from repro.storage.persistence import with_retry
+
+__all__ = [
+    "IntentJournal",
+    "OpIntent",
+    "bag_digest",
+    "table_digests",
+    "journal_path",
+    "serialize_bag",
+    "deserialize_bag",
+]
+
+_TABLE = "__journal__"
+
+#: Journal record lifecycle.
+INTENT = "intent"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+def journal_path(snapshot_path: str | Path) -> Path:
+    """The journal file co-located with a snapshot file."""
+    snapshot_path = Path(snapshot_path)
+    return snapshot_path.with_name(snapshot_path.name + ".journal")
+
+
+# ----------------------------------------------------------------------
+# Digests and delta serialization
+# ----------------------------------------------------------------------
+
+
+def bag_digest(bag: Bag) -> str:
+    """A stable content digest of a bag (rows with multiplicities)."""
+    hasher = hashlib.sha256()
+    for row, count in sorted(bag.items(), key=lambda item: repr(item[0])):
+        hasher.update(repr(row).encode())
+        hasher.update(b"\x00")
+        hasher.update(str(count).encode())
+        hasher.update(b"\x01")
+    return hasher.hexdigest()
+
+
+def table_digests(db: Database, tables: Iterable[str] | None = None) -> dict[str, str]:
+    """Digest of every (or each named) table in ``db``."""
+    names = db.table_names() if tables is None else tuple(tables)
+    return {name: bag_digest(db[name]) for name in names}
+
+
+def serialize_bag(bag: Bag) -> list[list[Any]]:
+    """A JSON-safe encoding of a bag: ``[[*row, count], ...]``."""
+    return [[*row, count] for row, count in sorted(bag.items(), key=lambda item: repr(item[0]))]
+
+
+def deserialize_bag(encoded: Iterable[Iterable[Any]]) -> Bag:
+    """Inverse of :func:`serialize_bag` (JSON lists become row tuples)."""
+    counts: dict[tuple, int] = {}
+    for entry in encoded:
+        *values, count = entry
+        row = tuple(values)
+        counts[row] = counts.get(row, 0) + int(count)
+    return Bag.from_counts(counts)
+
+
+# ----------------------------------------------------------------------
+# The journal
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpIntent:
+    """One journal record."""
+
+    op_id: int
+    kind: str
+    view: str | None
+    token: str | None
+    status: str
+    payload: dict[str, Any]
+
+    @property
+    def pre_digests(self) -> dict[str, str]:
+        return dict(self.payload.get("pre_digests", {}))
+
+    @property
+    def watermark(self) -> int | None:
+        return self.payload.get("watermark")
+
+    def describe(self) -> str:
+        target = f" on view {self.view!r}" if self.view else ""
+        watermark = self.watermark
+        extra = f", log watermark {watermark}" if watermark is not None else ""
+        return f"op #{self.op_id} {self.kind}{target} ({self.status}{extra})"
+
+
+class IntentJournal:
+    """An fsync'd, SQLite-backed write-ahead journal of maintenance intents."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._conn = with_retry(lambda: sqlite3.connect(self.path))
+        self._conn.execute("PRAGMA synchronous=FULL")
+        with_retry(self._create)
+
+    def _create(self) -> None:
+        with self._conn:
+            self._conn.execute(
+                f"CREATE TABLE IF NOT EXISTS {_TABLE} ("
+                "  op_id INTEGER PRIMARY KEY AUTOINCREMENT,"
+                "  kind TEXT NOT NULL,"
+                "  view TEXT,"
+                "  token TEXT,"
+                "  status TEXT NOT NULL,"
+                "  payload TEXT NOT NULL)"
+            )
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> IntentJournal:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def begin(
+        self,
+        kind: str,
+        *,
+        view: str | None = None,
+        token: str | None = None,
+        payload: Mapping[str, Any] | None = None,
+    ) -> int:
+        """Durably record the intent to run an operation; returns its id.
+
+        Refuses to start a new intent while another is pending — a
+        pending intent means a crash happened and recovery has not run.
+        """
+        pending = self.pending()
+        if pending is not None:
+            raise RecoveryError(
+                f"journal {self.path} has a pending intent ({pending.describe()}); "
+                "run recovery before issuing new operations"
+            )
+        if token is not None and self.has_committed(token):
+            raise RecoveryError(f"token {token!r} was already committed; refusing duplicate intent")
+        encoded = json.dumps(dict(payload or {}), sort_keys=True)
+
+        def insert() -> int:
+            with self._conn:
+                cursor = self._conn.execute(
+                    f"INSERT INTO {_TABLE} (kind, view, token, status, payload) VALUES (?, ?, ?, ?, ?)",
+                    (kind, view, token, INTENT, encoded),
+                )
+            return int(cursor.lastrowid)
+
+        return with_retry(insert)
+
+    def _set_status(self, op_id: int, status: str) -> None:
+        def update() -> None:
+            with self._conn:
+                cursor = self._conn.execute(
+                    f"UPDATE {_TABLE} SET status = ? WHERE op_id = ? AND status = ?",
+                    (status, op_id, INTENT),
+                )
+                if cursor.rowcount != 1:
+                    raise RecoveryError(f"journal op #{op_id} is not pending; cannot mark it {status}")
+
+        with_retry(update)
+
+    def commit_op(self, op_id: int) -> None:
+        """Durably mark a pending intent as completed."""
+        self._set_status(op_id, COMMITTED)
+
+    def abort_op(self, op_id: int) -> None:
+        """Durably mark a pending intent as rolled back."""
+        self._set_status(op_id, ABORTED)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def _row_to_intent(self, row: tuple) -> OpIntent:
+        op_id, kind, view, token, status, payload = row
+        return OpIntent(int(op_id), kind, view, token, status, json.loads(payload))
+
+    def records(self) -> list[OpIntent]:
+        """All journal records, oldest first."""
+        rows = with_retry(
+            lambda: self._conn.execute(
+                f"SELECT op_id, kind, view, token, status, payload FROM {_TABLE} ORDER BY op_id"
+            ).fetchall()
+        )
+        return [self._row_to_intent(row) for row in rows]
+
+    def pending(self) -> OpIntent | None:
+        """The in-flight intent a crash left behind, if any."""
+        rows = with_retry(
+            lambda: self._conn.execute(
+                f"SELECT op_id, kind, view, token, status, payload FROM {_TABLE} "
+                "WHERE status = ? ORDER BY op_id DESC LIMIT 1",
+                (INTENT,),
+            ).fetchall()
+        )
+        return self._row_to_intent(rows[0]) if rows else None
+
+    def has_committed(self, token: str) -> bool:
+        """Whether a client token was already applied (exactly-once replay)."""
+        rows = with_retry(
+            lambda: self._conn.execute(
+                f"SELECT 1 FROM {_TABLE} WHERE token = ? AND status = ? LIMIT 1",
+                (token, COMMITTED),
+            ).fetchall()
+        )
+        return bool(rows)

@@ -1,0 +1,196 @@
+"""Invariant-driven recovery: restart a warehouse into a green state.
+
+The paper's invariants (Figure 1) are the recovery oracle: after a
+restart every scenario's invariant — ``INV_IM``, ``INV_BL``,
+``INV_DT``, ``INV_C`` — must hold *exactly* over the reloaded snapshot.
+:func:`recover` makes that true:
+
+1. **Classify.**  Load the journal; if an intent is pending, compare the
+   snapshot's table digests with the intent's recorded pre-operation
+   digests.  Because checkpoints are atomic (temp file +
+   ``os.replace``), the snapshot is either exactly the pre-op state or
+   exactly the completed post-op state — a torn intermediate is
+   impossible by construction.
+2. **Resolve.**  Pre-op snapshot: replay the operation from the journal
+   (user transactions from their recorded delta bags; ``refresh`` /
+   ``propagate`` / ``partial_refresh`` / ``refresh_all`` simply re-run
+   against the surviving logs and differential tables — Figure 3's
+   operations are deterministic functions of that state, which is what
+   makes roll-forward sound), checkpoint, and commit the intent.
+   Non-replayable intents (DDL) are rolled back.  Post-op snapshot: the
+   work is already durable; just commit the intent.
+3. **Audit.**  Recompute every view's scenario invariant from scratch
+   and report.  ``recover`` is idempotent: a second run finds no
+   pending intent and changes nothing.
+
+``python -m repro recover <file>`` is the CLI front end (exit status 1
+when any invariant is violated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.transactions import UserTransaction
+from repro.errors import RecoveryError
+from repro.robustness.journal import (
+    IntentJournal,
+    OpIntent,
+    deserialize_bag,
+    journal_path,
+    table_digests,
+)
+from repro.storage.persistence import staging_path
+from repro.warehouse.manager import ViewManager
+from repro.warehouse.persistence import load_warehouse, save_warehouse
+
+__all__ = ["ViewAudit", "RecoveryReport", "audit_manager", "recover", "main"]
+
+#: Scenario tag → the Figure 1 invariant it maintains.
+INVARIANT_NAMES = {
+    "IM": "INV_IM",
+    "BL": "INV_BL",
+    "DT": "INV_DT",
+    "C": "INV_C",
+}
+
+#: Journal kinds the runner can roll forward; anything else rolls back.
+REPLAYABLE = {"txn", "refresh", "refresh_all", "propagate", "partial_refresh"}
+
+
+@dataclass(frozen=True)
+class ViewAudit:
+    """The outcome of checking one view's scenario invariant."""
+
+    view: str
+    tag: str
+    invariant: str
+    holds: bool
+
+    def format(self) -> str:
+        verdict = "holds" if self.holds else "VIOLATED"
+        return f"view {self.view!r} [{self.tag}]: {self.invariant} {verdict}"
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`recover` found and did."""
+
+    path: Path
+    pending: OpIntent | None
+    #: ``"none"`` (clean journal), ``"rolled_forward"``,
+    #: ``"already_applied"``, or ``"rolled_back"``.
+    action: str
+    audits: list[ViewAudit] = field(default_factory=list)
+
+    @property
+    def green(self) -> bool:
+        """Every view's invariant holds after recovery."""
+        return all(audit.holds for audit in self.audits)
+
+    def format(self) -> str:
+        lines = [f"recover {self.path}:"]
+        if self.pending is None:
+            lines.append("  journal clean — no operation was in flight")
+        else:
+            lines.append(f"  pending: {self.pending.describe()}")
+            lines.append(f"  action: {self.action.replace('_', ' ')}")
+        if not self.audits:
+            lines.append("  no views registered")
+        for audit in self.audits:
+            lines.append(f"  {audit.format()}")
+        lines.append("  state: " + ("GREEN" if self.green else "RED"))
+        return "\n".join(lines)
+
+
+def invariant_name(tag: str) -> str:
+    return INVARIANT_NAMES.get(tag, f"INV_{tag}")
+
+
+def audit_manager(manager: ViewManager) -> list[ViewAudit]:
+    """Recompute every registered view's scenario invariant from scratch."""
+    audits = []
+    for name in manager.views():
+        scenario = manager.scenario(name)
+        audits.append(
+            ViewAudit(name, scenario.tag, invariant_name(scenario.tag), scenario.invariant_holds())
+        )
+    return audits
+
+
+def _replay(manager: ViewManager, intent: OpIntent) -> None:
+    """Re-run a replayable intent against the pre-op snapshot."""
+    kind = intent.kind
+    if kind == "txn":
+        txn = UserTransaction(manager.db)
+        for table, delta in sorted(intent.payload.get("deltas", {}).items()):
+            delete = deserialize_bag(delta["delete"])
+            insert = deserialize_bag(delta["insert"])
+            if delete:
+                txn.delete(table, delete)
+            if insert:
+                txn.insert(table, insert)
+        manager.execute(txn)
+    elif kind == "refresh":
+        manager.refresh(intent.view)
+    elif kind == "refresh_all":
+        manager.refresh_all()
+    elif kind == "propagate":
+        manager.propagate(intent.view)
+    elif kind == "partial_refresh":
+        manager.partial_refresh(intent.view)
+    else:  # pragma: no cover - guarded by REPLAYABLE
+        raise RecoveryError(f"cannot replay journal kind {intent.kind!r}")
+
+
+def recover(path: str | Path) -> RecoveryReport:
+    """Resolve any interrupted operation at ``path`` and audit invariants.
+
+    Idempotent: running it again (or crashing *during* recovery and
+    running it once more) converges to the same green state.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise RecoveryError(f"no snapshot at {path}; nothing to recover")
+    # A crash between staging and os.replace can leave a stray temp
+    # file; it is not part of the durable state.
+    staged = staging_path(path)
+    if staged.exists():
+        staged.unlink()
+    journal = IntentJournal(journal_path(path))
+    try:
+        pending = journal.pending()
+        manager = load_warehouse(path)
+        action = "none"
+        if pending is not None:
+            recorded = pending.pre_digests
+            snapshot_is_pre_op = table_digests(manager.db) == recorded
+            if snapshot_is_pre_op:
+                if pending.kind in REPLAYABLE:
+                    _replay(manager, pending)
+                    save_warehouse(manager, path)
+                    journal.commit_op(pending.op_id)
+                    action = "rolled_forward"
+                else:
+                    journal.abort_op(pending.op_id)
+                    action = "rolled_back"
+            else:
+                # The atomic checkpoint landed, so the snapshot *is* the
+                # completed post-state; only the commit mark was lost.
+                journal.commit_op(pending.op_id)
+                action = "already_applied"
+        audits = audit_manager(manager)
+        return RecoveryReport(path, pending, action, audits)
+    finally:
+        journal.close()
+
+
+def main(argv: list[str]) -> int:
+    """CLI front end: ``python -m repro recover <file>``."""
+    if not argv or argv[0] in ("-h", "--help"):
+        print("usage: python -m repro recover <warehouse.db>")
+        return 0 if argv else 2
+    report = recover(argv[0])
+    print(report.format())
+    return 0 if report.green else 1

@@ -29,6 +29,7 @@ from repro.algebra.schema import Schema
 from repro.errors import SchemaError, TransactionError, UnknownTableError
 from repro.exec import COMPILED, Executor, default_exec_mode, resolve_exec_mode
 from repro.exec.indexes import IndexManager
+from repro.robustness.faults import fault_point
 
 __all__ = ["Database"]
 
@@ -60,6 +61,12 @@ class Database:
         self._clock = 0
         self._indexes = IndexManager()
         self._executor: Executor | None = None
+        #: Path of the snapshot file this state was loaded from, if any
+        #: (set by :func:`repro.storage.persistence.load_database`).
+        self.durable_origin = None
+        #: Whether a write-ahead intent journal guards maintenance on
+        #: this database (set by :class:`repro.robustness.DurableWarehouse`).
+        self.journaled = False
 
     # ------------------------------------------------------------------
     # Execution engine
@@ -237,6 +244,13 @@ class Database:
 
         With ``restrict_to_external=True`` the transaction is validated
         as a *user* transaction: it may only touch external tables.
+
+        The transaction is **exception-safe**: every right-hand side is
+        evaluated and every patched bag is staged before anything is
+        installed, and the install phase itself (table values, version
+        stamps, maintained indexes) rolls back completely if any step
+        raises — an error mid-transaction never leaves tables, versions,
+        and indexes mutually inconsistent.
         """
         patches = patches if patches is not None else {}
         overlap = set(assignments) & set(patches)
@@ -280,14 +294,49 @@ class Database:
                 counter.record("patch", len(delete_value) + len(insert_value))
             new_values[name] = self._tables[name].patch(delete_value, insert_value)
             patch_deltas[name] = (delete_value, insert_value)
-        self._tables.update(new_values)
-        for name in new_values:
-            self._bump(name)
-            delta = patch_deltas.get(name)
-            if delta is not None:
-                self._indexes.on_patch(name, delta[0], delta[1], counter=counter)
-            else:
-                self._indexes.on_replace(name, new_values[name], counter=counter)
+        self._install(new_values, patch_deltas, counter=counter)
+
+    def _install(
+        self,
+        new_values: dict[str, Bag],
+        patch_deltas: dict[str, tuple[Bag, Bag]],
+        *,
+        counter: CostCounter | None = None,
+    ) -> None:
+        """Commit fully staged values all-or-nothing.
+
+        All reads are done by the time this runs; on any failure (index
+        maintenance, an injected crash) the tables, version stamps, and
+        indexes of every target are restored to their pre-transaction
+        state before the exception propagates.
+        """
+        old_values = {name: self._tables[name] for name in new_values}
+        old_versions = {name: self._versions.get(name) for name in new_values}
+        old_clock = self._clock
+        try:
+            for name, bag in new_values.items():
+                fault_point("crash-mid-apply")
+                self._tables[name] = bag
+                self._bump(name)
+                delta = patch_deltas.get(name)
+                if delta is not None:
+                    self._indexes.on_patch(name, delta[0], delta[1], counter=counter)
+                else:
+                    self._indexes.on_replace(name, bag, counter=counter)
+        except BaseException:
+            for name, old_bag in old_values.items():
+                self._tables[name] = old_bag
+                old_version = old_versions[name]
+                if old_version is None:
+                    self._versions.pop(name, None)
+                else:
+                    self._versions[name] = old_version
+                # A failed incremental index update may have left the
+                # table's indexes half-maintained; rebuild them from the
+                # restored value.
+                self._indexes.on_replace(name, old_bag)
+            self._clock = old_clock
+            raise
 
     # ------------------------------------------------------------------
     # Snapshots

@@ -6,6 +6,13 @@ persists a complete database (schemas, external/internal partition,
 multiplicity-encoded contents) into a single SQLite file and restores it
 bit-for-bit, so maintenance can resume after a restart.
 
+Crash safety (see :mod:`repro.robustness`): a snapshot is written to a
+temporary file in a **single SQLite transaction** and atomically
+installed with :func:`os.replace`, so a crash at any instant leaves
+either the complete old snapshot or the complete new one — never a torn
+file.  Transient ``OperationalError: database is locked`` failures are
+absorbed by :func:`with_retry` (exponential backoff).
+
 File layout:
 
 * ``__catalog__(name, attrs, internal)`` — one row per table; ``attrs``
@@ -22,20 +29,56 @@ stored as tagged strings so they round-trip exactly.
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
+import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable, TypeVar
 
 from repro.algebra.bag import Bag, Row
 from repro.algebra.schema import Schema
 from repro.errors import ReproError
+from repro.robustness.faults import fault_point
 from repro.storage.database import Database
 
-__all__ = ["save_database", "load_database"]
+__all__ = ["save_database", "load_database", "with_retry", "staging_path"]
 
 _CATALOG = "__catalog__"
 _TRUE_TAG = "\x00bool:1"
 _FALSE_TAG = "\x00bool:0"
+
+_T = TypeVar("_T")
+
+
+def with_retry(
+    action: Callable[[], _T],
+    *,
+    attempts: int = 5,
+    base_delay: float = 0.01,
+    sleep: Callable[[float], None] = time.sleep,
+) -> _T:
+    """Run ``action``, retrying transient SQLite lock errors with backoff.
+
+    Only ``OperationalError`` mentioning a lock is retried — anything
+    else (corruption, missing file, syntax) propagates immediately, as
+    does the lock error itself once ``attempts`` are exhausted.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    for attempt in range(attempts):
+        try:
+            return action()
+        except sqlite3.OperationalError as exc:
+            if "locked" not in str(exc) or attempt == attempts - 1:
+                raise
+            sleep(base_delay * (2**attempt))
+    raise AssertionError("unreachable")
+
+
+def staging_path(path: str | Path) -> Path:
+    """The temporary file a snapshot is staged in before ``os.replace``."""
+    path = Path(path)
+    return path.with_name(path.name + ".saving")
 
 
 def _mangle(name: str) -> str:
@@ -60,13 +103,19 @@ def _decode(value: Any) -> Any:
     return value
 
 
-def save_database(db: Database, path: str | Path) -> None:
-    """Write the full database state to ``path`` (overwrites)."""
-    path = Path(path)
-    if path.exists():
-        path.unlink()
-    conn = sqlite3.connect(path)
+def _write_snapshot(db: Database, target: Path) -> None:
+    """Write the full state into ``target`` as one SQLite transaction."""
+    fault_point("flaky-save")
+    if target.exists():
+        target.unlink()
+    conn = sqlite3.connect(target)
     try:
+        conn.execute("PRAGMA synchronous=FULL")
+        # Explicit transaction control: the sqlite3 module's implicit
+        # transaction handling differs across Python versions around
+        # DDL, and the whole snapshot must be one all-or-nothing unit.
+        conn.isolation_level = None
+        conn.execute("BEGIN")
         conn.execute(f"CREATE TABLE {_CATALOG} (name TEXT PRIMARY KEY, attrs TEXT, internal INTEGER)")
         for name in db.table_names():
             schema = db.schema_of(name)
@@ -85,9 +134,23 @@ def save_database(db: Database, path: str | Path) -> None:
                     for row, count in db[name].items()
                 ),
             )
-        conn.commit()
+        conn.execute("COMMIT")
     finally:
         conn.close()
+
+
+def save_database(db: Database, path: str | Path) -> None:
+    """Atomically write the full database state to ``path`` (overwrites).
+
+    The snapshot is staged in a sibling temp file and installed with
+    ``os.replace`` — readers (and a recovering process) always see a
+    complete snapshot, even if this process dies mid-save.
+    """
+    path = Path(path)
+    staged = staging_path(path)
+    with_retry(lambda: _write_snapshot(db, staged))
+    fault_point("crash-mid-checkpoint")
+    os.replace(staged, path)
 
 
 def load_database(path: str | Path) -> Database:
@@ -95,18 +158,28 @@ def load_database(path: str | Path) -> Database:
     path = Path(path)
     if not path.exists():
         raise ReproError(f"no database file at {path}")
-    conn = sqlite3.connect(path)
-    try:
-        db = Database()
-        catalog = conn.execute(f"SELECT name, attrs, internal FROM {_CATALOG} ORDER BY name").fetchall()
-        for name, attrs_json, internal in catalog:
-            schema = Schema(json.loads(attrs_json))
-            counts: dict[Row, int] = {}
-            for *values, mult in conn.execute(f"SELECT * FROM {_mangle(name)}"):
-                row = tuple(_decode(value) for value in values)
-                counts[row] = counts.get(row, 0) + int(mult)
-            db.create_table(name, schema, internal=bool(internal))
-            db.set_table(name, Bag.from_counts(counts))
-        return db
-    finally:
-        conn.close()
+
+    def read() -> Database:
+        conn = sqlite3.connect(path)
+        try:
+            db = Database()
+            catalog = conn.execute(
+                f"SELECT name, attrs, internal FROM {_CATALOG} ORDER BY name"
+            ).fetchall()
+            for name, attrs_json, internal in catalog:
+                schema = Schema(json.loads(attrs_json))
+                counts: dict[Row, int] = {}
+                for *values, mult in conn.execute(f"SELECT * FROM {_mangle(name)}"):
+                    row = tuple(_decode(value) for value in values)
+                    counts[row] = counts.get(row, 0) + int(mult)
+                db.create_table(name, schema, internal=bool(internal))
+                db.set_table(name, Bag.from_counts(counts))
+            return db
+        finally:
+            conn.close()
+
+    db = with_retry(read)
+    # Stamp the provenance so install-time lint (RVM401) can warn when
+    # views are defined on persistent state without journaling.
+    db.durable_origin = path
+    return db

@@ -35,6 +35,7 @@ from repro.core.transactions import UserTransaction
 from repro.extensions.aggregates import AggregateScenario
 from repro.core.views import ViewDefinition
 from repro.errors import PolicyError, SchemaError, UnknownTableError
+from repro.robustness.faults import fault_point
 from repro.sqlfront.compiler import script_to_transaction, sql_to_expr, sql_to_view
 from repro.storage.database import Database
 from repro.storage.locks import LockLedger
@@ -238,6 +239,7 @@ class ViewManager:
         plan = MaintenancePlan(patches=txn.weakly_minimal().patches())
         for scenario in self._scenarios.values():
             plan = plan.merge(scenario.make_safe(txn))
+        fault_point("crash-mid-execute")
         plan.execute(self.db, counter=self.counter)
         for scenario in self._scenarios.values():
             scenario.post_execute()

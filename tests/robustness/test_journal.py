@@ -1,0 +1,140 @@
+"""Unit tests for the write-ahead intent journal."""
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.errors import RecoveryError
+from repro.robustness.journal import (
+    IntentJournal,
+    bag_digest,
+    deserialize_bag,
+    journal_path,
+    serialize_bag,
+    table_digests,
+)
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def journal(tmp_path):
+    with IntentJournal(tmp_path / "wh.db.journal") as journal:
+        yield journal
+
+
+class TestDigests:
+    def test_bag_digest_is_content_addressed(self):
+        a = Bag([(1, "x"), (2, "y"), (1, "x")])
+        b = Bag([(2, "y"), (1, "x"), (1, "x")])
+        assert bag_digest(a) == bag_digest(b)
+
+    def test_multiplicity_matters(self):
+        assert bag_digest(Bag([(1,)])) != bag_digest(Bag([(1,), (1,)]))
+
+    def test_table_digests_cover_all_tables(self):
+        db = Database()
+        db.create_table("R", ("a",), rows=[(1,)])
+        db.create_table("S", ("b",), rows=[(2,)])
+        digests = table_digests(db)
+        assert set(digests) == {"R", "S"}
+        assert digests["R"] == bag_digest(db["R"])
+
+    def test_table_digests_subset(self):
+        db = Database()
+        db.create_table("R", ("a",))
+        db.create_table("S", ("b",))
+        assert set(table_digests(db, ["S"])) == {"S"}
+
+
+class TestBagSerialization:
+    def test_round_trip(self):
+        bag = Bag([(1, "x", 2.5), (1, "x", 2.5), (3, "y", 0.0)])
+        assert deserialize_bag(serialize_bag(bag)) == bag
+
+    def test_empty(self):
+        assert serialize_bag(Bag()) == []
+        assert deserialize_bag([]) == Bag()
+
+    def test_json_lists_become_rows(self):
+        # JSON turns tuples into lists; decoding must restore tuples.
+        assert deserialize_bag([[1, "x", 2]]) == Bag([(1, "x"), (1, "x")])
+
+
+class TestJournalPath:
+    def test_sibling_file(self, tmp_path):
+        assert journal_path(tmp_path / "wh.db") == tmp_path / "wh.db.journal"
+
+
+class TestLifecycle:
+    def test_begin_commit(self, journal):
+        op_id = journal.begin("refresh", view="V", payload={"watermark": 3})
+        pending = journal.pending()
+        assert pending is not None
+        assert (pending.op_id, pending.kind, pending.view) == (op_id, "refresh", "V")
+        assert pending.watermark == 3
+        journal.commit_op(op_id)
+        assert journal.pending() is None
+        assert journal.records()[-1].status == "committed"
+
+    def test_begin_abort(self, journal):
+        op_id = journal.begin("ddl")
+        journal.abort_op(op_id)
+        assert journal.pending() is None
+        assert journal.records()[-1].status == "aborted"
+
+    def test_refuses_second_intent_while_pending(self, journal):
+        journal.begin("refresh", view="V")
+        with pytest.raises(RecoveryError, match="pending intent"):
+            journal.begin("txn")
+
+    def test_commit_requires_pending(self, journal):
+        op_id = journal.begin("txn")
+        journal.commit_op(op_id)
+        with pytest.raises(RecoveryError, match="not pending"):
+            journal.commit_op(op_id)
+        with pytest.raises(RecoveryError, match="not pending"):
+            journal.abort_op(op_id)
+
+    def test_payload_round_trips(self, journal):
+        payload = {"deltas": {"sales": {"insert": [[1, 2, 3]], "delete": []}}, "pre_digests": {"sales": "00"}}
+        op_id = journal.begin("txn", payload=payload)
+        assert journal.pending().payload == payload
+        assert journal.pending().pre_digests == {"sales": "00"}
+        journal.commit_op(op_id)
+
+    def test_describe_mentions_view_and_watermark(self, journal):
+        journal.begin("propagate", view="V", payload={"watermark": 7})
+        text = journal.pending().describe()
+        assert "propagate" in text and "'V'" in text and "watermark 7" in text
+
+
+class TestDurability:
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "wh.db.journal"
+        with IntentJournal(path) as journal:
+            committed = journal.begin("txn", token="t0")
+            journal.commit_op(committed)
+            journal.begin("refresh", view="V")
+        with IntentJournal(path) as journal:
+            assert journal.has_committed("t0")
+            pending = journal.pending()
+            assert pending is not None and pending.kind == "refresh"
+            assert len(journal.records()) == 2
+
+
+class TestTokens:
+    def test_has_committed_only_after_commit(self, journal):
+        op_id = journal.begin("txn", token="t1")
+        assert not journal.has_committed("t1")
+        journal.commit_op(op_id)
+        assert journal.has_committed("t1")
+
+    def test_aborted_token_not_committed(self, journal):
+        op_id = journal.begin("txn", token="t2")
+        journal.abort_op(op_id)
+        assert not journal.has_committed("t2")
+
+    def test_duplicate_committed_token_refused(self, journal):
+        op_id = journal.begin("txn", token="t3")
+        journal.commit_op(op_id)
+        with pytest.raises(RecoveryError, match="already committed"):
+            journal.begin("txn", token="t3")

@@ -1,0 +1,64 @@
+"""RVM401: defining views on persistent state without a journal warns."""
+
+import warnings
+
+import pytest
+
+from repro.analysis.diagnostics import AnalysisWarning
+from repro.errors import AnalysisError
+from repro.robustness.durable import DurableWarehouse
+from repro.storage.persistence import load_database, save_database
+from repro.warehouse import ViewManager
+
+
+def persisted_db(tmp_path):
+    manager = ViewManager()
+    manager.create_table("sales", ("custId", "qty"))
+    manager.load("sales", [(1, 2), (2, 3)])
+    path = tmp_path / "wh.db"
+    save_database(manager.db, path)
+    return load_database(path)
+
+
+VIEW = "SELECT custId, qty FROM sales WHERE qty != 0"
+
+
+class TestRvm401:
+    def test_unjournaled_persistent_database_warns(self, tmp_path):
+        manager = ViewManager(persisted_db(tmp_path))
+        with pytest.warns(AnalysisWarning, match="RVM401") as caught:
+            manager.define_view("V", VIEW, scenario="combined")
+        message = str(caught[0].message)
+        assert "without journaling" in message
+        assert "DurableWarehouse" in message
+
+    def test_strict_install_raises(self, tmp_path):
+        manager = ViewManager(persisted_db(tmp_path))
+        with pytest.raises(AnalysisError, match="RVM401"):
+            manager.define_view("V", VIEW, scenario="combined", strict=True)
+
+    def test_in_memory_database_is_silent(self):
+        manager = ViewManager()
+        manager.create_table("sales", ("custId", "qty"))
+        manager.load("sales", [(1, 2)])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", AnalysisWarning)
+            manager.define_view("V", VIEW, scenario="combined")
+
+    def test_durable_warehouse_is_silent(self, tmp_path):
+        with DurableWarehouse(tmp_path / "wh.db") as warehouse:
+            warehouse.create_table("sales", ("custId", "qty"))
+            warehouse.load("sales", [(1, 2)])
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", AnalysisWarning)
+                warehouse.define_view("V", VIEW, scenario="combined")
+
+    def test_reopened_durable_warehouse_is_silent(self, tmp_path):
+        path = tmp_path / "wh.db"
+        with DurableWarehouse(path) as warehouse:
+            warehouse.create_table("sales", ("custId", "qty"))
+            warehouse.load("sales", [(1, 2)])
+        with DurableWarehouse.open(path) as reopened:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", AnalysisWarning)
+                reopened.define_view("V", VIEW, scenario="combined")

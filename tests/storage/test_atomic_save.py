@@ -1,0 +1,107 @@
+"""Atomic snapshot writes and the retry-with-backoff helper."""
+
+import sqlite3
+
+import pytest
+
+from repro.robustness.faults import INJECTOR, InjectedCrash
+from repro.storage.database import Database
+from repro.storage.persistence import load_database, save_database, staging_path, with_retry
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    INJECTOR.reset()
+    yield
+    INJECTOR.reset()
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("R", ["a"], rows=[(1,), (2,)])
+    return database
+
+
+class TestWithRetry:
+    def test_passes_through_result(self):
+        assert with_retry(lambda: 42) == 42
+
+    def test_retries_locked_errors_with_exponential_backoff(self):
+        delays = []
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 4:
+                raise sqlite3.OperationalError("database is locked")
+            return "done"
+
+        assert with_retry(flaky, base_delay=0.01, sleep=delays.append) == "done"
+        assert delays == [0.01, 0.02, 0.04]  # base * 2**attempt
+
+    def test_gives_up_after_attempts(self):
+        def always_locked():
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            with_retry(always_locked, attempts=3, sleep=lambda _s: None)
+
+    def test_non_transient_operational_errors_propagate_immediately(self):
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise sqlite3.OperationalError("no such table: x")
+
+        with pytest.raises(sqlite3.OperationalError, match="no such table"):
+            with_retry(broken, sleep=lambda _s: None)
+        assert len(attempts) == 1
+
+    def test_other_exceptions_propagate(self):
+        with pytest.raises(ValueError):
+            with_retry(lambda: (_ for _ in ()).throw(ValueError("nope")), sleep=lambda _s: None)
+
+
+class TestAtomicSave:
+    def test_staging_path_is_a_sibling(self, tmp_path):
+        assert staging_path(tmp_path / "wh.db") == tmp_path / "wh.db.saving"
+
+    def test_crash_before_replace_keeps_old_snapshot(self, db, tmp_path):
+        path = tmp_path / "wh.db"
+        save_database(db, path)
+        db.load("R", [(3,)])
+        INJECTOR.arm("crash-mid-checkpoint")
+        with pytest.raises(InjectedCrash):
+            save_database(db, path)
+        INJECTOR.reset()
+        # The visible file is still *exactly* the previous snapshot; the
+        # half-finished write only ever touched the staging file.
+        from repro.algebra.bag import Bag
+
+        assert load_database(path)["R"] == Bag([(1,), (2,)])
+        assert staging_path(path).exists()
+
+    def test_interrupted_save_can_be_repeated(self, db, tmp_path):
+        path = tmp_path / "wh.db"
+        INJECTOR.arm("crash-mid-checkpoint")
+        with pytest.raises(InjectedCrash):
+            save_database(db, path)
+        INJECTOR.reset()
+        save_database(db, path)  # stale staging file is overwritten
+        assert load_database(path).snapshot() == db.snapshot()
+        assert not staging_path(path).exists()
+
+    def test_transient_save_failures_are_retried(self, db, tmp_path):
+        path = tmp_path / "wh.db"
+        INJECTOR.arm_transient("flaky-save", times=2)
+        save_database(db, path)  # two locked errors, then success
+        assert not INJECTOR.armed()
+        assert load_database(path).snapshot() == db.snapshot()
+
+    def test_load_records_durable_origin(self, db, tmp_path):
+        path = tmp_path / "wh.db"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded.durable_origin == path
+        assert not loaded.journaled

@@ -74,3 +74,60 @@ class TestLedger:
             pass
         ledger.reset()
         assert ledger.section_count("MV") == 0
+
+
+class TestNestedSections:
+    """Nested critical sections: each level accounts its own span.
+
+    A refresh can take the view lock and then run ``Database.apply``
+    under an inner section (e.g. per-table index maintenance); the
+    ledger must keep both levels' accounting consistent.
+    """
+
+    def test_inner_section_recorded_before_outer(self):
+        ledger = LockLedger()
+        with ledger.exclusive("MV", label="refresh"):
+            with ledger.exclusive("MV", label="apply"):
+                pass
+        assert [section.label for section in ledger.sections] == ["apply", "refresh"]
+        assert ledger.section_count("MV") == 2
+
+    def test_counter_ops_attributed_to_both_levels(self):
+        ledger = LockLedger()
+        counter = CostCounter()
+        state = {"R": Bag([(1,), (2,), (3,)])}
+        with ledger.exclusive("MV", counter=counter):
+            evaluate(table("R", ["a"]), state, counter=counter)
+            with ledger.exclusive("MV", counter=counter):
+                evaluate(table("R", ["a"]), state, counter=counter)
+        inner, outer = ledger.sections
+        assert inner.tuple_ops == 3          # only the inner evaluation
+        assert outer.tuple_ops == 6          # the outer span covers both
+        assert ledger.downtime_tuple_ops("MV") == 9
+
+    def test_nested_sections_on_different_resources(self):
+        ledger = LockLedger()
+        counter = CostCounter()
+        state = {"R": Bag([(1,)] * 4)}
+        with ledger.exclusive("MV", counter=counter):
+            with ledger.exclusive("log", counter=counter):
+                evaluate(table("R", ["a"]), state, counter=counter)
+        assert ledger.downtime_tuple_ops("MV") == 4
+        assert ledger.downtime_tuple_ops("log") == 4
+        assert ledger.max_section_tuple_ops("MV") == 4
+
+    def test_outer_wall_time_covers_inner(self):
+        ledger = LockLedger()
+        with ledger.exclusive("MV", label="outer"):
+            with ledger.exclusive("MV", label="inner"):
+                pass
+        inner, outer = ledger.sections
+        assert outer.wall_seconds >= inner.wall_seconds
+
+    def test_exception_inside_nested_sections_records_both(self):
+        ledger = LockLedger()
+        with pytest.raises(RuntimeError):
+            with ledger.exclusive("MV", label="outer"):
+                with ledger.exclusive("MV", label="inner"):
+                    raise RuntimeError("boom")
+        assert [section.label for section in ledger.sections] == ["inner", "outer"]
