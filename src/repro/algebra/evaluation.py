@@ -66,6 +66,7 @@ class CostCounter:
     plan_misses: int = 0
     memo_hits: int = 0
     index_probes: int = 0
+    delta_cache_hits: int = 0
 
     def record(self, operator: str, produced: int) -> None:
         self.tuples_out += produced
@@ -90,8 +91,26 @@ class CostCounter:
             "plan_misses": self.plan_misses,
             "memo_hits": self.memo_hits,
             "index_probes": self.index_probes,
+            "delta_cache_hits": self.delta_cache_hits,
             "operators": dict(self.by_operator),
         }
+
+    def absorb(self, other: CostCounter) -> None:
+        """Fold another counter's totals into this one.
+
+        Used by the parallel group scheduler: each worker accounts into a
+        private counter, and the workers' totals are merged back in task
+        order so the aggregate is independent of thread interleaving.
+        """
+        self.tuples_out += other.tuples_out
+        self.evaluations += other.evaluations
+        for operator, produced in other.by_operator.items():
+            self.by_operator[operator] = self.by_operator.get(operator, 0) + produced
+        self.plan_hits += other.plan_hits
+        self.plan_misses += other.plan_misses
+        self.memo_hits += other.memo_hits
+        self.index_probes += other.index_probes
+        self.delta_cache_hits += other.delta_cache_hits
 
     def reset(self) -> None:
         self.tuples_out = 0
@@ -101,6 +120,7 @@ class CostCounter:
         self.plan_misses = 0
         self.memo_hits = 0
         self.index_probes = 0
+        self.delta_cache_hits = 0
 
 
 def evaluate(

@@ -63,6 +63,7 @@ CODES: dict[str, str] = {
     "RVM301": "state bug: log substitution has pre-update polarity",
     "RVM302": "state bug: refresh pair disagrees with PAST-state oracle",
     "RVM401": "scenario installed on persistent database without journaling",
+    "RVM501": "view overlaps a refresh group but is registered outside it",
 }
 
 

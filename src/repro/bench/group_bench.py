@@ -1,0 +1,174 @@
+"""Group-refresh benchmark (E18): ``python -m repro.bench.group_bench``.
+
+Measures the three layers of :meth:`ViewManager.refresh_group` against
+the per-view baseline on the retail workload, under **both** execution
+engines, and writes ``BENCH_group.json``:
+
+* **per_view** — the oracle: every view refreshed in turn through its
+  own ``refresh`` (no compaction, no sharing).
+* **group** — one epoch: the shared log compacted to net effects,
+  structurally identical sub-deltas computed once through the
+  epoch-scoped delta cache, independent views batched and (optionally)
+  evaluated in parallel.
+
+The sweep holds the base and transaction stream fixed and scales the
+number of registered views (4 → 64).  Views cycle through a small pool
+of query templates, so most of them share their defining structure with
+``views / len(TEMPLATES) - 1`` siblings — the regime Section 7's "open
+issues" discussion targets: per-epoch work should scale with the number
+of *distinct* view structures, not the number of views.
+
+Usage::
+
+    python -m repro.bench.group_bench [--smoke] [--output PATH]
+
+``--smoke`` shrinks the workload for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.exec import COMPILED, INTERPRETED
+from repro.warehouse.manager import ViewManager
+from repro.workloads.retail import VIEW_SQL, RetailConfig, RetailWorkload
+
+__all__ = ["main", "run_e18", "TEMPLATES"]
+
+MODES = (INTERPRETED, COMPILED)
+VIEW_COUNTS = (4, 16, 64)
+SMOKE_VIEW_COUNTS = (4, 8)
+
+#: The pool of defining queries; views cycle through it, so a sweep at
+#: ``n`` views has ``n / 4`` structurally identical copies of each.
+TEMPLATES = (
+    VIEW_SQL,
+    """
+    SELECT c.custId, c.name, s.itemNo
+    FROM customer c, sales s
+    WHERE c.custId = s.custId AND c.score = 'High'
+    """,
+    "SELECT custId, itemNo, quantity FROM sales WHERE quantity != 0",
+    "SELECT custId, name FROM customer WHERE score = 'High'",
+)
+
+
+def _build(mode: str, views: int, *, smoke: bool) -> tuple[ViewManager, int]:
+    """A manager with ``views`` shared-log views and a churny txn stream."""
+    txns = 8 if smoke else 30
+    config = RetailConfig(
+        customers=60,
+        initial_sales=120 if smoke else 600,
+        txn_inserts=6,
+        delete_fraction=0.4,  # returns/corrections: material D/I churn
+        seed=18,
+    )
+    workload = RetailWorkload(config)
+    manager = ViewManager(exec_mode=mode)
+    workload.setup_database(manager.db)
+    for index in range(views):
+        manager.define_view(
+            f"V{index}", TEMPLATES[index % len(TEMPLATES)], scenario="shared_log"
+        )
+    for txn in workload.transactions(manager.db, txns):
+        manager.execute(txn)
+    return manager, txns
+
+
+def run_e18(
+    mode: str, views: int, *, smoke: bool = False, parallel: bool = True
+) -> dict[str, object]:
+    """One sweep point: per-view oracle vs one group epoch at ``views``."""
+    baseline, txns = _build(mode, views, smoke=smoke)
+    subject, _ = _build(mode, views, smoke=smoke)
+
+    marker = baseline.counter.tuples_out
+    start = time.perf_counter()
+    baseline.refresh_all()
+    per_view = {
+        "ops": baseline.counter.tuples_out - marker,
+        "wall_s": round(time.perf_counter() - start, 6),
+    }
+
+    shared = subject.shared_group()
+    log_rows_before = shared.log_size()
+    marker = subject.counter.tuples_out
+    hits_marker = subject.counter.delta_cache_hits
+    start = time.perf_counter()
+    subject.refresh_group(parallel=parallel)
+    group = {
+        "ops": subject.counter.tuples_out - marker,
+        "wall_s": round(time.perf_counter() - start, 6),
+        "delta_cache_hits": subject.counter.delta_cache_hits - hits_marker,
+        "log_rows_before": log_rows_before,
+        "log_rows_after": shared.log_size(),
+    }
+
+    for name in baseline.views():
+        assert subject.query(name) == baseline.query(name), name
+        assert not subject.is_stale(name), name
+
+    reduction = round(per_view["ops"] / group["ops"], 2) if group["ops"] else None
+    return {
+        "views": views,
+        "txns": txns,
+        "per_view": per_view,
+        "group": group,
+        "tuple_op_reduction": reduction,
+        "wall_speedup": (
+            round(per_view["wall_s"] / group["wall_s"], 2) if group["wall_s"] else None
+        ),
+    }
+
+
+def run_all(*, smoke: bool = False) -> dict[str, object]:
+    counts = SMOKE_VIEW_COUNTS if smoke else VIEW_COUNTS
+    sweeps = {
+        mode: {str(views): run_e18(mode, views, smoke=smoke) for views in counts}
+        for mode in MODES
+    }
+    return {
+        "benchmark": "repro.bench.group_bench",
+        "smoke": smoke,
+        "view_counts": list(counts),
+        "templates": len(TEMPLATES),
+        "experiments": {"E18_group_refresh": sweeps},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="shrunk workload (for CI)")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON (default: BENCH_group.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    output = args.output
+    if output is None:
+        output = Path(__file__).resolve().parents[3] / "BENCH_group.json"
+
+    results = run_all(smoke=args.smoke)
+    output.write_text(json.dumps(results, indent=2, sort_keys=False) + "\n")
+
+    print(f"wrote {output}")
+    for mode, sweep in results["experiments"]["E18_group_refresh"].items():
+        for views, point in sweep.items():
+            group = point["group"]
+            print(
+                f"E18 [{mode}] {views} views: {point['per_view']['ops']} -> {group['ops']} "
+                f"tuple-ops ({point['tuple_op_reduction']}x), "
+                f"{group['delta_cache_hits']} cache hits, "
+                f"log {group['log_rows_before']} -> {group['log_rows_after']} rows"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,8 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.algebra.bag import Bag
-from repro.algebra.expr import Expr, Literal, Monus, TableRef, UnionAll
+from repro.algebra.evaluation import CostCounter
+from repro.algebra.expr import Expr, Literal, Monus, TableRef, UnionAll, min_expr
 from repro.core import naming
 from repro.core.substitution import FactoredSubstitution
 from repro.core.transactions import UserTransaction
@@ -53,6 +54,46 @@ class Log:
     def tables(self) -> tuple[str, ...]:
         """The tracked base tables."""
         return self._tables
+
+    def table_names(self) -> tuple[str, ...]:
+        """Names of all log tables (the ▼/▲ pair of every tracked table)."""
+        names: list[str] = []
+        for name in self._tables:
+            names.append(naming.log_delete_name(self._owner, name))
+            names.append(naming.log_insert_name(self._owner, name))
+        return tuple(names)
+
+    def canonical_rename(self) -> dict[str, str]:
+        """Map this log's table names to owner-independent placeholders.
+
+        Used for subplan fingerprinting: two views with identical queries
+        produce structurally identical refresh deltas that differ only in
+        their private log-table names; under this rename they fingerprint
+        equal and can share one delta evaluation per group-refresh epoch.
+        """
+        rename: dict[str, str] = {}
+        for name in self._tables:
+            rename[naming.log_delete_name(self._owner, name)] = naming.log_delete_name("@", name)
+            rename[naming.log_insert_name(self._owner, name)] = naming.log_insert_name("@", name)
+        return rename
+
+    def content_digests(self) -> tuple[tuple[str, str, str], ...]:
+        """Per tracked table, digests of the current ``(▼R, ▲R)`` contents.
+
+        Part of the delta-cache key: two per-view logs with equal recorded
+        changes (the common case when same-shaped views refresh together)
+        digest equal, independent of their table names.
+        """
+        from repro.exec.group import bag_digest
+
+        return tuple(
+            (
+                name,
+                bag_digest(self._db[naming.log_delete_name(self._owner, name)]),
+                bag_digest(self._db[naming.log_insert_name(self._owner, name)]),
+            )
+            for name in self._tables
+        )
 
     # ------------------------------------------------------------------
     # Installation
@@ -179,6 +220,40 @@ class Log:
             # ▲R := (▲R ∸ ∇R) ⊎ ΔR        — delete/insert patch
             patches[log_ins.name] = (nabla, delta)
         return patches
+
+    # ------------------------------------------------------------------
+    # Net-effect compaction
+    # ------------------------------------------------------------------
+
+    def compaction_patches(self) -> dict[str, tuple[Expr, Expr]]:
+        """Patches cancelling the common part of each ``(▼R, ▲R)`` pair.
+
+        Removing :math:`\\blacktriangledown R \\min \\blacktriangle R`
+        from *both* sides is sound whenever the log is weakly minimal
+        (Lemma 4, :math:`\\blacktriangle R \\subseteq R`): the past state
+        :math:`(R \\dot{-} \\blacktriangle R) \\uplus \\blacktriangledown R`
+        is unchanged when the same bag is dropped from the subtrahend and
+        the addend, and the shrunken :math:`\\blacktriangle R' \\subseteq
+        \\blacktriangle R \\subseteq R` stays weakly minimal.  This is the
+        strong-minimality normalization of Section 4.1 applied to the
+        *log* instead of the view differentials: afterwards no tuple is
+        recorded as both deleted and re-inserted, so ``PAST(L, Q)`` and
+        every post-update delta scale with the **net** change.
+        """
+        patches: dict[str, tuple[Expr, Expr]] = {}
+        for name in self._tables:
+            schema = self._db.schema_of(name)
+            empty = Literal(Bag.empty(), schema)
+            common = min_expr(self.delete_ref(name), self.insert_ref(name))
+            patches[naming.log_delete_name(self._owner, name)] = (common, empty)
+            patches[naming.log_insert_name(self._owner, name)] = (common, empty)
+        return patches
+
+    def compact(self, *, counter: CostCounter | None = None) -> None:
+        """Apply :meth:`compaction_patches` as one simultaneous transaction."""
+        from repro.core.plan import MaintenancePlan
+
+        MaintenancePlan(patches=self.compaction_patches()).execute(self._db, counter=counter)
 
     def clear_assignments(self) -> dict[str, Expr]:
         """Assignments implementing :math:`\\mathcal{L} := \\phi`."""

@@ -197,6 +197,52 @@ class Scenario(ABC):
         return self.db.ref(self.view.mv_table)
 
 
+def _log_delta_task(scenario, *, order: int):
+    """Build a :class:`~repro.exec.group.GroupTask` for a log-driven scenario.
+
+    The shareable *compute* half evaluates the post-update deltas of
+    Figure 2; the cache key renames the per-view log tables to canonical
+    placeholders and digests their contents, so structurally identical
+    views over identical recorded changes share one evaluation per
+    group-refresh epoch.  The *apply* half is scenario-specific
+    (``scenario._apply_group_deltas``).
+    """
+    from repro.exec.group import GroupTask, evaluate_delta_pair, subplan_fingerprint
+
+    view = scenario.view
+    log = scenario.log
+    view_delete, view_insert = post_update_delta(log, view.query)
+    rename = log.canonical_rename()
+    base = tuple(sorted(view.base_tables()))
+
+    def key():
+        stamps = tuple((table, scenario.db.version_of(table)) for table in base)
+        return (
+            "log",
+            subplan_fingerprint(view_delete, rename),
+            subplan_fingerprint(view_insert, rename),
+            stamps,
+            log.content_digests(),
+        )
+
+    def compute(counter):
+        return evaluate_delta_pair(scenario.db, view_delete, view_insert, counter)
+
+    def prime():
+        scenario.db.prime(view_delete, view_insert, counter=scenario.counter)
+
+    return GroupTask(
+        name=view.name,
+        order=order,
+        key=key,
+        compute=compute,
+        apply=scenario._apply_group_deltas,
+        reads=frozenset(base) | frozenset(log.table_names()),
+        writes=scenario._group_writes(),
+        prime=prime,
+    )
+
+
 class ImmediateScenario(Scenario):
     """Immediate maintenance: ``INV_IM`` (Section 3.2).
 
@@ -270,6 +316,38 @@ class BaseLogScenario(Scenario):
         with self.ledger.exclusive(self.view.mv_table, label="refresh_BL", counter=self.counter):
             fault_point("crash-mid-refresh")
             plan.execute(self.db, counter=self.counter)
+
+    def compact_log(self) -> None:
+        """Net-effect log compaction before a (group) refresh.
+
+        Cancels :math:`\\blacktriangledown R \\min \\blacktriangle R` from
+        both log sides (sound under Lemma 4's weak minimality; preserves
+        ``PAST(L, Q)`` exactly), so the refresh deltas scale with the net
+        change rather than the raw churn.
+        """
+        self.log.compact(counter=self.counter)
+
+    def group_refresh_task(self, *, order: int):
+        """This view's contribution to a group-refresh epoch."""
+        return _log_delta_task(self, order=order)
+
+    def _group_writes(self) -> frozenset[str]:
+        return frozenset((self.view.mv_table, *self.log.table_names()))
+
+    def _apply_group_deltas(self, deltas: tuple[Bag, Bag]) -> None:
+        """The ``refresh_BL`` tail for pre-evaluated delta bags."""
+        delete_bag, insert_bag = deltas
+        plan = MaintenancePlan(assignments=self.log.clear_assignments())
+        plan.add_patch(
+            self.view.mv_table,
+            Literal(delete_bag, self.view.schema),
+            Literal(insert_bag, self.view.schema),
+        )
+        with self.ledger.exclusive(self.view.mv_table, label="refresh_BL", counter=self.counter):
+            fault_point("crash-mid-refresh")
+            # The bags were already evaluated (and counted) in the task's
+            # compute step; this plan only re-emits them as literals.
+            plan.execute(self.db)
 
     def invariant_holds(self) -> bool:
         return invariants.base_log_invariant(self.db, self.view, self.log) and self.log.is_weakly_minimal()
@@ -442,6 +520,42 @@ class CombinedScenario(DiffTableScenario):
                 tail = MaintenancePlan(assignments=self.log.clear_assignments())
                 tail.add_patch(self.view.mv_table, view_delete, view_insert)
                 tail.execute(self.db, counter=self.counter)
+
+    def compact_log(self) -> None:
+        """Net-effect log compaction before a (group) refresh (see BL)."""
+        self.log.compact(counter=self.counter)
+
+    def group_refresh_task(self, *, order: int):
+        """This view's contribution to a group-refresh epoch.
+
+        The compute half is identical to the BL task (post-update deltas
+        over the log), so a C view and a BL view with the same query and
+        the same recorded changes share one cache entry; only the apply
+        differs (fold through the differential tables).
+        """
+        return _log_delta_task(self, order=order)
+
+    def _group_writes(self) -> frozenset[str]:
+        return frozenset(
+            (
+                self.view.mv_table,
+                self.view.dt_delete_table,
+                self.view.dt_insert_table,
+                *self.log.table_names(),
+            )
+        )
+
+    def _apply_group_deltas(self, deltas: tuple[Bag, Bag]) -> None:
+        """The ``refresh_C`` (propagate-first) tail for pre-evaluated deltas."""
+        delete_bag, insert_bag = deltas
+        lit_delete = Literal(delete_bag, self.view.schema)
+        lit_insert = Literal(insert_bag, self.view.schema)
+        with self.ledger.exclusive(self.view.mv_table, label="refresh_C", counter=self.counter):
+            fault_point("crash-mid-refresh")
+            propagate_plan = MaintenancePlan(assignments=self.log.clear_assignments())
+            self._fold_into_dt(propagate_plan, lit_delete, lit_insert)
+            propagate_plan.execute(self.db, counter=self.counter)
+            self._apply_dt_plan().execute(self.db, counter=self.counter)
 
     def invariant_holds(self) -> bool:
         holds = invariants.combined_invariant(self.db, self.view, self.log)

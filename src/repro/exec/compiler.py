@@ -165,8 +165,12 @@ class PNode:
             result = Bag.empty()
         else:
             result = self._compute(ctx)
-        self._stamp = stamp
+        # Value before stamp: a concurrent reader (the parallel group
+        # scheduler's compute phase) that observes the new stamp must
+        # also observe the matching value.  Worst case under the reverse
+        # order is a stale stamp, which just means a redundant recompute.
         self._value = result
+        self._stamp = stamp
         return result
 
     def _compute(self, ctx) -> Bag:

@@ -16,6 +16,7 @@ delta-proportionality argument.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Mapping
 
 from repro.algebra.bag import Bag, Row
@@ -84,10 +85,45 @@ class HashIndex:
 
 
 class IndexManager:
-    """All hash indexes of one database, maintained through its writes."""
+    """All hash indexes of one database, maintained through its writes.
+
+    Maintenance is **deferred**: a patch-driven write only enqueues its
+    ``(delete, insert)`` delta, and a wholesale assignment only marks the
+    table's indexes stale.  The queue is drained (or, when the pending
+    delta volume exceeds the current table size, the index is rebuilt
+    wholesale — whichever is cheaper) the next time an executor actually
+    probes the index.  A table that is written by many transactions but
+    probed only at refresh time therefore pays index upkeep once per
+    refresh instead of once per transaction, and pays nothing at all
+    while it is write-only.
+
+    The invariant callers rely on: any index returned by :meth:`get` is
+    exactly consistent with the ``bag`` passed in — provided every
+    mutation of the table was routed through :meth:`on_patch` /
+    :meth:`on_replace`, which :class:`~repro.storage.database.Database`
+    guarantees.  All entry points take an internal lock so concurrent
+    probes from the parallel group scheduler drain the queue safely.
+    """
 
     def __init__(self) -> None:
         self._by_table: dict[str, dict[tuple[int, ...], HashIndex]] = {}
+        #: Per table: patch deltas enqueued since the last drain/rebuild.
+        self._pending: dict[str, list[tuple[Bag, Bag]]] = {}
+        #: Per table and key: how much of the pending queue is applied.
+        self._synced: dict[str, dict[tuple[int, ...], int]] = {}
+        #: Tables whose indexes were invalidated by a wholesale assignment.
+        self._stale: set[str] = set()
+        self._lock = threading.RLock()
+
+    def _rebuild_all(self, table: str, bag: Bag, counter: CostCounter | None) -> None:
+        indexes = self._by_table.get(table, {})
+        for positions in list(indexes):
+            indexes[positions] = HashIndex.build(positions, bag)
+            if counter is not None and bag:
+                counter.record("index_build", len(bag))
+        self._pending.pop(table, None)
+        self._synced[table] = {positions: 0 for positions in indexes}
+        self._stale.discard(table)
 
     def get(
         self,
@@ -97,22 +133,56 @@ class IndexManager:
         *,
         counter: CostCounter | None = None,
     ) -> HashIndex:
-        """The index on ``table`` keyed by ``positions``, built on demand.
+        """The index on ``table`` keyed by ``positions``, current as of ``bag``.
 
-        The one-time build scan is charged as ``index_build`` so cost
-        comparisons against the interpreted path stay honest.
+        Built on demand (one O(|table|) scan, charged as ``index_build``)
+        and caught up lazily: deferred patch deltas are applied here,
+        charged as ``index_maint`` — or as a wholesale ``index_build``
+        when rebuilding from ``bag`` is cheaper than draining the queue.
         """
-        indexes = self._by_table.setdefault(table, {})
-        index = indexes.get(positions)
-        if index is None:
-            index = HashIndex.build(positions, bag)
-            indexes[positions] = index
-            if counter is not None:
-                counter.record("index_build", len(bag))
-        return index
+        with self._lock:
+            if table in self._stale:
+                self._rebuild_all(table, bag, counter)
+            indexes = self._by_table.setdefault(table, {})
+            synced = self._synced.setdefault(table, {})
+            queue = self._pending.get(table, [])
+            index = indexes.get(positions)
+            if index is None:
+                index = HashIndex.build(positions, bag)
+                indexes[positions] = index
+                synced[positions] = len(queue)
+                if counter is not None:
+                    counter.record("index_build", len(bag))
+            else:
+                start = synced.get(positions, 0)
+                tail = queue[start:]
+                if tail:
+                    delta_rows = sum(len(delete) + len(insert) for delete, insert in tail)
+                    if delta_rows > len(bag):
+                        index = HashIndex.build(positions, bag)
+                        indexes[positions] = index
+                        if counter is not None:
+                            counter.record("index_build", len(bag))
+                    else:
+                        for delete, insert in tail:
+                            index.apply_delta(delete, insert)
+                        if counter is not None and delta_rows:
+                            counter.record("index_maint", delta_rows)
+                    synced[positions] = len(queue)
+            if queue and all(synced.get(pos, 0) == len(queue) for pos in indexes):
+                self._pending[table] = []
+                for pos in indexes:
+                    synced[pos] = 0
+            return index
 
     def indexes_on(self, table: str) -> tuple[HashIndex, ...]:
-        return tuple(self._by_table.get(table, {}).values())
+        with self._lock:
+            return tuple(self._by_table.get(table, {}).values())
+
+    def pending_deltas(self, table: str) -> int:
+        """How many patch deltas are queued but not yet drained (testing aid)."""
+        with self._lock:
+            return len(self._pending.get(table, ()))
 
     def on_patch(
         self,
@@ -122,15 +192,14 @@ class IndexManager:
         *,
         counter: CostCounter | None = None,
     ) -> None:
-        """Forward a patch-driven write to every index on ``table``."""
-        indexes = self._by_table.get(table)
-        if not indexes:
-            return
-        delta = len(delete) + len(insert)
-        for index in indexes.values():
-            index.apply_delta(delete, insert)
-            if counter is not None and delta:
-                counter.record("index_maint", delta)
+        """Record a patch-driven write; maintenance is deferred to the
+        next probe of the table, so write-only phases pay nothing here."""
+        with self._lock:
+            if not self._by_table.get(table):
+                return
+            if not delete and not insert:
+                return
+            self._pending.setdefault(table, []).append((delete, insert))
 
     def on_replace(
         self,
@@ -139,23 +208,31 @@ class IndexManager:
         *,
         counter: CostCounter | None = None,
     ) -> None:
-        """A wholesale assignment rebuilds the table's indexes in place.
+        """A wholesale assignment invalidates the table's indexes.
 
-        Rebuilding (rather than dropping) matters for log tables, which
-        are cleared by assignment on every refresh: the rebuild from the
-        now-empty bag is free, and the index stays alive to absorb the
-        next round of patch-driven log appends incrementally.
+        The indexes stay registered but are marked stale and rebuilt
+        lazily on the next probe.  This matters for log tables, which are
+        cleared by assignment on every refresh: the eventual rebuild from
+        the then-empty bag is free, and the index stays alive to absorb
+        the next round of patch-driven log appends.
         """
-        indexes = self._by_table.get(table)
-        if not indexes:
-            return
-        if new_value is None:
-            self._by_table.pop(table, None)
-            return
-        for positions in list(indexes):
-            indexes[positions] = HashIndex.build(positions, new_value)
-            if counter is not None and new_value:
-                counter.record("index_build", len(new_value))
+        with self._lock:
+            indexes = self._by_table.get(table)
+            if not indexes:
+                return
+            if new_value is None:
+                self._by_table.pop(table, None)
+                self._pending.pop(table, None)
+                self._synced.pop(table, None)
+                self._stale.discard(table)
+                return
+            self._pending.pop(table, None)
+            self._synced.pop(table, None)
+            self._stale.add(table)
 
     def drop(self, table: str) -> None:
-        self._by_table.pop(table, None)
+        with self._lock:
+            self._by_table.pop(table, None)
+            self._pending.pop(table, None)
+            self._synced.pop(table, None)
+            self._stale.discard(table)

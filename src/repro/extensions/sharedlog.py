@@ -24,6 +24,7 @@ cursor's slice of the log.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections.abc import Iterable
 
 from repro.algebra.bag import Bag, Row
@@ -31,14 +32,24 @@ from repro.algebra.evaluation import CostCounter
 from repro.algebra.expr import Expr, Literal, Product, UnionAll
 from repro.algebra.schema import Schema
 from repro.core.differential import differentiate
+from repro.core.plan import MaintenancePlan
+from repro.core.scenarios import Scenario
 from repro.core.substitution import FactoredSubstitution
 from repro.core.transactions import UserTransaction
 from repro.core.views import ViewDefinition
 from repro.errors import PolicyError, SchemaError
+from repro.exec.group import (
+    EpochDeltaCache,
+    GroupScheduler,
+    GroupTask,
+    evaluate_delta_pair,
+    subplan_fingerprint,
+)
+from repro.robustness.faults import fault_point
 from repro.storage.database import Database
 from repro.storage.locks import LockLedger
 
-__all__ = ["SharedLog", "SharedLogScenario"]
+__all__ = ["SharedLog", "SharedLogScenario", "SharedLogView"]
 
 DELETE_OP = "D"
 INSERT_OP = "I"
@@ -74,10 +85,19 @@ class SharedLog:
         """Start logging changes to ``table`` (idempotent)."""
         if table in self._tables:
             return
+        name = shared_log_name(table)
+        if self._db.has_table(name):
+            # Reattach to a persisted log table (warehouse reload path).
+            self._tables.add(table)
+            return
         schema = self._db.schema_of(table)
         log_schema = Schema(("__seq", "__op", *schema.attributes))
-        self._db.create_table(shared_log_name(table), log_schema, internal=True)
+        self._db.create_table(name, log_schema, internal=True)
         self._tables.add(table)
+
+    def restore_seq(self, seq: int) -> None:
+        """Fast-forward the sequence counter (warehouse reload path)."""
+        self._seq = max(self._seq, seq)
 
     def _log_ref(self, table: str):
         return self._db.ref(shared_log_name(table))
@@ -129,6 +149,11 @@ class SharedLog:
             side = deletes if op == DELETE_OP else inserts
             key = tuple(values)
             side[key] = side.get(key, 0) + count
+        return self._fold(entries)
+
+    @staticmethod
+    def _fold(entries: dict[int, tuple[dict[Row, int], dict[Row, int]]]) -> tuple[Bag, Bag]:
+        """Fold per-transaction deltas (in sequence order) into one net pair."""
         net_delete = Bag.empty()
         net_insert = Bag.empty()
         for seq in sorted(entries):
@@ -151,6 +176,55 @@ class SharedLog:
             deltas[table] = (net_insert, net_delete)
             schemas[table] = self._db.schema_of(table)
         return FactoredSubstitution.literal(deltas, schemas)
+
+    # ------------------------------------------------------------------
+    # Net-effect compaction
+    # ------------------------------------------------------------------
+
+    def compact(self, cursors: Iterable[int]) -> int:
+        """Fold log entries into net deltas between cursor boundaries.
+
+        Entries are grouped into segments ``(b_{i-1}, b_i]`` delimited by
+        the registered view cursors, each segment is folded with the same
+        weakly-minimal recurrence as :meth:`net_deltas_since`, and the
+        net pair is re-tagged with the segment's highest existing
+        sequence number.  Because folding is associative, replay from
+        *any* registered cursor sees exactly the same net ``(▼R, ▲R)``
+        afterwards — churn (delete/insert pairs that cancel) simply
+        disappears, so both the log footprint and every later
+        ``PAST(L, Q)`` replay scale with the **net** change.
+
+        Returns the number of rows removed across all log tables.
+        """
+        boundaries = sorted(set(cursors))
+        removed = 0
+        for table in self._tables:
+            name = shared_log_name(table)
+            current = self._db[name]
+            if not current:
+                continue
+            segments: dict[int, dict[int, tuple[dict[Row, int], dict[Row, int]]]] = {}
+            for row, count in current.items():
+                seq, op, *values = row
+                segment = bisect_left(boundaries, seq)
+                entries = segments.setdefault(segment, {})
+                deletes, inserts = entries.setdefault(seq, ({}, {}))
+                side = deletes if op == DELETE_OP else inserts
+                key = tuple(values)
+                side[key] = side.get(key, 0) + count
+            counts: dict[Row, int] = {}
+            for entries in segments.values():
+                tag = max(entries)
+                net_delete, net_insert = self._fold(entries)
+                for values, count in net_delete.items():
+                    counts[(tag, DELETE_OP, *values)] = count
+                for values, count in net_insert.items():
+                    counts[(tag, INSERT_OP, *values)] = count
+            compacted = Bag.from_counts(counts)
+            if len(compacted) < len(current):
+                removed += len(current) - len(compacted)
+                self._db.set_table(name, compacted)
+        return removed
 
     # ------------------------------------------------------------------
     # Pruning
@@ -193,6 +267,10 @@ class SharedLogScenario:
         self.ledger = ledger if ledger is not None else LockLedger()
         self._views: dict[str, ViewDefinition] = {}
         self._cursors: dict[str, int] = {}
+        #: Highest sequence number durably committed by the journal; when
+        #: the database is journaled, pruning never passes this floor so
+        #: crash recovery can always replay from its snapshot's cursors.
+        self._prune_floor: int | None = None
 
     # ------------------------------------------------------------------
     # Views
@@ -209,11 +287,33 @@ class SharedLogScenario:
         self._views[view.name] = view
         self._cursors[view.name] = self.shared_log.current_seq
 
+    def attach_view(self, view: ViewDefinition, cursor: int) -> None:
+        """Re-register a persisted view without rematerializing it."""
+        if view.name in self._views:
+            raise SchemaError(f"view {view.name!r} already registered")
+        for table in sorted(view.base_tables()):
+            self.shared_log.track(table)
+        self._views[view.name] = view
+        self._cursors[view.name] = cursor
+
+    def remove_view(self, name: str) -> None:
+        """Unregister a view and drop its materialization."""
+        try:
+            view = self._views.pop(name)
+        except KeyError:
+            raise PolicyError(f"view {name!r} is not registered") from None
+        self._cursors.pop(name, None)
+        self.db.drop_table(view.mv_table)
+        self._maybe_prune()
+
     def views(self) -> tuple[str, ...]:
         return tuple(self._views)
 
     def cursor(self, name: str) -> int:
         return self._cursors[name]
+
+    def view_definition(self, name: str) -> ViewDefinition:
+        return self._views[name]
 
     # ------------------------------------------------------------------
     # Transactions
@@ -242,13 +342,154 @@ class SharedLogScenario:
         # ▼(L,Q) = Add(L̂,Q), ▲(L,Q) = Del(L̂,Q).
         del_hat, add_hat = differentiate(eta, view.query)
         with self.ledger.exclusive(view.mv_table, label="refresh_SL", counter=self.counter):
+            fault_point("crash-mid-refresh")
             self.db.apply(patches={view.mv_table: (add_hat, del_hat)}, counter=self.counter)
         self._cursors[name] = self.shared_log.current_seq
-        self.shared_log.prune(min(self._cursors.values()))
+        self._maybe_prune()
 
     def refresh_all(self) -> None:
         for name in self._views:
             self.refresh(name)
+
+    # ------------------------------------------------------------------
+    # Group refresh (compaction + delta sharing + scheduling)
+    # ------------------------------------------------------------------
+
+    def compact(self) -> int:
+        """Net-effect compaction of the shared log at the view cursors."""
+        return self.shared_log.compact(self._cursors.values())
+
+    def refresh_group(
+        self,
+        names: Iterable[str] | None = None,
+        *,
+        parallel: bool = False,
+        max_workers: int | None = None,
+        compact: bool = True,
+    ) -> None:
+        """Bring a group of views up to date in one epoch.
+
+        Compacts the shared log first (so replay cost is proportional to
+        the net change), then schedules one :class:`GroupTask` per view:
+        views whose queries fingerprint equal over the same cursor slice
+        share a single delta evaluation through the epoch's
+        :class:`EpochDeltaCache`, and independent views may evaluate
+        concurrently when ``parallel=True``.  Patch application is always
+        sequential in registration order, so the result is bag-equal to
+        calling :meth:`refresh` on each view in turn.
+        """
+        members = list(names) if names is not None else list(self._views)
+        for name in members:
+            if name not in self._views:
+                raise PolicyError(f"view {name!r} is not registered")
+        if compact:
+            self.compact()
+        cache = EpochDeltaCache(self.counter)
+        tasks = self.group_tasks(list(enumerate(members)))
+        scheduler = GroupScheduler(counter=self.counter, parallel=parallel, max_workers=max_workers)
+        scheduler.run(tasks, cache)
+        self._maybe_prune()
+
+    def group_tasks(self, members: Iterable[tuple[int, str]]) -> list[GroupTask]:
+        """Build one refresh task per ``(order, view name)`` for this epoch.
+
+        All tasks share the epoch's target sequence number and one
+        substitution memo, so several views reading the same base tables
+        from the same cursor replay the log once.
+        """
+        epoch = self.shared_log.current_seq
+        eta_memo: dict[object, FactoredSubstitution] = {}
+        return [self._group_task(order, name, epoch, eta_memo) for order, name in members]
+
+    def _group_task(
+        self,
+        order: int,
+        name: str,
+        epoch: int,
+        eta_memo: dict[object, FactoredSubstitution],
+    ) -> GroupTask:
+        view = self._views[name]
+        cursor = self._cursors[name]
+        base = tuple(sorted(view.base_tables()))
+        log_tables = tuple(shared_log_name(table) for table in base)
+
+        def eta() -> FactoredSubstitution:
+            memo_key = (cursor, base)
+            if memo_key not in eta_memo:
+                eta_memo[memo_key] = self.shared_log.substitution_since(cursor, base)
+            return eta_memo[memo_key]
+
+        def key() -> object:
+            stamps = tuple((table, self.db.version_of(table)) for table in base + log_tables)
+            return ("SL", subplan_fingerprint(view.query), cursor, stamps)
+
+        def compute(counter: CostCounter | None) -> tuple[Bag, Bag]:
+            del_hat, add_hat = differentiate(eta(), view.query)
+            # Same patch orientation as refresh(): MV-delete = Add(L̂,Q),
+            # MV-insert = Del(L̂,Q) under weak minimality (Lemma 4).
+            return evaluate_delta_pair(self.db, add_hat, del_hat, counter)
+
+        def prime() -> None:
+            del_hat, add_hat = differentiate(eta(), view.query)
+            self.db.prime(add_hat, del_hat, counter=self.counter)
+
+        def apply(deltas: tuple[Bag, Bag]) -> None:
+            delete_bag, insert_bag = deltas
+            with self.ledger.exclusive(view.mv_table, label="refresh_SL", counter=self.counter):
+                fault_point("crash-mid-refresh")
+                # The bags were already evaluated (and counted) in
+                # compute(); re-emitting them as literals is free, so no
+                # counter here — keeps cost parity with refresh().
+                self.db.apply(
+                    patches={
+                        view.mv_table: (
+                            Literal(delete_bag, view.schema),
+                            Literal(insert_bag, view.schema),
+                        )
+                    },
+                )
+            self._cursors[name] = epoch
+
+        return GroupTask(
+            name=name,
+            order=order,
+            key=key,
+            compute=compute,
+            apply=apply,
+            reads=frozenset(base + log_tables),
+            writes=frozenset((view.mv_table,)),
+            prime=prime,
+        )
+
+    # ------------------------------------------------------------------
+    # Pruning policy
+    # ------------------------------------------------------------------
+
+    def _maybe_prune(self) -> int:
+        """Prune consumed entries, deferring past the journal floor.
+
+        On a journaled database, entries above the last durably committed
+        watermark are retained even when every cursor has passed them:
+        crash recovery replays the pending operation from the *previous*
+        checkpoint, whose cursors may still need that slice of the log.
+        :meth:`commit_watermark` advances the floor once a checkpoint
+        commits.
+        """
+        threshold = min(self._cursors.values(), default=self.shared_log.current_seq)
+        if getattr(self.db, "journaled", False):
+            threshold = min(threshold, self._prune_floor or 0)
+        return self.shared_log.prune(threshold)
+
+    def commit_watermark(self) -> int:
+        """Advance the prune floor to the current minimum cursor.
+
+        Called by the durable warehouse right after a journaled operation
+        commits: the just-written checkpoint contains the current
+        cursors, so any replay starts at or above them and entries at or
+        below the minimum cursor can never be needed again.
+        """
+        self._prune_floor = min(self._cursors.values(), default=self.shared_log.current_seq)
+        return self._maybe_prune()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -277,3 +518,61 @@ class SharedLogScenario:
     def log_size(self) -> int:
         """Total rows currently held across all shared log tables."""
         return sum(len(self.db[shared_log_name(table)]) for table in self.shared_log.tables)
+
+
+class SharedLogView(Scenario):
+    """One view of a shared-log group, wearing the Scenario interface.
+
+    Lets :class:`~repro.warehouse.manager.ViewManager` host shared-log
+    views next to the per-view scenarios: install/refresh/invariant calls
+    delegate to the owning :class:`SharedLogScenario`.  ``make_safe``
+    contributes *nothing* per view — the manager appends the group's
+    single log extension once per transaction, which is the whole point
+    of the shared log (per-transaction cost independent of view count).
+    """
+
+    tag = "SL"
+
+    def __init__(
+        self,
+        db: Database,
+        view: ViewDefinition,
+        *,
+        group: SharedLogScenario,
+        counter: CostCounter | None = None,
+        ledger: LockLedger | None = None,
+        strict: bool = False,
+    ) -> None:
+        super().__init__(db, view, counter=counter, ledger=ledger, strict=strict)
+        self.group = group
+
+    def install(self) -> None:
+        if self._installed:
+            return
+        self._lint_on_install()
+        self.db.prime(self.view.query, counter=self.counter)
+        self.group.add_view(self.view)
+        self._installed = True
+
+    def attach(self, cursor: int) -> None:
+        """Reattach a persisted view at its saved cursor (reload path)."""
+        if self._installed:
+            return
+        self.group.attach_view(self.view, cursor)
+        self._installed = True
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        self.group.remove_view(self.view.name)
+        self._installed = False
+
+    def make_safe(self, txn: UserTransaction) -> MaintenancePlan:
+        """Per-view contribution is empty — the log extension is per *group*."""
+        return MaintenancePlan()
+
+    def refresh(self) -> None:
+        self.group.refresh(self.view.name)
+
+    def invariant_holds(self) -> bool:
+        return self.group.invariant_holds(self.view.name)

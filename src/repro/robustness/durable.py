@@ -170,14 +170,25 @@ class DurableWarehouse:
         fault_point("crash-after-checkpoint")
         self.journal.commit_op(op_id)
         fault_point("crash-after-commit")
+        # The checkpoint just committed contains the current shared-log
+        # cursors; any future replay starts from it, so entries every
+        # cursor has passed become prunable exactly now.
+        self.manager.commit_log_watermarks()
         return True
 
     def _watermark(self, names: Iterable[str]) -> int:
         total = 0
+        groups: dict[int, Any] = {}
         for name in names:
-            log = getattr(self.manager.scenario(name), "log", None)
+            scenario = self.manager.scenario(name)
+            log = getattr(scenario, "log", None)
             if log is not None:
                 total += log.recorded_changes()
+            group = getattr(scenario, "group", None)
+            if group is not None:
+                groups[id(group)] = group
+        for group in groups.values():
+            total += group.log_size()
         return total
 
     # ------------------------------------------------------------------
@@ -257,6 +268,36 @@ class DurableWarehouse:
             "refresh_all",
             self.manager.refresh_all,
             payload={"watermark": self._watermark(self.views()), "pre_digests": table_digests(self.db)},
+        )
+
+    def refresh_group(
+        self,
+        names: Iterable[str] | None = None,
+        *,
+        parallel: bool = False,
+        max_workers: int | None = None,
+        compact: bool = True,
+    ) -> None:
+        """Group refresh under the write-ahead protocol.
+
+        Journaled as one intent for the whole epoch: a crash anywhere in
+        the group (including between two views' patches) is rolled
+        forward by re-running the group refresh from the pre-op snapshot,
+        whose logs and cursors recovery never prunes past (see
+        :meth:`~repro.warehouse.manager.ViewManager.commit_log_watermarks`).
+        """
+        members = list(names) if names is not None else list(self.views())
+        self._run_journaled(
+            "refresh_group",
+            lambda: self.manager.refresh_group(
+                members, parallel=parallel, max_workers=max_workers, compact=compact
+            ),
+            payload={
+                "views": members,
+                "compact": compact,
+                "watermark": self._watermark(members),
+                "pre_digests": table_digests(self.db),
+            },
         )
 
     def propagate(self, name: str) -> None:

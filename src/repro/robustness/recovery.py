@@ -56,7 +56,7 @@ INVARIANT_NAMES = {
 }
 
 #: Journal kinds the runner can roll forward; anything else rolls back.
-REPLAYABLE = {"txn", "refresh", "refresh_all", "propagate", "partial_refresh"}
+REPLAYABLE = {"txn", "refresh", "refresh_all", "refresh_group", "propagate", "partial_refresh"}
 
 
 @dataclass(frozen=True)
@@ -136,6 +136,14 @@ def _replay(manager: ViewManager, intent: OpIntent) -> None:
         manager.refresh(intent.view)
     elif kind == "refresh_all":
         manager.refresh_all()
+    elif kind == "refresh_group":
+        # Deterministic sequential re-run: compaction and sequential
+        # scheduling are functions of the snapshot's logs and cursors,
+        # and parallel vs sequential execution is bag-equal by design.
+        manager.refresh_group(
+            intent.payload.get("views") or None,
+            compact=intent.payload.get("compact", True),
+        )
     elif kind == "propagate":
         manager.propagate(intent.view)
     elif kind == "partial_refresh":

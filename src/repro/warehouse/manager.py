@@ -33,8 +33,10 @@ from repro.core.scenarios import (
 )
 from repro.core.transactions import UserTransaction
 from repro.extensions.aggregates import AggregateScenario
+from repro.extensions.sharedlog import SharedLogScenario, SharedLogView
 from repro.core.views import ViewDefinition
 from repro.errors import PolicyError, SchemaError, UnknownTableError
+from repro.exec.group import EpochDeltaCache, GroupScheduler, view_fingerprints
 from repro.robustness.faults import fault_point
 from repro.sqlfront.compiler import script_to_transaction, sql_to_expr, sql_to_view
 from repro.storage.database import Database
@@ -91,14 +93,17 @@ class ViewManager:
         self.ledger = LockLedger()
         self._scenarios: dict[str, Scenario] = {}
         self._drivers: dict[str, MaintenanceDriver] = {}
+        #: Default shared-log group for views defined with scenario="shared_log".
+        self._shared_default: SharedLogScenario | None = None
 
     def exec_stats(self) -> dict[str, int]:
-        """Plan-cache and index counters of the compiled engine so far."""
+        """Plan-cache, index, and delta-cache counters of the engine so far."""
         return {
             "plan_hits": self.counter.plan_hits,
             "plan_misses": self.counter.plan_misses,
             "memo_hits": self.counter.memo_hits,
             "index_probes": self.counter.index_probes,
+            "delta_cache_hits": self.counter.delta_cache_hits,
         }
 
     # ------------------------------------------------------------------
@@ -163,10 +168,29 @@ class ViewManager:
                 self._scenarios[name] = instance
                 return instance
             view = sql_to_view(definition, self.db, name=name)
+        if scenario == "shared_log":
+            if strong_minimality or policy is not None:
+                raise PolicyError(
+                    "shared_log views support neither strong_minimality nor policies"
+                )
+            instance = SharedLogView(
+                self.db,
+                view,
+                group=self.shared_group(),
+                counter=self.counter,
+                ledger=self.ledger,
+                strict=strict,
+            )
+            instance.install()
+            self._scenarios[name] = instance
+            return instance
+        self._lint_group_overlap(view, strict=strict)
         try:
             scenario_cls = SCENARIOS[scenario]
         except KeyError:
-            raise PolicyError(f"unknown scenario {scenario!r}; pick one of {sorted(SCENARIOS)}") from None
+            raise PolicyError(
+                f"unknown scenario {scenario!r}; pick one of {sorted([*SCENARIOS, 'shared_log'])}"
+            ) from None
         kwargs = {"counter": self.counter, "ledger": self.ledger, "strict": strict}
         if scenario_cls in (DiffTableScenario, CombinedScenario):
             kwargs["strong_minimality"] = strong_minimality
@@ -178,6 +202,67 @@ class ViewManager:
         if policy is not None:
             self._drivers[name] = MaintenanceDriver(instance, policy)
         return instance
+
+    def shared_group(self) -> SharedLogScenario:
+        """The manager's shared-log refresh group (created on first use).
+
+        All views defined with ``scenario="shared_log"`` join this group:
+        they share one sequenced log per base table (per-transaction
+        logging cost independent of the view count) and refresh together
+        through :meth:`refresh_group`.
+        """
+        if self._shared_default is None:
+            self._shared_default = SharedLogScenario(
+                self.db, counter=self.counter, ledger=self.ledger
+            )
+        return self._shared_default
+
+    def _shared_log_groups(self) -> list[SharedLogScenario]:
+        seen: dict[int, SharedLogScenario] = {}
+        for scenario in self._scenarios.values():
+            group = getattr(scenario, "group", None)
+            if group is not None:
+                seen[id(group)] = group
+        return list(seen.values())
+
+    def _lint_group_overlap(self, view: ViewDefinition, *, strict: bool) -> None:
+        """RVM501: a non-group view sharing subplans with a refresh group.
+
+        When the new view's query has a subplan fingerprint in common
+        with a view already registered in a shared-log group, group
+        refresh could have served both from one delta evaluation — but a
+        view registered outside the group never benefits.  Warn (or
+        raise, under ``strict=True``) so the redundancy is a choice, not
+        an accident.
+        """
+        import warnings
+
+        from repro.analysis.diagnostics import AnalysisReport, AnalysisWarning, Severity
+
+        overlapping: list[str] = []
+        fingerprints = None
+        for group in self._shared_log_groups():
+            for member in group.views():
+                if fingerprints is None:
+                    fingerprints = view_fingerprints(view.query)
+                if fingerprints & view_fingerprints(group.view_definition(member).query):
+                    overlapping.append(member)
+        if not overlapping:
+            return
+        report = AnalysisReport()
+        report.add(
+            "RVM501",
+            Severity.WARNING,
+            f"view {view.name!r} shares subplan fingerprints with refresh-group "
+            f"member(s) {sorted(overlapping)} but is registered outside the group; "
+            "define it with scenario='shared_log' so group refresh can share its "
+            "delta evaluation",
+            path=view.name,
+        )
+        if strict:
+            report.raise_if_failed(context=f"install of view {view.name!r}")
+        for diagnostic in report.warnings:
+            warnings.warn(diagnostic.format(), AnalysisWarning, stacklevel=3)
 
     def scenario(self, name: str) -> Scenario:
         """The scenario object maintaining view ``name``."""
@@ -236,9 +321,15 @@ class ViewManager:
         single simultaneous transaction, sharing one evaluation memo —
         views over the same tables do not recompute shared deltas.
         """
-        plan = MaintenancePlan(patches=txn.weakly_minimal().patches())
+        minimal = txn.weakly_minimal()
+        plan = MaintenancePlan(patches=minimal.patches())
         for scenario in self._scenarios.values():
             plan = plan.merge(scenario.make_safe(txn))
+        # One shared-log extension per *group*, not per view — this is
+        # what keeps per-transaction cost independent of the view count.
+        for group in self._shared_log_groups():
+            for table, (delete, insert) in group.shared_log.extend_patches(minimal).items():
+                plan.add_patch(table, delete, insert)
         fault_point("crash-mid-execute")
         plan.execute(self.db, counter=self.counter)
         for scenario in self._scenarios.values():
@@ -255,6 +346,74 @@ class ViewManager:
     def refresh_all(self) -> None:
         for scenario in self._scenarios.values():
             scenario.refresh()
+
+    def refresh_group(
+        self,
+        names: Iterable[str] | None = None,
+        *,
+        parallel: bool = False,
+        max_workers: int | None = None,
+        compact: bool = True,
+    ) -> None:
+        """Refresh many views as one epoch, sharing work across them.
+
+        Three layers on top of per-view :meth:`refresh`:
+
+        1. logs are compacted to net effects first (``compact=True``), so
+           the delta evaluations scale with net change, not raw churn;
+        2. views whose refresh deltas fingerprint equal over equal log
+           contents share one evaluation through an epoch-scoped delta
+           cache (``delta_cache_hits`` on :attr:`counter`);
+        3. independent views are batched by their read/write sets and may
+           evaluate concurrently (``parallel=True``); patches always
+           apply sequentially in registration order, so the final state
+           is bag-equal to refreshing each view in turn.
+
+        Views whose scenario has no group task (immediate, diff-table,
+        aggregate) fall back to their own ``refresh`` after the group.
+        """
+        members = list(names) if names is not None else list(self._scenarios)
+        cache = EpochDeltaCache(self.counter)
+        tasks = []
+        fallback: list[str] = []
+        shared: dict[int, tuple[SharedLogScenario, list[tuple[int, str]]]] = {}
+        for order, name in enumerate(members):
+            scenario = self.scenario(name)
+            group = getattr(scenario, "group", None)
+            if group is not None:
+                shared.setdefault(id(group), (group, []))[1].append((order, name))
+            elif hasattr(scenario, "group_refresh_task"):
+                if compact and hasattr(scenario, "compact_log"):
+                    scenario.compact_log()
+                tasks.append(scenario.group_refresh_task(order=order))
+            else:
+                fallback.append(name)
+        for group, group_members in shared.values():
+            if compact:
+                group.compact()
+            tasks.extend(group.group_tasks(group_members))
+        scheduler = GroupScheduler(
+            counter=self.counter, parallel=parallel, max_workers=max_workers
+        )
+        scheduler.run(tasks, cache)
+        for group, _ in shared.values():
+            # Consumed entries drop now on plain databases; journaled
+            # ones defer to the committed watermark (crash recovery may
+            # still replay this very epoch from the previous checkpoint).
+            group._maybe_prune()
+        for name in fallback:
+            self.scenario(name).refresh()
+
+    def commit_log_watermarks(self) -> None:
+        """Advance shared-log prune floors after a durable commit.
+
+        Called by :class:`~repro.robustness.DurableWarehouse` once a
+        journaled operation's checkpoint has committed: entries below
+        every cursor in that checkpoint can no longer be needed by crash
+        recovery and are pruned.
+        """
+        for group in self._shared_log_groups():
+            group.commit_watermark()
 
     def propagate(self, name: str) -> None:
         """Run ``propagate_C`` for a combined-scenario (or aggregate) view."""

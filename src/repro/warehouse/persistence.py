@@ -27,6 +27,7 @@ from repro.core.scenarios import CombinedScenario, DiffTableScenario
 from repro.core.views import ViewDefinition
 from repro.errors import ReproError
 from repro.extensions.aggregates import AggregateScenario, AggregateSpec, AggregateView
+from repro.extensions.sharedlog import SharedLogView
 from repro.storage.persistence import load_database, save_database
 from repro.warehouse.manager import SCENARIOS, ViewManager
 
@@ -50,6 +51,15 @@ def _describe(scenario) -> dict:
                 {"function": spec.function, "attribute": spec.attribute, "alias": spec.alias}
                 for spec in view.aggregates
             ],
+        }
+    if isinstance(scenario, SharedLogView):
+        view = scenario.view
+        return {
+            "type": "shared_log",
+            "name": view.name,
+            "query": expr_to_dict(view.query),
+            "cursor": scenario.group.cursor(view.name),
+            "seq": scenario.group.shared_log.current_seq,
         }
     description = {
         "type": "plain",
@@ -118,6 +128,15 @@ def _attach(manager: ViewManager, description: dict) -> None:
         scenario = AggregateScenario(manager.db, view, counter=manager.counter, ledger=manager.ledger)
         scenario._installed = True
         scenario.base._installed = True
+    elif description["type"] == "shared_log":
+        view = ViewDefinition(name, expr_from_dict(description["query"]))
+        group = manager.shared_group()
+        group.shared_log.restore_seq(description["seq"])
+        scenario = SharedLogView(
+            manager.db, view, group=group, counter=manager.counter, ledger=manager.ledger
+        )
+        # Reattach to the persisted log tables and MV at the saved cursor.
+        scenario.attach(description["cursor"])
     else:
         scenario_cls = SCENARIOS[description["scenario"]]
         view = ViewDefinition(name, expr_from_dict(description["query"]))

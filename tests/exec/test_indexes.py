@@ -65,35 +65,63 @@ class TestIndexManager:
         assert counter.by_operator["index_build"] == 3
         assert counter.by_operator.get("index_maint") is None
 
-    def test_on_patch_maintains_every_index(self):
+    def test_on_patch_defers_until_next_probe(self):
         manager = IndexManager()
         bag = bag_of((1, "a"), (2, "b"))
-        by_key = manager.get("R", (0,), bag)
-        by_val = manager.get("R", (1,), bag)
+        manager.get("R", (0,), bag)
+        manager.get("R", (1,), bag)
         counter = CostCounter()
+        patched = bag.patch(bag_of((1, "a")), bag_of((1, "z")))
         manager.on_patch("R", bag_of((1, "a")), bag_of((1, "z")), counter=counter)
+        # The write itself charges nothing — maintenance is deferred.
+        assert counter.tuples_out == 0
+        assert manager.pending_deltas("R") == 1
+        by_key = manager.get("R", (0,), patched, counter=counter)
         assert by_key.lookup((1,)) == {(1, "z"): 1}
+        # Draining one (delete, insert) pair costs O(|delta|) for one index.
+        assert counter.by_operator["index_maint"] == 2
+        by_val = manager.get("R", (1,), patched, counter=counter)
         assert by_val.lookup(("a",)) == {}
         assert by_val.lookup(("z",)) == {(1, "z"): 1}
-        # O(|delta|) per index, two indexes maintained.
         assert counter.by_operator["index_maint"] == 4
+        # Both indexes drained: the queue is trimmed.
+        assert manager.pending_deltas("R") == 0
 
     def test_on_patch_without_indexes_is_free(self):
         manager = IndexManager()
         counter = CostCounter()
         manager.on_patch("unindexed", bag_of((1,)), bag_of((2,)), counter=counter)
         assert counter.tuples_out == 0
+        assert manager.pending_deltas("unindexed") == 0
 
-    def test_on_replace_rebuilds_in_place(self):
+    def test_big_pending_backlog_rebuilds_instead_of_draining(self):
+        manager = IndexManager()
+        bag = bag_of((1, "a"))
+        manager.get("R", (0,), bag)
+        # Churn: many D/I pairs whose net effect is small.
+        for _ in range(10):
+            manager.on_patch("R", Bag.empty(), bag_of((2, "b")))
+            manager.on_patch("R", bag_of((2, "b")), Bag.empty())
+        counter = CostCounter()
+        index = manager.get("R", (0,), bag, counter=counter)
+        # Pending volume (20 rows) exceeds the table (1 row): rebuild wins.
+        assert counter.by_operator["index_build"] == 1
+        assert "index_maint" not in counter.by_operator
+        assert index.lookup((1,)) == {(1, "a"): 1}
+        assert index.lookup((2,)) == {}
+
+    def test_on_replace_rebuilds_lazily(self):
         manager = IndexManager()
         index = manager.get("R", (0,), bag_of((1, "a")))
-        manager.on_replace("R", bag_of((5, "e"), (5, "f")))
-        rebuilt = manager.indexes_on("R")[0]
+        replaced = bag_of((5, "e"), (5, "f"))
+        manager.on_replace("R", replaced)
+        rebuilt = manager.get("R", (0,), replaced)
         assert rebuilt is not index
         assert rebuilt.lookup((5,)) == {(5, "e"): 1, (5, "f"): 1}
         # The cleared-log case: replacing with empty keeps the index alive.
         manager.on_replace("R", Bag.empty())
-        assert manager.indexes_on("R")[0].lookup((5,)) == {}
+        assert manager.get("R", (0,), Bag.empty()).lookup((5,)) == {}
+        assert manager.indexes_on("R") != ()
 
     def test_drop(self):
         manager = IndexManager()
@@ -110,7 +138,7 @@ class TestRandomizedPatchConsistency:
         for trial in range(20):
             table = Bag((rng.randrange(6), rng.randrange(4)) for _ in range(rng.randrange(30)))
             manager = IndexManager()
-            index = manager.get("T", (0,), table)
+            manager.get("T", (0,), table)
             for _ in range(15):
                 delete = Bag(
                     (rng.randrange(6), rng.randrange(4)) for _ in range(rng.randrange(5))
@@ -120,6 +148,9 @@ class TestRandomizedPatchConsistency:
                 )
                 table = table.patch(delete, insert)
                 manager.on_patch("T", delete, insert)
+                # A probe drains the deferred deltas and must then agree
+                # with a full scan of the current table value.
+                index = manager.get("T", (0,), table)
                 for key in range(6):
                     scanned = table.select(lambda row, key=key: row[0] == key)
                     assert dict(index.lookup((key,))) == dict(scanned.items()), (

@@ -1,0 +1,176 @@
+"""ViewManager-level group refresh: shared_log views, RVM501, mixed scenarios."""
+
+import warnings
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.analysis.diagnostics import AnalysisError, AnalysisWarning
+from repro.errors import ReproError
+from repro.extensions.sharedlog import SharedLogView
+from repro.warehouse import ViewManager
+from repro.warehouse.persistence import load_warehouse, save_warehouse
+
+JOIN_SQL = "SELECT R.a, S.b FROM R, S WHERE R.a = S.a"
+
+
+@pytest.fixture
+def manager():
+    vm = ViewManager()
+    vm.create_table("R", ["a"], rows=[(1,), (2,)])
+    vm.create_table("S", ["a", "b"], rows=[(2, "x"), (3, "y")])
+    return vm
+
+
+def churn(manager):
+    txn = manager.transaction()
+    txn.delete("R", [(1,)])
+    txn.insert("R", [(3,), (3,)])
+    txn.insert("S", [(3, "z")])
+    txn.run()
+
+
+class TestSharedLogScenario:
+    def test_define_and_refresh(self, manager):
+        manager.define_view("V", JOIN_SQL, scenario="shared_log")
+        churn(manager)
+        assert manager.is_stale("V")
+        manager.refresh("V")
+        assert manager.query("V") == manager.sql(JOIN_SQL)
+        assert not manager.is_stale("V")
+
+    def test_views_share_one_group(self, manager):
+        manager.define_view("V1", JOIN_SQL, scenario="shared_log")
+        manager.define_view("V2", "SELECT a FROM R", scenario="shared_log")
+        s1, s2 = manager.scenario("V1"), manager.scenario("V2")
+        assert isinstance(s1, SharedLogView)
+        assert s1.group is s2.group
+        assert set(s1.group.views()) == {"V1", "V2"}
+
+    def test_strong_minimality_rejected(self, manager):
+        with pytest.raises(ReproError):
+            manager.define_view("V", JOIN_SQL, scenario="shared_log", strong_minimality=True)
+
+    def test_unknown_scenario_lists_shared_log(self, manager):
+        with pytest.raises(ReproError, match="shared_log"):
+            manager.define_view("V", JOIN_SQL, scenario="bogus")
+
+    def test_drop_view_detaches_from_group(self, manager):
+        manager.define_view("V1", JOIN_SQL, scenario="shared_log")
+        manager.define_view("V2", "SELECT a FROM R", scenario="shared_log")
+        manager.drop_view("V1")
+        assert manager.views() == ("V2",)
+        group = manager.scenario("V2").group
+        assert set(group.views()) == {"V2"}
+        churn(manager)
+        manager.refresh("V2")
+        assert manager.query("V2") == manager.sql("SELECT a FROM R")
+
+
+class TestGroupRefreshMixedScenarios:
+    SCENARIOS = ("shared_log", "base_log", "combined", "immediate", "diff_table")
+
+    def test_all_views_fresh_and_correct(self, manager):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", AnalysisWarning)
+            for index, scenario in enumerate(self.SCENARIOS):
+                manager.define_view(f"V{index}", JOIN_SQL, scenario=scenario)
+        churn(manager)
+        manager.refresh_group(parallel=True)
+        expected = manager.sql(JOIN_SQL)
+        for index in range(len(self.SCENARIOS)):
+            assert manager.query(f"V{index}") == expected, f"V{index}"
+            assert not manager.is_stale(f"V{index}")
+        manager.check_invariants()
+
+    def test_shared_structure_hits_delta_cache(self, manager):
+        for index in range(4):
+            manager.define_view(f"V{index}", JOIN_SQL, scenario="shared_log")
+        churn(manager)
+        manager.refresh_group()
+        assert manager.exec_stats()["delta_cache_hits"] >= 3
+
+    def test_subset_refresh_leaves_others_stale(self, manager):
+        manager.define_view("A", JOIN_SQL, scenario="shared_log")
+        manager.define_view("B", "SELECT a FROM R", scenario="shared_log")
+        churn(manager)
+        manager.refresh_group(["A"])
+        assert not manager.is_stale("A")
+        assert manager.is_stale("B")
+
+
+class TestLintGroupOverlap:
+    def test_warns_when_overlapping_view_outside_group(self, manager):
+        manager.define_view("Grouped", JOIN_SQL, scenario="shared_log")
+        with pytest.warns(AnalysisWarning, match="RVM501"):
+            manager.define_view("Outside", JOIN_SQL, scenario="base_log")
+
+    def test_strict_mode_raises(self, manager):
+        manager.define_view("Grouped", JOIN_SQL, scenario="shared_log")
+        with pytest.raises(AnalysisError, match="RVM501"):
+            manager.define_view("Outside", JOIN_SQL, scenario="base_log", strict=True)
+
+    def test_disjoint_view_is_silent(self, manager):
+        manager.define_view("Grouped", JOIN_SQL, scenario="shared_log")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", AnalysisWarning)
+            manager.define_view("Outside", "SELECT a FROM R", scenario="base_log")
+
+    def test_joining_the_group_is_silent(self, manager):
+        manager.define_view("Grouped", JOIN_SQL, scenario="shared_log")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", AnalysisWarning)
+            manager.define_view("Also", JOIN_SQL, scenario="shared_log")
+
+
+class TestSharedLogPersistence:
+    def test_round_trip_mid_deferral(self, manager, tmp_path):
+        manager.define_view("V1", JOIN_SQL, scenario="shared_log")
+        manager.define_view("V2", "SELECT a FROM R", scenario="shared_log")
+        churn(manager)
+        manager.refresh("V1")  # V1 caught up; V2 still behind
+        path = tmp_path / "wh.db"
+        save_warehouse(manager, path)
+
+        reloaded = load_warehouse(path)
+        group = reloaded.scenario("V1").group
+        assert set(group.views()) == {"V1", "V2"}
+        assert group.cursor("V1") > group.cursor("V2")
+        assert not reloaded.is_stale("V1")
+        assert reloaded.is_stale("V2")
+        # The restored sequence keeps climbing past the saved head.
+        seq_before = group.shared_log.current_seq
+        txn = reloaded.transaction()
+        txn.insert("R", [(7,)])
+        txn.run()
+        assert group.shared_log.current_seq > seq_before
+        reloaded.refresh_group(parallel=True)
+        assert reloaded.query("V1") == reloaded.sql(JOIN_SQL)
+        assert reloaded.query("V2") == reloaded.sql("SELECT a FROM R")
+        reloaded.check_invariants()
+
+    def test_exec_stats_reports_cache_hits(self, manager):
+        assert manager.exec_stats()["delta_cache_hits"] == 0
+        for index in range(3):
+            manager.define_view(f"V{index}", JOIN_SQL, scenario="shared_log")
+        churn(manager)
+        manager.refresh_group()
+        assert manager.exec_stats()["delta_cache_hits"] == 2
+
+
+class TestGroupRefreshFallbacks:
+    def test_aggregate_views_fall_back_to_refresh(self, manager):
+        manager.define_view("Agg", "SELECT a, COUNT(*) AS n FROM R GROUP BY a")
+        manager.define_view("Shared", JOIN_SQL, scenario="shared_log")
+        churn(manager)
+        manager.refresh_group(parallel=True)
+        assert not manager.is_stale("Agg")
+        assert not manager.is_stale("Shared")
+        assert manager.scenario("Agg").is_consistent()
+
+    def test_empty_group_is_a_no_op(self, manager):
+        manager.refresh_group()  # no views registered
+
+    def test_unknown_member_rejected(self, manager):
+        with pytest.raises(ReproError):
+            manager.refresh_group(["Missing"])
