@@ -1,0 +1,74 @@
+"""E19 — downtime/staleness accounting through the observability layer.
+
+Where E6 measures downtime with the lock ledger's raw tuple-op counts,
+E19 runs the same Policy 1 vs Policy 2 comparison through
+:mod:`repro.obs` — per-view clocks that implement the Section 5.3 split
+into *downtime* (exclusively locked for refresh) and *staleness* (how
+out-of-date answers served meanwhile are, in wall-clock seconds AND
+unpropagated log entries) — and checks that the observability layer
+itself is free when disabled (tuple-op identity on an E7-shaped run).
+
+Paper claims reproduced:
+
+* At equal ``(k, m)``, Policy 2's per-refresh downtime (mean and worst
+  exclusive-lock section) is below Policy 1's.
+* Policy 2 trades that for bounded staleness: after a partial refresh
+  the view is at most ``k`` ticks behind, and its residual
+  unpropagated-entry count is nonzero when the refresh tick carries no
+  propagate.
+* Staleness is reported in both units (wall seconds and log entries).
+"""
+
+from benchmarks.common import ExperimentResult, write_report
+from repro.bench.obs_bench import run_overhead_check, run_policy_comparison
+
+
+def run_experiment():
+    comparison = run_policy_comparison(smoke=False, k=2, m=7)
+    overhead = run_overhead_check(smoke=True)
+    return comparison, overhead
+
+
+def test_e19_obs_downtime(benchmark):
+    comparison, overhead = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    result = ExperimentResult(
+        "E19", "downtime vs staleness via obs clocks, Policy 1 vs 2 at (k=2, m=7)"
+    )
+    for key in ("policy1", "policy2"):
+        run = comparison[key]
+        result.add(
+            policy=run["policy"],
+            mean_section_ops=run["downtime"]["mean_section_ops"],
+            max_section_ops=run["downtime"]["max_section_ops"],
+            lock_sections=run["downtime"]["lock_sections"],
+            max_stale_entries=run["staleness"]["max_entries"],
+            residual_entries=run["staleness"]["residual_entries_after_run"],
+            ticks_behind_eod=run["staleness"]["ticks_behind_after_run"],
+        )
+    write_report(result)
+
+    policy1, policy2 = comparison["policy1"], comparison["policy2"]
+
+    # Section 5.3 ordering at equal (k, m): Policy 2 refreshes with less
+    # work under the exclusive lock, per section and at worst.
+    assert policy2["downtime"]["mean_section_ops"] < policy1["downtime"]["mean_section_ops"]
+    assert policy2["downtime"]["max_section_ops"] < policy1["downtime"]["max_section_ops"]
+
+    # ... trading a bounded-k staleness: the run ends on a partial
+    # refresh with no same-tick propagate, so Policy 2 is behind — but
+    # by at most k ticks — while Policy 1's closing refresh_C leaves
+    # the view fully current.
+    assert 0 < policy2["staleness"]["ticks_behind_after_run"] <= comparison["config"]["k"]
+    assert policy2["staleness"]["residual_entries_after_run"] > 0
+    assert policy1["staleness"]["ticks_behind_after_run"] == 0
+
+    # Staleness is measured in BOTH units at every refresh sample.
+    for run in (policy1, policy2):
+        assert run["staleness"]["samples"], run["policy"]
+        for sample in run["staleness"]["samples"]:
+            assert set(sample) == {"wall_s", "entries"}
+
+    # The clocks only exist because observability was on; being on must
+    # never move the deterministic cost signal.
+    assert overhead["tuple_ops_identical"], overhead

@@ -3,8 +3,9 @@
 A thin convenience wrapper over the benchmark suite — runs
 ``pytest benchmarks/ --benchmark-only``, then the compiled-engine
 benchmark (:mod:`repro.bench.exec_bench`, which writes the
-machine-readable ``BENCH_exec.json`` perf trajectory), and finally
-concatenates the report tables from ``benchmarks/reports/`` in
+machine-readable ``BENCH_exec.json`` perf trajectory), then the
+observability benchmark (:mod:`repro.bench.obs_bench` →
+``BENCH_obs.json``), and finally concatenates the report tables from ``benchmarks/reports/`` in
 experiment order, so a single command reproduces everything quoted in
 ``EXPERIMENTS.md``.
 """
@@ -30,11 +31,14 @@ def main(argv: list[str] | None = None) -> int:
     print("$", " ".join(command))
     completed = subprocess.run(command, cwd=repo_root)
 
-    from repro.bench import exec_bench
+    from repro.bench import exec_bench, obs_bench
 
     exec_args = ["--smoke"] if "--smoke" in argv else []
     print("$", "python -m repro.bench.exec_bench", *exec_args)
     exec_rc = exec_bench.main(exec_args)
+
+    print("$", "python -m repro.bench.obs_bench", *exec_args)
+    obs_rc = obs_bench.main(exec_args)
 
     reports = benchmarks / "reports"
     if reports.is_dir():
@@ -48,7 +52,7 @@ def main(argv: list[str] | None = None) -> int:
         for path in sorted(reports.glob("E*.txt"), key=experiment_number):
             print()
             print(path.read_text().rstrip())
-    return completed.returncode or exec_rc
+    return completed.returncode or exec_rc or obs_rc
 
 
 if __name__ == "__main__":

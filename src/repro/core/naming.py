@@ -22,6 +22,7 @@ __all__ = [
     "mv_name",
     "dt_delete_name",
     "dt_insert_name",
+    "view_of_mv",
 ]
 
 
@@ -38,6 +39,12 @@ def log_insert_name(owner: str, table: str) -> str:
 def mv_name(view: str) -> str:
     """Name of the materialized table ``MV`` for a view."""
     return f"__mv__{view}"
+
+
+def view_of_mv(table: str) -> str:
+    """The owning view of an ``MV`` table name (identity for other names)."""
+    prefix = "__mv__"
+    return table[len(prefix):] if table.startswith(prefix) else table
 
 
 def dt_delete_name(view: str) -> str:

@@ -33,6 +33,7 @@ from __future__ import annotations
 import warnings
 from abc import ABC, abstractmethod
 
+from repro import obs
 from repro.algebra.bag import Bag
 from repro.algebra.evaluation import CostCounter
 from repro.algebra.expr import Expr, Literal, Monus, min_expr
@@ -154,8 +155,10 @@ class Scenario(ABC):
 
     def execute(self, txn: UserTransaction) -> None:
         """Run ``makesafe[T]`` against the database."""
-        self.make_safe(txn).execute(self.db, counter=self.counter)
-        self.post_execute()
+        with obs.span("makesafe", view=self.view.name, scenario=self.tag, counter=self.counter):
+            self.make_safe(txn).execute(self.db, counter=self.counter)
+            self.post_execute()
+        self._note_stale()
 
     def post_execute(self) -> None:
         """Optional normalization run after each transaction (default: none)."""
@@ -190,6 +193,31 @@ class Scenario(ABC):
     def is_consistent(self) -> bool:
         """Whether ``MV`` currently equals ``Q`` (i.e. no refresh pending)."""
         return invariants.immediate_invariant(self.db, self.view)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def staleness_entries(self) -> int:
+        """Unabsorbed update entries pending for ``MV`` right now.
+
+        The staleness unit of Section 5.3's second axis: recorded log
+        tuples plus pending differential rows, depending on the
+        invariant.  Immediate maintenance is never stale.
+        """
+        return 0
+
+    def _note_stale(self) -> None:
+        """Record post-transaction staleness on the active accountant."""
+        if obs.is_enabled():
+            obs.accountant().mark_stale(self.view.name, pending_entries=self.staleness_entries())
+
+    def _note_fresh(self, residual_entries: int | None = None) -> None:
+        """Record a completed refresh (``residual_entries`` left behind)."""
+        if obs.is_enabled():
+            residual = self.staleness_entries() if residual_entries is None else residual_entries
+            obs.accountant().mark_fresh(self.view.name, residual_entries=residual)
+            obs.metric_inc("refreshes")
 
     # Shared helpers ----------------------------------------------------
 
@@ -310,12 +338,20 @@ class BaseLogScenario(Scenario):
         exclusive lock — this is why refresh time can be high in this
         scenario (motivating ``INV_C``).
         """
-        view_delete, view_insert = post_update_delta(self.log, self.view.query)
-        plan = MaintenancePlan(assignments=self.log.clear_assignments())
-        plan.add_patch(self.view.mv_table, view_delete, view_insert)
-        with self.ledger.exclusive(self.view.mv_table, label="refresh_BL", counter=self.counter):
-            fault_point("crash-mid-refresh")
-            plan.execute(self.db, counter=self.counter)
+        with obs.span(
+            "refresh",
+            view=self.view.name,
+            scenario=self.tag,
+            log_watermark=self.log.recorded_changes() if obs.is_enabled() else 0,
+            counter=self.counter,
+        ):
+            view_delete, view_insert = post_update_delta(self.log, self.view.query)
+            plan = MaintenancePlan(assignments=self.log.clear_assignments())
+            plan.add_patch(self.view.mv_table, view_delete, view_insert)
+            with self.ledger.exclusive(self.view.mv_table, label="refresh_BL", counter=self.counter):
+                fault_point("crash-mid-refresh")
+                plan.execute(self.db, counter=self.counter)
+        self._note_fresh(0)
 
     def compact_log(self) -> None:
         """Net-effect log compaction before a (group) refresh.
@@ -337,17 +373,29 @@ class BaseLogScenario(Scenario):
     def _apply_group_deltas(self, deltas: tuple[Bag, Bag]) -> None:
         """The ``refresh_BL`` tail for pre-evaluated delta bags."""
         delete_bag, insert_bag = deltas
-        plan = MaintenancePlan(assignments=self.log.clear_assignments())
-        plan.add_patch(
-            self.view.mv_table,
-            Literal(delete_bag, self.view.schema),
-            Literal(insert_bag, self.view.schema),
-        )
-        with self.ledger.exclusive(self.view.mv_table, label="refresh_BL", counter=self.counter):
-            fault_point("crash-mid-refresh")
-            # The bags were already evaluated (and counted) in the task's
-            # compute step; this plan only re-emits them as literals.
-            plan.execute(self.db)
+        with obs.span(
+            "refresh",
+            view=self.view.name,
+            scenario=self.tag,
+            group=True,
+            delta_rows=len(delete_bag) + len(insert_bag),
+            counter=self.counter,
+        ):
+            plan = MaintenancePlan(assignments=self.log.clear_assignments())
+            plan.add_patch(
+                self.view.mv_table,
+                Literal(delete_bag, self.view.schema),
+                Literal(insert_bag, self.view.schema),
+            )
+            with self.ledger.exclusive(self.view.mv_table, label="refresh_BL", counter=self.counter):
+                fault_point("crash-mid-refresh")
+                # The bags were already evaluated (and counted) in the task's
+                # compute step; this plan only re-emits them as literals.
+                plan.execute(self.db)
+        self._note_fresh(0)
+
+    def staleness_entries(self) -> int:
+        return self.log.recorded_changes()
 
     def invariant_holds(self) -> bool:
         return invariants.base_log_invariant(self.db, self.view, self.log) and self.log.is_weakly_minimal()
@@ -424,9 +472,23 @@ class DiffTableScenario(Scenario):
 
     def refresh(self) -> None:
         """``refresh_DT``: apply precomputed differentials — minimal downtime."""
-        with self.ledger.exclusive(self.view.mv_table, label="refresh_DT", counter=self.counter):
-            fault_point("crash-mid-refresh")
-            self._apply_dt_plan().execute(self.db, counter=self.counter)
+        with obs.span(
+            "refresh",
+            view=self.view.name,
+            scenario=self.tag,
+            delta_rows=self._pending_dt_rows() if obs.is_enabled() else 0,
+            counter=self.counter,
+        ):
+            with self.ledger.exclusive(self.view.mv_table, label="refresh_DT", counter=self.counter):
+                fault_point("crash-mid-refresh")
+                self._apply_dt_plan().execute(self.db, counter=self.counter)
+        self._note_fresh(0)
+
+    def _pending_dt_rows(self) -> int:
+        return len(self.db[self.view.dt_delete_table]) + len(self.db[self.view.dt_insert_table])
+
+    def staleness_entries(self) -> int:
+        return self._pending_dt_rows()
 
     def invariant_holds(self) -> bool:
         holds = invariants.diff_table_invariant(self.db, self.view)
@@ -481,18 +543,37 @@ class CombinedScenario(DiffTableScenario):
 
     def propagate(self) -> None:
         """``propagate_C``: log → differential tables, no view lock taken."""
-        view_delete, view_insert = post_update_delta(self.log, self.view.query)
-        plan = MaintenancePlan(assignments=self.log.clear_assignments())
-        self._fold_into_dt(plan, view_delete, view_insert)
-        fault_point("crash-mid-propagate")
-        plan.execute(self.db, counter=self.counter)
-        super().post_execute()  # strong-minimality normalization, if enabled
+        with obs.span(
+            "propagate",
+            view=self.view.name,
+            scenario=self.tag,
+            log_watermark=self.log.recorded_changes() if obs.is_enabled() else 0,
+            counter=self.counter,
+        ):
+            view_delete, view_insert = post_update_delta(self.log, self.view.query)
+            plan = MaintenancePlan(assignments=self.log.clear_assignments())
+            self._fold_into_dt(plan, view_delete, view_insert)
+            fault_point("crash-mid-propagate")
+            plan.execute(self.db, counter=self.counter)
+            super().post_execute()  # strong-minimality normalization, if enabled
+        if obs.is_enabled():
+            obs.metric_inc("propagations")
 
     def partial_refresh(self) -> None:
         """``partial_refresh_C``: apply differentials; ``MV`` becomes ``PAST(L,Q)``."""
-        with self.ledger.exclusive(self.view.mv_table, label="partial_refresh_C", counter=self.counter):
-            fault_point("crash-mid-refresh")
-            self._apply_dt_plan().execute(self.db, counter=self.counter)
+        with obs.span(
+            "partial_refresh",
+            view=self.view.name,
+            scenario=self.tag,
+            delta_rows=self._pending_dt_rows() if obs.is_enabled() else 0,
+            counter=self.counter,
+        ):
+            with self.ledger.exclusive(self.view.mv_table, label="partial_refresh_C", counter=self.counter):
+                fault_point("crash-mid-refresh")
+                self._apply_dt_plan().execute(self.db, counter=self.counter)
+        # Policy 2 leaves the still-unpropagated log behind: the view is
+        # a bounded k ticks out of date, never fully current.
+        self._note_fresh(self.log.recorded_changes() if obs.is_enabled() else 0)
 
     def refresh(self, *, order: str = "propagate_first") -> None:
         """``refresh_C``: full refresh via either composition of Figure 3.
@@ -505,7 +586,14 @@ class CombinedScenario(DiffTableScenario):
         """
         if order not in ("propagate_first", "partial_first"):
             raise ValueError(f"unknown refresh order: {order!r}")
-        with self.ledger.exclusive(self.view.mv_table, label="refresh_C", counter=self.counter):
+        with obs.span(
+            "refresh",
+            view=self.view.name,
+            scenario=self.tag,
+            order=order,
+            log_watermark=self.log.recorded_changes() if obs.is_enabled() else 0,
+            counter=self.counter,
+        ), self.ledger.exclusive(self.view.mv_table, label="refresh_C", counter=self.counter):
             fault_point("crash-mid-refresh")
             if order == "propagate_first":
                 view_delete, view_insert = post_update_delta(self.log, self.view.query)
@@ -520,6 +608,7 @@ class CombinedScenario(DiffTableScenario):
                 tail = MaintenancePlan(assignments=self.log.clear_assignments())
                 tail.add_patch(self.view.mv_table, view_delete, view_insert)
                 tail.execute(self.db, counter=self.counter)
+        self._note_fresh(0)
 
     def compact_log(self) -> None:
         """Net-effect log compaction before a (group) refresh (see BL)."""
@@ -550,12 +639,24 @@ class CombinedScenario(DiffTableScenario):
         delete_bag, insert_bag = deltas
         lit_delete = Literal(delete_bag, self.view.schema)
         lit_insert = Literal(insert_bag, self.view.schema)
-        with self.ledger.exclusive(self.view.mv_table, label="refresh_C", counter=self.counter):
-            fault_point("crash-mid-refresh")
-            propagate_plan = MaintenancePlan(assignments=self.log.clear_assignments())
-            self._fold_into_dt(propagate_plan, lit_delete, lit_insert)
-            propagate_plan.execute(self.db, counter=self.counter)
-            self._apply_dt_plan().execute(self.db, counter=self.counter)
+        with obs.span(
+            "refresh",
+            view=self.view.name,
+            scenario=self.tag,
+            group=True,
+            delta_rows=len(delete_bag) + len(insert_bag),
+            counter=self.counter,
+        ):
+            with self.ledger.exclusive(self.view.mv_table, label="refresh_C", counter=self.counter):
+                fault_point("crash-mid-refresh")
+                propagate_plan = MaintenancePlan(assignments=self.log.clear_assignments())
+                self._fold_into_dt(propagate_plan, lit_delete, lit_insert)
+                propagate_plan.execute(self.db, counter=self.counter)
+                self._apply_dt_plan().execute(self.db, counter=self.counter)
+        self._note_fresh(0)
+
+    def staleness_entries(self) -> int:
+        return self.log.recorded_changes() + self._pending_dt_rows()
 
     def invariant_holds(self) -> bool:
         holds = invariants.combined_invariant(self.db, self.view, self.log)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 
+from repro import obs
 from repro.algebra.bag import Bag
 from repro.algebra.evaluation import CostCounter
 from repro.algebra.expr import Expr
@@ -82,7 +83,12 @@ class Executor:
                 counter.plan_misses += 1
             if len(self._nodes) > self.MAX_NODES:
                 self._nodes.clear()
-            node = Compiler(self._nodes).compile(expr)
+            if obs.is_enabled():
+                with obs.span("plan_compile", tables=",".join(sorted(expr.tables()))):
+                    node = Compiler(self._nodes).compile(expr)
+                obs.metric_inc("plan_compiles")
+            else:
+                node = Compiler(self._nodes).compile(expr)
         return node.execute(self._context(counter))
 
     def prime(self, expr: Expr, *, counter: CostCounter | None = None) -> PNode:

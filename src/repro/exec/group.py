@@ -40,6 +40,7 @@ from collections.abc import Callable, Mapping, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro import obs
 from repro.algebra.bag import Bag
 from repro.algebra.evaluation import CostCounter, evaluate
 from repro.algebra.expr import Expr
@@ -190,6 +191,7 @@ class EpochDeltaCache:
         deltas = self._entries[key]
         if self.counter is not None:
             self.counter.delta_cache_hits += 1
+        obs.metric_inc("delta_cache_hits_total")
         return deltas
 
 
@@ -259,8 +261,9 @@ class GroupScheduler:
     # -- execution -----------------------------------------------------
 
     def run(self, tasks: Sequence[GroupTask], cache: EpochDeltaCache) -> None:
-        for batch in self.batches(tasks):
-            self._run_batch(batch, cache)
+        for index, batch in enumerate(self.batches(tasks)):
+            with obs.span("batch", index=index, tasks=len(batch), counter=self.counter):
+                self._run_batch(batch, cache)
 
     def _run_batch(self, batch: list[GroupTask], cache: EpochDeltaCache) -> None:
         # Keys are computed now — earlier batches have fully applied, so
@@ -283,9 +286,19 @@ class GroupScheduler:
                     task.prime()
             counters = [CostCounter() for _ in leaders]
             workers = self.max_workers or min(len(leaders), max(2, (os.cpu_count() or 4) - 1))
+            # Thread-local span stacks don't cross into pool workers:
+            # hand each worker the batch span as an explicit parent.
+            batch_span = obs.current().tracer.active()
+
+            def traced_compute(task: GroupTask, counter: CostCounter) -> tuple[Bag, Bag]:
+                with obs.span(
+                    "delta_compute", view=task.name, parent=batch_span, counter=counter
+                ):
+                    return task.compute(counter)
+
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 futures = [
-                    pool.submit(task.compute, counter)
+                    pool.submit(traced_compute, task, counter)
                     for task, counter in zip(leaders, counters)
                 ]
                 for task, future in zip(leaders, futures):
@@ -295,7 +308,8 @@ class GroupScheduler:
                     self.counter.absorb(counter)
         else:
             for task in leaders:
-                results[task.name] = task.compute(self.counter)
+                with obs.span("delta_compute", view=task.name, counter=self.counter):
+                    results[task.name] = task.compute(self.counter)
 
         for task in leaders:
             key = keys[task.name]

@@ -19,6 +19,7 @@ from __future__ import annotations
 import threading
 from collections.abc import Mapping
 
+from repro import obs
 from repro.algebra.bag import Bag, Row
 from repro.algebra.evaluation import CostCounter
 
@@ -158,16 +159,17 @@ class IndexManager:
                 tail = queue[start:]
                 if tail:
                     delta_rows = sum(len(delete) + len(insert) for delete, insert in tail)
-                    if delta_rows > len(bag):
-                        index = HashIndex.build(positions, bag)
-                        indexes[positions] = index
-                        if counter is not None:
-                            counter.record("index_build", len(bag))
-                    else:
-                        for delete, insert in tail:
-                            index.apply_delta(delete, insert)
-                        if counter is not None and delta_rows:
-                            counter.record("index_maint", delta_rows)
+                    with obs.span("index_sync", table=table, delta_rows=delta_rows, counter=counter):
+                        if delta_rows > len(bag):
+                            index = HashIndex.build(positions, bag)
+                            indexes[positions] = index
+                            if counter is not None:
+                                counter.record("index_build", len(bag))
+                        else:
+                            for delete, insert in tail:
+                                index.apply_delta(delete, insert)
+                            if counter is not None and delta_rows:
+                                counter.record("index_maint", delta_rows)
                     synced[positions] = len(queue)
             if queue and all(synced.get(pos, 0) == len(queue) for pos in indexes):
                 self._pending[table] = []

@@ -32,6 +32,7 @@ from collections.abc import Callable, Iterable
 from pathlib import Path
 from typing import Any
 
+from repro import obs
 from repro.algebra.bag import Bag, Row
 from repro.algebra.expr import Expr
 from repro.core.transactions import UserTransaction
@@ -163,17 +164,20 @@ class DurableWarehouse:
             return False
         full_payload = dict(payload or {})
         full_payload.setdefault("pre_digests", table_digests(self.db))
-        op_id = self.journal.begin(kind, view=view, token=token, payload=full_payload)
-        fault_point("crash-after-journal")
-        action()
-        self._checkpoint()
-        fault_point("crash-after-checkpoint")
-        self.journal.commit_op(op_id)
-        fault_point("crash-after-commit")
-        # The checkpoint just committed contains the current shared-log
-        # cursors; any future replay starts from it, so entries every
-        # cursor has passed become prunable exactly now.
-        self.manager.commit_log_watermarks()
+        with obs.span("journal_op", kind=kind, view=view or "", counter=self.manager.counter):
+            op_id = self.journal.begin(kind, view=view, token=token, payload=full_payload)
+            fault_point("crash-after-journal")
+            action()
+            with obs.span("checkpoint", path=str(self.path)):
+                self._checkpoint()
+            fault_point("crash-after-checkpoint")
+            with obs.span("journal_commit", op_id=op_id):
+                self.journal.commit_op(op_id)
+            fault_point("crash-after-commit")
+            # The checkpoint just committed contains the current shared-log
+            # cursors; any future replay starts from it, so entries every
+            # cursor has passed become prunable exactly now.
+            self.manager.commit_log_watermarks()
         return True
 
     def _watermark(self, names: Iterable[str]) -> int:

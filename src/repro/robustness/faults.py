@@ -40,6 +40,8 @@ flaky-save             ``save_database``, start of a (retried) write attempt
 from __future__ import annotations
 
 import sqlite3
+
+from repro import obs
 from typing import Callable
 
 __all__ = [
@@ -152,12 +154,14 @@ class FaultInjector:
                 self._transients[point] = (remaining - 1, factory)
             else:
                 del self._transients[point]
+            obs.metric_inc("faults_injected")
             raise factory()
         scheduled = self._crashes.get(point)
         if scheduled and count in scheduled:
             scheduled.remove(count)
             if not scheduled:
                 del self._crashes[point]
+            obs.metric_inc("faults_injected")
             raise InjectedCrash(point)
 
     def armed(self) -> bool:

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro import obs
 from repro.algebra.bag import Bag
 from repro.errors import RecoveryError
 from repro.storage.database import Database
@@ -201,7 +202,9 @@ class IntentJournal:
                 )
             return int(cursor.lastrowid)
 
-        return with_retry(insert)
+        op_id = with_retry(insert)
+        obs.metric_inc("journal_fsyncs")
+        return op_id
 
     def _set_status(self, op_id: int, status: str) -> None:
         def update() -> None:
@@ -214,6 +217,7 @@ class IntentJournal:
                     raise RecoveryError(f"journal op #{op_id} is not pending; cannot mark it {status}")
 
         with_retry(update)
+        obs.metric_inc("journal_fsyncs")
 
     def commit_op(self, op_id: int) -> None:
         """Durably mark a pending intent as completed."""

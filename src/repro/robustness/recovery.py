@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.core.transactions import UserTransaction
 from repro.errors import RecoveryError
 from repro.robustness.journal import (
@@ -161,37 +162,40 @@ def recover(path: str | Path) -> RecoveryReport:
     path = Path(path)
     if not path.exists():
         raise RecoveryError(f"no snapshot at {path}; nothing to recover")
-    # A crash between staging and os.replace can leave a stray temp
-    # file; it is not part of the durable state.
-    staged = staging_path(path)
-    if staged.exists():
-        staged.unlink()
-    journal = IntentJournal(journal_path(path))
-    try:
-        pending = journal.pending()
-        manager = load_warehouse(path)
-        action = "none"
-        if pending is not None:
-            recorded = pending.pre_digests
-            snapshot_is_pre_op = table_digests(manager.db) == recorded
-            if snapshot_is_pre_op:
-                if pending.kind in REPLAYABLE:
-                    _replay(manager, pending)
-                    save_warehouse(manager, path)
-                    journal.commit_op(pending.op_id)
-                    action = "rolled_forward"
+    with obs.span("recovery", path=str(path)) as recovery_span:
+        # A crash between staging and os.replace can leave a stray temp
+        # file; it is not part of the durable state.
+        staged = staging_path(path)
+        if staged.exists():
+            staged.unlink()
+        journal = IntentJournal(journal_path(path))
+        try:
+            pending = journal.pending()
+            manager = load_warehouse(path)
+            action = "none"
+            if pending is not None:
+                recorded = pending.pre_digests
+                snapshot_is_pre_op = table_digests(manager.db) == recorded
+                if snapshot_is_pre_op:
+                    if pending.kind in REPLAYABLE:
+                        _replay(manager, pending)
+                        save_warehouse(manager, path)
+                        journal.commit_op(pending.op_id)
+                        action = "rolled_forward"
+                    else:
+                        journal.abort_op(pending.op_id)
+                        action = "rolled_back"
                 else:
-                    journal.abort_op(pending.op_id)
-                    action = "rolled_back"
-            else:
-                # The atomic checkpoint landed, so the snapshot *is* the
-                # completed post-state; only the commit mark was lost.
-                journal.commit_op(pending.op_id)
-                action = "already_applied"
-        audits = audit_manager(manager)
-        return RecoveryReport(path, pending, action, audits)
-    finally:
-        journal.close()
+                    # The atomic checkpoint landed, so the snapshot *is* the
+                    # completed post-state; only the commit mark was lost.
+                    journal.commit_op(pending.op_id)
+                    action = "already_applied"
+            audits = audit_manager(manager)
+            recovery_span.set(action=action, pending=pending.describe() if pending else "")
+            obs.metric_inc("recoveries")
+            return RecoveryReport(path, pending, action, audits)
+        finally:
+            journal.close()
 
 
 def main(argv: list[str]) -> int:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 
+from repro import obs
 from repro.algebra.bag import Bag, Row
 from repro.algebra.evaluation import CostCounter, evaluate
 from repro.algebra.expr import Expr, TableRef
@@ -256,6 +257,17 @@ class Database:
         overlap = set(assignments) & set(patches)
         if overlap:
             raise TransactionError(f"tables both assigned and patched: {sorted(overlap)}")
+        with obs.span("apply", assignments=len(assignments), patches=len(patches), counter=counter):
+            self._apply(assignments, patches, counter=counter, restrict_to_external=restrict_to_external)
+
+    def _apply(
+        self,
+        assignments: Mapping[str, Expr],
+        patches: Mapping[str, tuple[Expr, Expr]],
+        *,
+        counter: CostCounter | None = None,
+        restrict_to_external: bool = False,
+    ) -> None:
         compiled = self._exec_mode == COMPILED
         memo: dict[Expr, Bag] = {}
 
@@ -294,6 +306,10 @@ class Database:
                 counter.record("patch", len(delete_value) + len(insert_value))
             new_values[name] = self._tables[name].patch(delete_value, insert_value)
             patch_deltas[name] = (delete_value, insert_value)
+        if obs.is_enabled():
+            obs.metric_inc("transactions")
+            for delete_value, insert_value in patch_deltas.values():
+                obs.metric_observe("delta_rows", len(delete_value) + len(insert_value))
         self._install(new_values, patch_deltas, counter=counter)
 
     def _install(

@@ -21,6 +21,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro import obs
 from repro.algebra.evaluation import CostCounter
 
 __all__ = ["LockLedger", "LockSection"]
@@ -56,14 +57,26 @@ class LockLedger:
         finally:
             elapsed = time.perf_counter() - started
             ops_after = counter.tuples_out if counter is not None else 0
+            ops = ops_after - ops_before
             self.sections.append(
                 LockSection(
                     resource=resource,
                     label=label,
                     wall_seconds=elapsed,
-                    tuple_ops=ops_after - ops_before,
+                    tuple_ops=ops,
                 )
             )
+            if obs.is_enabled():
+                # Every exclusive section on a view table is downtime in
+                # the paper's model: account it per view and feed the
+                # refresh-latency histograms.  (Import here: storage sits
+                # below core in the package layering.)
+                from repro.core.naming import view_of_mv
+
+                obs.accountant().on_lock_section(view_of_mv(resource), seconds=elapsed, ops=ops, label=label)
+                obs.metric_observe("refresh_latency_s", elapsed, buckets=obs.LATENCY_BUCKETS_S)
+                obs.metric_observe("refresh_lock_ops", ops)
+                obs.metric_inc("lock_sections")
 
     def downtime_seconds(self, resource: str) -> float:
         """Total wall-clock time ``resource`` was exclusively locked."""

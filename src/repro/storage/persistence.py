@@ -35,6 +35,7 @@ import time
 from pathlib import Path
 from typing import Any, Callable, TypeVar
 
+from repro import obs
 from repro.algebra.bag import Bag, Row
 from repro.algebra.schema import Schema
 from repro.errors import ReproError
@@ -71,6 +72,7 @@ def with_retry(
         except sqlite3.OperationalError as exc:
             if "locked" not in str(exc) or attempt == attempts - 1:
                 raise
+            obs.metric_inc("lock_retries")
             sleep(base_delay * (2**attempt))
     raise AssertionError("unreachable")
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro import obs
 from repro.algebra.bag import Bag, Row
 from repro.algebra.evaluation import CostCounter
 from repro.algebra.expr import Expr
@@ -321,19 +322,27 @@ class ViewManager:
         single simultaneous transaction, sharing one evaluation memo —
         views over the same tables do not recompute shared deltas.
         """
-        minimal = txn.weakly_minimal()
-        plan = MaintenancePlan(patches=minimal.patches())
-        for scenario in self._scenarios.values():
-            plan = plan.merge(scenario.make_safe(txn))
-        # One shared-log extension per *group*, not per view — this is
-        # what keeps per-transaction cost independent of the view count.
-        for group in self._shared_log_groups():
-            for table, (delete, insert) in group.shared_log.extend_patches(minimal).items():
-                plan.add_patch(table, delete, insert)
-        fault_point("crash-mid-execute")
-        plan.execute(self.db, counter=self.counter)
-        for scenario in self._scenarios.values():
-            scenario.post_execute()
+        with obs.span("txn", tables=",".join(sorted(txn.tables)), views=len(self._scenarios), counter=self.counter):
+            minimal = txn.weakly_minimal()
+            plan = MaintenancePlan(patches=minimal.patches())
+            for scenario in self._scenarios.values():
+                plan = plan.merge(scenario.make_safe(txn))
+            # One shared-log extension per *group*, not per view — this is
+            # what keeps per-transaction cost independent of the view count.
+            for group in self._shared_log_groups():
+                for table, (delete, insert) in group.shared_log.extend_patches(minimal).items():
+                    plan.add_patch(table, delete, insert)
+            fault_point("crash-mid-execute")
+            plan.execute(self.db, counter=self.counter)
+            for scenario in self._scenarios.values():
+                scenario.post_execute()
+        if obs.is_enabled():
+            for scenario in self._scenarios.values():
+                # AggregateScenario wears the Scenario interface without
+                # subclassing it; skip anything without the hook.
+                note = getattr(scenario, "_note_stale", None)
+                if note is not None:
+                    note()
 
     # ------------------------------------------------------------------
     # Maintenance operations
@@ -373,6 +382,26 @@ class ViewManager:
         aggregate) fall back to their own ``refresh`` after the group.
         """
         members = list(names) if names is not None else list(self._scenarios)
+        with obs.span(
+            "group_epoch",
+            views=len(members),
+            parallel=parallel,
+            compact=compact,
+            counter=self.counter,
+        ):
+            self._refresh_group(members, parallel=parallel, max_workers=max_workers, compact=compact)
+        if obs.is_enabled():
+            obs.metric_inc("group_epochs")
+            obs.current().metrics.absorb_counter(self.counter)
+
+    def _refresh_group(
+        self,
+        members: list[str],
+        *,
+        parallel: bool,
+        max_workers: int | None,
+        compact: bool,
+    ) -> None:
         cache = EpochDeltaCache(self.counter)
         tasks = []
         fallback: list[str] = []
@@ -481,3 +510,18 @@ class ViewManager:
     def downtime_seconds(self, name: str) -> float:
         """Total wall-clock downtime of a view so far."""
         return self.ledger.downtime_seconds(self.scenario(name).view.mv_table)
+
+    def obs_snapshot(self) -> dict:
+        """One combined observability snapshot (requires ``obs.enable()``).
+
+        Mirrors the engine's :class:`CostCounter` cache counters into the
+        metrics registry first, then returns metrics + per-view
+        downtime/staleness clocks.  Empty sections when observability is
+        disabled.
+        """
+        stack = obs.current()
+        stack.metrics.absorb_counter(self.counter)
+        return {
+            "metrics": stack.metrics.snapshot(),
+            "views": stack.accounting.snapshot(),
+        }

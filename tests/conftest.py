@@ -1,0 +1,23 @@
+"""Suite-wide test configuration: deterministic randomness.
+
+Every source of randomness in this suite is pinned (see
+``tests/README.md``).  This conftest pins the one source that would
+otherwise re-randomize between runs: Hypothesis.  The ``repro-ci``
+profile (the default) derandomizes example generation so CI failures
+reproduce locally with no flags; export ``HYPOTHESIS_PROFILE=explore``
+to let Hypothesis hunt fresh examples.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    from hypothesis import settings
+except ImportError:  # the zero-dependency harness still runs without it
+    settings = None
+
+if settings is not None:
+    settings.register_profile("repro-ci", derandomize=True)
+    settings.register_profile("explore", derandomize=False)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro-ci"))

@@ -1,0 +1,92 @@
+"""Downtime/staleness clock unit tests against a controllable clock."""
+
+from repro.obs.accounting import DowntimeAccountant, NullAccountant
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_lock_sections_accumulate_and_track_worst():
+    accountant = DowntimeAccountant()
+    accountant.on_lock_section("V", seconds=0.010, ops=100, label="refresh")
+    accountant.on_lock_section("V", seconds=0.002, ops=300, label="partial_refresh")
+    clock = accountant.clock("V")
+    assert clock.lock_sections == 2
+    assert clock.locked_seconds == 0.012
+    assert clock.locked_ops == 400
+    assert clock.max_section_seconds == 0.010
+    assert clock.max_section_ops == 300
+    assert clock.mean_section_ops() == 200
+
+
+def test_staleness_window_opens_once_and_samples_both_units():
+    fake = FakeClock()
+    accountant = DowntimeAccountant(clock=fake)
+
+    fake.advance(1.0)
+    accountant.mark_stale("V", pending_entries=10)
+    fake.advance(2.0)
+    accountant.mark_stale("V", pending_entries=25)  # window stays open
+    fake.advance(3.0)
+    accountant.mark_fresh("V")  # full refresh: residual 0
+
+    clock = accountant.clock("V")
+    assert clock.staleness_samples == [(5.0, 25)]  # since the FIRST update
+    assert clock.stale_since is None
+    assert clock.pending_entries == 0
+    assert clock.stale_seconds == 5.0
+    assert clock.max_staleness_seconds() == 5.0
+    assert clock.max_staleness_entries() == 25
+
+
+def test_partial_refresh_reopens_the_window_with_residual():
+    fake = FakeClock()
+    accountant = DowntimeAccountant(clock=fake)
+    accountant.mark_stale("V", pending_entries=40)
+    fake.advance(4.0)
+    accountant.mark_fresh("V", residual_entries=8)  # Policy 2: k ticks behind
+    clock = accountant.clock("V")
+    assert clock.pending_entries == 8
+    assert clock.stale_since == fake.now  # still stale, window restarted
+    fake.advance(1.0)
+    accountant.mark_fresh("V")
+    assert clock.staleness_samples == [(4.0, 40), (1.0, 8)]
+
+
+def test_fresh_view_refresh_samples_zero():
+    accountant = DowntimeAccountant()
+    accountant.mark_fresh("V")
+    assert accountant.clock("V").staleness_samples == [(0.0, 0)]
+
+
+def test_snapshot_shape_and_reset():
+    accountant = DowntimeAccountant()
+    accountant.on_lock_section("V", seconds=0.5, ops=10)
+    accountant.mark_stale("V", pending_entries=3)
+    accountant.mark_fresh("V")
+    snapshot = accountant.snapshot()
+    assert set(snapshot) == {"V"}
+    assert set(snapshot["V"]) == {"view", "downtime", "staleness"}
+    assert snapshot["V"]["downtime"]["lock_sections"] == 1
+    assert snapshot["V"]["staleness"]["refreshes"] == 1
+    accountant.reset()
+    assert accountant.snapshot() == {}
+    assert accountant.views() == ()
+
+
+def test_null_accountant_is_inert():
+    null = NullAccountant()
+    null.on_lock_section("V", seconds=1.0, ops=5)
+    null.mark_stale("V", pending_entries=9)
+    null.mark_fresh("V")
+    assert null.snapshot() == {}
+    assert null.views() == ()
+    assert null.clock("V").lock_sections == 0

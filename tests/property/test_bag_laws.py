@@ -1,0 +1,137 @@
+"""Section 2.1 bag-algebra laws under the fixed seed matrix.
+
+Each law is checked on 240 generated cases (80 per seed in
+:data:`tests.property.gen.SEED_MATRIX`) — the zero-dependency
+counterpart to the Hypothesis suite in
+``tests/algebra/test_bag_properties.py``.  Every assertion carries the
+``(seed, case)`` id of the failing instance for replay.
+"""
+
+from tests.property.gen import cases
+
+from repro.algebra.bag import Bag
+
+
+# ----------------------------------------------------------------------
+# ⊎ — additive union: a commutative monoid with identity φ
+# ----------------------------------------------------------------------
+
+
+def test_union_all_commutative_associative_identity():
+    for case_id, gen in cases():
+        x, y, z = gen.bag(), gen.bag(), gen.bag()
+        assert x.union_all(y) == y.union_all(x), case_id
+        assert x.union_all(y).union_all(z) == x.union_all(y.union_all(z)), case_id
+        assert x.union_all(Bag.empty()) == x, case_id
+
+
+# ----------------------------------------------------------------------
+# ∸ — monus (truncated difference)
+# ----------------------------------------------------------------------
+
+
+def test_monus_identities():
+    for case_id, gen in cases():
+        x, y = gen.bag(), gen.bag()
+        assert x.monus(Bag.empty()) == x, case_id
+        assert Bag.empty().monus(x) == Bag.empty(), case_id
+        assert x.monus(x) == Bag.empty(), case_id
+        # Inserting then deleting the same bag is a no-op...
+        assert x.union_all(y).monus(y) == x, case_id
+        # ...and the result of a monus is always a subbag of the left arm.
+        assert x.monus(y).issubbag(x), case_id
+
+
+def test_monus_right_union_curries():
+    # x ∸ (y ⊎ z) ≡ (x ∸ y) ∸ z — deleting a batch equals deleting
+    # its parts in sequence (what lets propagate fold deltas).
+    for case_id, gen in cases():
+        x, y, z = gen.bag(), gen.bag(), gen.bag()
+        assert x.monus(y.union_all(z)) == x.monus(y).monus(z), case_id
+
+
+def test_patch_is_monus_then_union():
+    # The storage layer's one-pass patch must match the algebra exactly.
+    for case_id, gen in cases():
+        x = gen.bag()
+        delete, insert = gen.delta(x)
+        assert x.patch(delete, insert) == x.monus(delete).union_all(insert), case_id
+        arbitrary = gen.bag()  # patch also tolerates non-subbag deletes
+        assert x.patch(arbitrary, insert) == x.monus(arbitrary).union_all(insert), case_id
+
+
+# ----------------------------------------------------------------------
+# min / max — the multiplicity lattice
+# ----------------------------------------------------------------------
+
+
+def test_min_max_lattice_laws():
+    for case_id, gen in cases():
+        x, y, z = gen.bag(), gen.bag(), gen.bag()
+        assert x.min_(y) == y.min_(x), case_id
+        assert x.max_(y) == y.max_(x), case_id
+        assert x.min_(y).min_(z) == x.min_(y.min_(z)), case_id
+        assert x.max_(y).max_(z) == x.max_(y.max_(z)), case_id
+        assert x.min_(x) == x and x.max_(x) == x, case_id
+        # Absorption ties the two into a lattice.
+        assert x.min_(x.max_(y)) == x, case_id
+        assert x.max_(x.min_(y)) == x, case_id
+        # Ordering: min is the meet, max the join, under ⊑.
+        assert x.min_(y).issubbag(x) and x.issubbag(x.max_(y)), case_id
+
+
+def test_max_decomposes_into_monus_and_union():
+    # X max Y ≡ (X ∸ Y) ⊎ Y — the identity behind refresh folding.
+    for case_id, gen in cases():
+        x, y = gen.bag(), gen.bag()
+        assert x.max_(y) == x.monus(y).union_all(y), case_id
+
+
+def test_min_via_double_monus():
+    # X min Y ≡ X ∸ (X ∸ Y) — min is expressible in the core algebra.
+    for case_id, gen in cases():
+        x, y = gen.bag(), gen.bag()
+        assert x.min_(y) == x.monus(x.monus(y)), case_id
+
+
+# ----------------------------------------------------------------------
+# ε — duplicate elimination
+# ----------------------------------------------------------------------
+
+
+def test_dedup_laws():
+    for case_id, gen in cases():
+        x, y = gen.bag(), gen.bag()
+        assert x.dedup().dedup() == x.dedup(), case_id
+        assert x.union_all(x).dedup() == x.dedup(), case_id
+        # ε(X ⊎ Y) = ε(X) max ε(Y): support of a union is the union of
+        # supports, each at multiplicity one.
+        assert x.union_all(y).dedup() == x.dedup().max_(y.dedup()), case_id
+
+
+# ----------------------------------------------------------------------
+# σ / × — pointwise operators distribute over ⊎ and ∸
+# ----------------------------------------------------------------------
+
+
+def _even_first(row):
+    return row[0] % 2 == 0
+
+
+def test_select_is_a_homomorphism():
+    for case_id, gen in cases():
+        x, y = gen.bag(), gen.bag()
+        assert (
+            x.union_all(y).select(_even_first)
+            == x.select(_even_first).union_all(y.select(_even_first))
+        ), case_id
+        assert (
+            x.monus(y).select(_even_first) == x.select(_even_first).monus(y.select(_even_first))
+        ), case_id
+
+
+def test_product_distributes_over_union():
+    for case_id, gen in cases(40):
+        x, y, z = gen.bag(), gen.bag(), gen.bag()
+        assert x.union_all(y).product(z) == x.product(z).union_all(y.product(z)), case_id
+        assert len(x.product(y)) == len(x) * len(y), case_id
