@@ -1,0 +1,205 @@
+"""Columnar batches: the value representation of the vectorized engine.
+
+A :class:`ColumnBatch` holds the same information as a :class:`Bag` —
+a finite multiset of same-arity tuples — but decomposed into parallel
+*value columns* plus one integer *multiplicity vector*:
+
+====================  =============================================
+``columns[j][i]``     value of column ``j`` in physical row ``i``
+``mults[i]``          signed multiplicity of physical row ``i``
+====================  =============================================
+
+Unlike a bag, a batch is **not canonical**: the same logical row may
+appear in several physical positions, and multiplicities may be
+*negative*.  The logical content is the per-row *net*: summing the
+multiplicities of every physical occurrence of a row and dropping the
+rows that net to zero recovers the bag (:meth:`to_bag`).  Batches
+produced from bags, and batches flowing through the vectorized
+kernels, always net to non-negative counts, so the conversion is
+lossless in both directions.
+
+The representation buys three things the dict-of-tuples bag cannot:
+
+* **projection is a column gather** — ``Π_A`` reorders/duplicates
+  column references in O(arity), touching no rows;
+* **union-all and patch are appends** — ``X ⊎ Y`` concatenates columns
+  and a patch appends the insert rows as-is plus the (clamped) delete
+  rows with negated multiplicities, deferring consolidation;
+* **linear operators distribute over the net** — σ, Π, map, ⊎, × and
+  equi-joins may run directly on non-canonical inputs (multiplicities
+  are summed or multiplied per physical row, and products of nets are
+  nets).  Only the *nonlinear* operators — ε (dedup), ∸ (monus), min —
+  must :meth:`consolidate` first, exactly the boundary at which the
+  vectorized executor nets a batch.
+
+The clamping invariant: when a patch ``(R ∸ delete) ⊎ insert`` is
+appended, the delete side must first be clamped to the multiplicities
+actually present (``delete min R``, what :meth:`Bag.patch` floors
+away), otherwise the net would dip below zero and nonlinear operators
+downstream would see phantom rows.  :meth:`append_patch` takes the
+pre-patch bag and clamps internally.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.algebra.bag import Bag, Row
+
+__all__ = ["ColumnBatch"]
+
+
+class ColumnBatch:
+    """A columnar, possibly non-canonical encoding of one bag.
+
+    ``columns`` is a tuple of equal-length lists (one per attribute);
+    ``mults`` is the parallel list of signed multiplicities.  Column
+    lists may be *shared* between batches (:meth:`gather` shares, it
+    never copies) — treat them as frozen unless you own the batch
+    (the vectorized executor's table cache appends in place, which is
+    safe because every derived batch is guarded by version stamps).
+    """
+
+    __slots__ = ("columns", "mults", "arity")
+
+    def __init__(self, columns: tuple[list, ...], mults: list[int], arity: int | None = None) -> None:
+        self.columns = columns
+        self.mults = mults
+        self.arity = len(columns) if arity is None else arity
+
+    # ------------------------------------------------------------------
+    # Construction / conversion
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, arity: int = 0) -> ColumnBatch:
+        return cls(tuple([] for _ in range(arity)), [], arity)
+
+    @classmethod
+    def from_bag(cls, bag: Bag) -> ColumnBatch:
+        """Decompose a bag into columns (canonical: distinct rows, positive mults)."""
+        return cls.from_pairs(bag.items(), bag.arity or 0)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[Row, int]], arity: int) -> ColumnBatch:
+        """Build a batch from ``(row, multiplicity)`` pairs."""
+        mults: list[int] = []
+        rows: list[Row] = []
+        for row, count in pairs:
+            rows.append(row)
+            mults.append(count)
+        if not rows:
+            return cls.empty(arity)
+        columns = tuple([row[j] for row in rows] for j in range(arity))
+        return cls(columns, mults, arity)
+
+    def to_bag(self) -> Bag:
+        """Net the physical rows back into a canonical bag.
+
+        Rows netting to zero disappear; the batches the vectorized
+        engine produces never net negative (see the module docstring),
+        and :class:`Bag` drops non-positive counts anyway.
+        """
+        counts: dict[Row, int] = {}
+        if self.arity == 0:
+            total = sum(self.mults)
+            return Bag(counts={(): total}) if total > 0 else Bag.empty()
+        for row, count in zip(zip(*self.columns), self.mults):
+            counts[row] = counts.get(row, 0) + count
+        return Bag(counts=counts)
+
+    def net_counts(self) -> dict[Row, int]:
+        """The per-row net multiplicities (zeros removed, sign kept)."""
+        counts: dict[Row, int] = {}
+        if self.arity == 0:
+            total = sum(self.mults)
+            return {(): total} if total else {}
+        for row, count in zip(zip(*self.columns), self.mults):
+            new = counts.get(row, 0) + count
+            if new:
+                counts[row] = new
+            else:
+                counts.pop(row, None)
+        return counts
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of *physical* rows (not the logical bag size)."""
+        return len(self.mults)
+
+    def __bool__(self) -> bool:
+        return bool(self.mults)
+
+    def rows(self) -> Iterator[tuple[Row, int]]:
+        """Iterate physical ``(row, signed multiplicity)`` pairs."""
+        if self.arity == 0:
+            for count in self.mults:
+                yield (), count
+            return
+        yield from zip(zip(*self.columns), self.mults)
+
+    # ------------------------------------------------------------------
+    # Structural kernels
+    # ------------------------------------------------------------------
+
+    def gather(self, positions: tuple[int, ...]) -> ColumnBatch:
+        """Projection as an O(arity) column gather — rows are untouched.
+
+        The gathered batch *shares* column lists and the multiplicity
+        vector with this one.
+        """
+        if not self.mults:
+            # Empty batches may carry a collapsed arity (e.g. the
+            # runtime-empty short-circuit); gather cannot index into
+            # columns that were never materialized.
+            return ColumnBatch.empty(len(positions))
+        return ColumnBatch(tuple(self.columns[position] for position in positions), self.mults, len(positions))
+
+    def concat(self, other: ColumnBatch) -> ColumnBatch:
+        """Union-all as a column-wise append (multiplicities concatenate)."""
+        if not self.mults:
+            return other
+        if not other.mults:
+            return self
+        arity = self.arity if self.columns or self.mults else other.arity
+        columns = tuple(
+            self.columns[j] + other.columns[j] for j in range(min(len(self.columns), len(other.columns)))
+        )
+        return ColumnBatch(columns, self.mults + other.mults, arity)
+
+    def consolidate(self) -> ColumnBatch:
+        """Net duplicates away: one physical row per logical row, net > 0.
+
+        The boundary operation before nonlinear kernels (ε, ∸, min) and
+        the periodic compaction of delta-appended table batches.
+        """
+        counts = self.net_counts()
+        return ColumnBatch.from_pairs(((row, count) for row, count in counts.items() if count > 0), self.arity)
+
+    def append_patch(self, delete: Bag, insert: Bag, before: Bag) -> None:
+        """Apply ``(R ∸ delete) ⊎ insert`` in place as an O(|delta|) append.
+
+        ``before`` is the table value the patch was applied to; the
+        delete side is clamped against it (mirroring ``Bag.patch``'s
+        floor at zero copies) so the batch keeps netting exactly to the
+        post-patch bag.  Only the owner of the batch may call this.
+        """
+        columns = self.columns
+        mults = self.mults
+        for row, count in insert.items():
+            for j in range(self.arity):
+                columns[j].append(row[j])
+            mults.append(count)
+        for row, count in delete.items():
+            clamped = min(count, before.multiplicity(row))
+            if clamped <= 0:
+                continue
+            for j in range(self.arity):
+                columns[j].append(row[j])
+            mults.append(-clamped)
+
+    def __repr__(self) -> str:
+        return f"ColumnBatch(arity={self.arity}, physical_rows={len(self.mults)})"

@@ -118,7 +118,7 @@ def _schema_error_diagnostic(report: AnalysisReport, exc: SchemaError, *, path: 
     report.add(code, Severity.ERROR, message, path=path, position=exc.position)
 
 
-def lint_sql(source: str, db: Database | None = None) -> AnalysisReport:
+def lint_sql(source: str, db: Database | None = None, *, engine: str | None = None) -> AnalysisReport:
     """Lint a SQL statement or script.
 
     ``CREATE TABLE`` statements extend a scratch catalog (seeded from
@@ -126,6 +126,13 @@ def lint_sql(source: str, db: Database | None = None) -> AnalysisReport:
     query, view, and DML statement is compiled and schema-checked.
     Diagnostics carry source positions wherever the front end provides
     them.
+
+    ``engine`` selects the scratch catalog's execution mode (compiled /
+    interpreted / vectorized / sqlite).  All diagnostics are *static* —
+    schema checks and derived properties over the algebra tree — so the
+    engine must never change what fires; the flag exists so CI can
+    assert exactly that (and so linting never instantiates an engine
+    the caller isn't running).
     """
     from repro.sqlfront.compiler import (
         compile_delete,
@@ -137,7 +144,7 @@ def lint_sql(source: str, db: Database | None = None) -> AnalysisReport:
     from repro.core.transactions import UserTransaction
 
     report = AnalysisReport()
-    catalog = db.clone() if db is not None else Database()
+    catalog = db.clone() if db is not None else Database(exec_mode=engine)
     try:
         statements = parse_script(source)
     except ParseError as exc:
@@ -218,7 +225,7 @@ def _state_bug_fixture_report() -> AnalysisReport:
     return report
 
 
-def lint_example(path: str) -> AnalysisReport:
+def lint_example(path: str, *, engine: str | None = None) -> AnalysisReport:
     """Lint one ``examples/*.py`` file.
 
     The file declares the SQL it runs via module-level ``LINT_SCHEMA``
@@ -239,7 +246,7 @@ def lint_example(path: str) -> AnalysisReport:
     queries = getattr(module, "LINT_QUERIES", {})
     for name, sql in queries.items():
         script = f"{schema_sql};\n{sql}" if schema_sql else sql
-        sub_report = lint_sql(script)
+        sub_report = lint_sql(script, engine=engine)
         for diagnostic in sub_report:
             report.add(
                 diagnostic.code,
@@ -293,11 +300,11 @@ def experiment_queries() -> dict[str, tuple[str, str]]:
     }
 
 
-def lint_experiments() -> AnalysisReport:
+def lint_experiments(*, engine: str | None = None) -> AnalysisReport:
     """Lint every named experiment query; all must come back clean."""
     report = AnalysisReport()
     for name, (schema_sql, query_sql) in experiment_queries().items():
-        sub_report = lint_sql(f"{schema_sql};\n{query_sql}")
+        sub_report = lint_sql(f"{schema_sql};\n{query_sql}", engine=engine)
         for diagnostic in sub_report:
             report.add(
                 diagnostic.code,
@@ -323,6 +330,9 @@ Targets:
 
 Options:
   --experiments    lint the named E1-E16 experiment queries
+  --engine MODE    execution mode for the scratch catalog (compiled /
+                   interpreted / vectorized / sqlite); diagnostics are
+                   static and must not depend on it
   --strict         exit non-zero on warnings as well as errors
   --verbose        show info-level notes too
 """
@@ -330,25 +340,46 @@ Options:
 
 def main(argv: list[str]) -> int:
     """``python -m repro lint`` entry point.  Returns the exit status."""
+    from repro.exec import resolve_exec_mode
+
     strict = "--strict" in argv
     verbose = "--verbose" in argv
     experiments = "--experiments" in argv
-    targets = [arg for arg in argv if not arg.startswith("--")]
+    engine: str | None = None
+    positional: list[str] = []
+    arguments = iter(argv)
+    for arg in arguments:
+        if arg == "--engine":
+            engine = next(arguments, None)
+            if engine is None:
+                print("--engine requires a mode argument")
+                return 2
+        elif arg.startswith("--engine="):
+            engine = arg.split("=", 1)[1]
+        elif not arg.startswith("--"):
+            positional.append(arg)
+    if engine is not None:
+        try:
+            engine = resolve_exec_mode(engine)
+        except ReproError as exc:
+            print(str(exc))
+            return 2
+    targets = positional
     if not targets and not experiments:
         print(_USAGE)
         return 2
     failed = False
     sections: list[tuple[str, AnalysisReport]] = []
     if experiments:
-        sections.append(("experiments", lint_experiments()))
+        sections.append(("experiments", lint_experiments(engine=engine)))
     for target in targets:
         if target.endswith(".py"):
-            sections.append((target, lint_example(target)))
+            sections.append((target, lint_example(target, engine=engine)))
         elif target.endswith(".sql"):
             with open(target) as handle:
-                sections.append((target, lint_sql(handle.read())))
+                sections.append((target, lint_sql(handle.read(), engine=engine)))
         else:
-            sections.append(("<sql>", lint_sql(target)))
+            sections.append(("<sql>", lint_sql(target, engine=engine)))
     for label, report in sections:
         shown = list(report.errors) + list(report.warnings)
         if verbose:

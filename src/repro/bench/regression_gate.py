@@ -1,0 +1,94 @@
+"""Benchmark regression gate: ``python -m repro.bench.regression_gate``.
+
+Reads a ``BENCH_exec.json`` produced by :mod:`repro.bench.exec_bench`
+and fails (exit 1) if the vectorized engine's refresh wall time exceeds
+the compiled engine's on any experiment — the invariant CI enforces so
+the columnar kernels can never silently regress behind the row-at-a-time
+engine they were built to beat.
+
+Timing on shared CI runners is noisy, so the comparison allows a small
+headroom factor (``--tolerance``, default 1.2): vectorized must stay
+within ``tolerance × compiled``.  Set ``--tolerance 1.0`` for a strict
+local check.  Experiments missing either engine are skipped (the gate
+only judges what was measured).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["check", "main"]
+
+_EXPERIMENT_WALLS = {
+    "E7_refresh": lambda run: run["refresh_wall_s"],
+    "E13_shared_views": lambda run: run["phases"]["refresh_all"]["wall_s"],
+    "E18_group_refresh": lambda run: run["refresh_wall_s"],
+}
+
+
+def check(
+    data: dict, *, tolerance: float = 1.2, subject: str = "vectorized", baseline: str = "compiled"
+) -> list[str]:
+    """Violation messages (empty list = gate passes)."""
+    violations: list[str] = []
+    for name, wall_of in _EXPERIMENT_WALLS.items():
+        runs = data.get("experiments", {}).get(name, {})
+        subject_run = runs.get(subject)
+        baseline_run = runs.get(baseline)
+        if not isinstance(subject_run, dict) or not isinstance(baseline_run, dict):
+            continue
+        subject_wall = wall_of(subject_run)
+        baseline_wall = wall_of(baseline_run)
+        if subject_wall > tolerance * baseline_wall:
+            violations.append(
+                f"{name}: {subject} wall {subject_wall}s exceeds "
+                f"{tolerance}x {baseline} wall {baseline_wall}s"
+            )
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "report",
+        type=Path,
+        nargs="?",
+        default=Path(__file__).resolve().parents[3] / "BENCH_exec.json",
+        help="exec_bench JSON to judge (default: BENCH_exec.json at the repo root)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.2,
+        help="headroom factor for CI timing noise (1.0 = strict)",
+    )
+    parser.add_argument("--subject", default="vectorized", help="engine under test")
+    parser.add_argument("--baseline", default="compiled", help="engine it must not lose to")
+    args = parser.parse_args(argv)
+
+    data = json.loads(args.report.read_text())
+    violations = check(
+        data, tolerance=args.tolerance, subject=args.subject, baseline=args.baseline
+    )
+    if violations:
+        for violation in violations:
+            print(f"REGRESSION: {violation}", file=sys.stderr)
+        return 1
+    judged = [
+        name
+        for name in _EXPERIMENT_WALLS
+        if args.subject in data.get("experiments", {}).get(name, {})
+        and args.baseline in data.get("experiments", {}).get(name, {})
+    ]
+    print(
+        f"gate passed: {args.subject} within {args.tolerance}x {args.baseline} "
+        f"on {', '.join(judged) if judged else 'no experiments (nothing measured)'}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

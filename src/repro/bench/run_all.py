@@ -1,11 +1,13 @@
 """Regenerate every experiment table: ``python -m repro.bench.run_all``.
 
 A thin convenience wrapper over the benchmark suite — runs
-``pytest benchmarks/ --benchmark-only``, then the compiled-engine
+``pytest benchmarks/ --benchmark-only``, then the multi-engine
 benchmark (:mod:`repro.bench.exec_bench`, which writes the
 machine-readable ``BENCH_exec.json`` perf trajectory), then the
 observability benchmark (:mod:`repro.bench.obs_bench` →
-``BENCH_obs.json``), and finally concatenates the report tables from ``benchmarks/reports/`` in
+``BENCH_obs.json``), consolidates every ``BENCH_*.json`` headline into
+``BENCH_summary.json`` (:mod:`repro.bench.summary`), and finally
+concatenates the report tables from ``benchmarks/reports/`` in
 experiment order, so a single command reproduces everything quoted in
 ``EXPERIMENTS.md``.
 """
@@ -31,7 +33,7 @@ def main(argv: list[str] | None = None) -> int:
     print("$", " ".join(command))
     completed = subprocess.run(command, cwd=repo_root)
 
-    from repro.bench import exec_bench, obs_bench
+    from repro.bench import exec_bench, obs_bench, summary
 
     exec_args = ["--smoke"] if "--smoke" in argv else []
     print("$", "python -m repro.bench.exec_bench", *exec_args)
@@ -39,6 +41,9 @@ def main(argv: list[str] | None = None) -> int:
 
     print("$", "python -m repro.bench.obs_bench", *exec_args)
     obs_rc = obs_bench.main(exec_args)
+
+    print("$", "python -m repro.bench.summary")
+    summary_rc = summary.main([])
 
     reports = benchmarks / "reports"
     if reports.is_dir():
@@ -52,7 +57,7 @@ def main(argv: list[str] | None = None) -> int:
         for path in sorted(reports.glob("E*.txt"), key=experiment_number):
             print()
             print(path.read_text().rstrip())
-    return completed.returncode or exec_rc or obs_rc
+    return completed.returncode or exec_rc or obs_rc or summary_rc
 
 
 if __name__ == "__main__":

@@ -1,0 +1,168 @@
+"""Consolidated benchmark summary: ``python -m repro.bench.summary``.
+
+Collects the headline numbers out of every ``BENCH_*.json`` artifact at
+the repo root into one ``BENCH_summary.json``, so a reader (or a CI
+diff) gets the whole perf trajectory — engine speedups, group-refresh
+scaling, observability overhead — from a single small file instead of
+spelunking four detailed reports.
+
+Each collector is tolerant of missing files and of older artifact
+shapes (pre-multi-engine ``BENCH_exec.json`` had only interpreted and
+compiled runs); absent inputs simply produce no section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+__all__ = ["collect", "main"]
+
+
+def _load(path: Path) -> dict[str, Any] | None:
+    try:
+        return json.loads(path.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        return None
+
+
+def _exec_headlines(data: dict[str, Any]) -> dict[str, Any]:
+    experiments = data.get("experiments", {})
+    out: dict[str, Any] = {
+        "smoke": data.get("smoke"),
+        "scale": data.get("scale", 1),
+        "engines": data.get("engines", ["interpreted", "compiled"]),
+    }
+    e7 = experiments.get("E7_refresh", {})
+    if e7:
+        walls = {
+            mode: run["refresh_wall_s"]
+            for mode, run in e7.items()
+            if isinstance(run, dict) and "refresh_wall_s" in run
+        }
+        out["E7_refresh"] = {
+            "refresh_wall_s": walls,
+            "wall_speedup_vs_interpreted": e7.get(
+                "wall_speedup_vs_interpreted", e7.get("wall_speedup")
+            ),
+        }
+    e13 = experiments.get("E13_shared_views", {})
+    if e13:
+        walls = {
+            mode: run["phases"]["refresh_all"]["wall_s"]
+            for mode, run in e13.items()
+            if isinstance(run, dict) and "phases" in run
+        }
+        out["E13_shared_views"] = {
+            "refresh_wall_s": walls,
+            "refresh_wall_speedup_vs_interpreted": e13.get(
+                "refresh_wall_speedup_vs_interpreted", e13.get("refresh_wall_speedup")
+            ),
+        }
+    e18 = experiments.get("E18_group_refresh", {})
+    if e18:
+        walls = {
+            mode: run["refresh_wall_s"]
+            for mode, run in e18.items()
+            if isinstance(run, dict) and "refresh_wall_s" in run
+        }
+        out["E18_group_refresh"] = {
+            "refresh_wall_s": walls,
+            "wall_speedup_vs_interpreted": e18.get("wall_speedup_vs_interpreted"),
+        }
+    return out
+
+
+def _group_headlines(data: dict[str, Any]) -> dict[str, Any]:
+    runs = data.get("experiments", {}).get("E18_group_refresh", {})
+    out: dict[str, Any] = {"smoke": data.get("smoke")}
+    for mode, by_views in runs.items():
+        if not isinstance(by_views, dict):
+            continue
+        out[mode] = {
+            views: {
+                "wall_speedup": run.get("wall_speedup"),
+                "tuple_op_reduction": run.get("tuple_op_reduction"),
+                "delta_cache_hits": run.get("group", {}).get("delta_cache_hits"),
+            }
+            for views, run in by_views.items()
+            if isinstance(run, dict)
+        }
+    return out
+
+
+def _obs_headlines(data: dict[str, Any]) -> dict[str, Any]:
+    experiments = data.get("experiments", {})
+    out: dict[str, Any] = {"smoke": data.get("smoke")}
+    overhead = experiments.get("overhead", {})
+    if overhead:
+        out["overhead"] = {
+            "wall_overhead_ratio": overhead.get("wall_overhead_ratio"),
+            "tuple_ops_identical": overhead.get("tuple_ops_identical"),
+        }
+    e19 = experiments.get("E19_downtime_staleness", {})
+    for policy in ("policy1", "policy2"):
+        run = e19.get(policy)
+        if not isinstance(run, dict):
+            continue
+        out[policy] = {
+            "downtime_total_s": run.get("downtime", {}).get("total_seconds"),
+            "staleness_max_entries": run.get("staleness", {}).get("max_entries"),
+            "full_refreshes": run.get("driver", {}).get("full_refreshes"),
+        }
+    return out
+
+
+_COLLECTORS = {
+    "BENCH_exec.json": ("exec", _exec_headlines),
+    "BENCH_group.json": ("group", _group_headlines),
+    "BENCH_obs.json": ("obs", _obs_headlines),
+}
+
+
+def collect(root: Path) -> dict[str, Any]:
+    """Headline numbers from every known ``BENCH_*.json`` under ``root``."""
+    summary: dict[str, Any] = {"benchmark": "repro.bench.summary", "sources": {}}
+    for filename, (section, collector) in _COLLECTORS.items():
+        data = _load(root / filename)
+        if data is None:
+            continue
+        summary["sources"][section] = filename
+        summary[section] = collector(data)
+    # Any other BENCH_*.json (e.g. smoke variants) are listed but not parsed.
+    known = set(_COLLECTORS) | {"BENCH_summary.json"}
+    extras = sorted(
+        path.name for path in root.glob("BENCH_*.json") if path.name not in known
+    )
+    if extras:
+        summary["unparsed_artifacts"] = extras
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parents[3],
+        help="directory holding the BENCH_*.json artifacts (default: repo root)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the summary (default: BENCH_summary.json under --root)",
+    )
+    args = parser.parse_args(argv)
+    output = args.output if args.output is not None else args.root / "BENCH_summary.json"
+    summary = collect(args.root)
+    output.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"wrote {output} ({len(summary.get('sources', {}))} sources)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

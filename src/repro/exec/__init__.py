@@ -19,6 +19,19 @@ Olteanu's IVM survey calls algorithmic vs *system* delta-proportionality:
   so index-backed selections and join build sides cost
   O(|delta| + |output|) instead of O(|table|).
 
+Two further tiers build on the compiled plans (see
+:mod:`repro.exec.vectorized` and :mod:`repro.exec.pushdown`):
+
+* ``exec_mode="vectorized"`` runs the same physical plans batch-at-a-
+  time over :class:`~repro.algebra.columnar.ColumnBatch` columns with
+  an integer multiplicity vector, deferring canonicalization to
+  nonlinear operator boundaries;
+* ``exec_mode="sqlite"`` pushes whole pushable ``Expr`` subtrees down
+  into an incrementally-mirrored SQLite database as single SQL
+  statements (joins and multiplicity arithmetic run in C), falling
+  back to the vectorized kernels per subtree when a node is not
+  pushable.
+
 The interpreted path remains available as a correctness oracle: pass
 ``exec_mode="interpreted"`` to :class:`~repro.storage.database.Database`
 (or set the ``REPRO_EXEC`` environment variable) to bypass compilation.
@@ -32,15 +45,32 @@ from repro.errors import ReproError
 
 COMPILED = "compiled"
 INTERPRETED = "interpreted"
+VECTORIZED = "vectorized"
+SQLITE = "sqlite"
 
-_MODES = (COMPILED, INTERPRETED)
+_MODES = (COMPILED, INTERPRETED, VECTORIZED, SQLITE)
 
 #: Environment variable overriding the default execution mode.
 ENV_VAR = "REPRO_EXEC"
 
+#: Spelling variants accepted by :func:`resolve_exec_mode`.
+_ALIASES = {
+    "interp": INTERPRETED,
+    "interpret": INTERPRETED,
+    "oracle": INTERPRETED,
+    "vector": VECTORIZED,
+    "batch": VECTORIZED,
+    "columnar": VECTORIZED,
+    "pushdown": SQLITE,
+    "sqlite-pushdown": SQLITE,
+    "sql": SQLITE,
+}
+
 __all__ = [
     "COMPILED",
     "INTERPRETED",
+    "VECTORIZED",
+    "SQLITE",
     "ENV_VAR",
     "default_exec_mode",
     "resolve_exec_mode",
@@ -59,8 +89,7 @@ def resolve_exec_mode(mode: str | None) -> str:
         return COMPILED
     normalized = mode.strip().lower()
     # Accept the obvious abbreviations so REPRO_EXEC=interp works.
-    if normalized in ("interp", "interpret", "oracle"):
-        normalized = INTERPRETED
+    normalized = _ALIASES.get(normalized, normalized)
     if normalized not in _MODES:
         raise ReproError(f"unknown execution mode {mode!r}; pick one of {_MODES}")
     return normalized

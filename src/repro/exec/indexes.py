@@ -85,15 +85,51 @@ class HashIndex:
         return sum(count for bucket in self._buckets.values() for count in bucket.values())
 
 
+def _compose_tail(tail: list[tuple[Bag, Bag]]) -> tuple[dict[Row, int], dict[Row, int]]:
+    """Net a run of patch deltas into one ``(deletes, inserts)`` pair.
+
+    Composing an accumulated net ``(D, I)`` with a later patch
+    ``(d2, i2)`` per row: ``t = min(I[r], d2[r])`` cancels deletes
+    against earlier queued inserts, then ``D[r] += d2[r] - t`` and
+    ``I[r] = I[r] - t + i2[r]``.  Applying the net is equivalent to
+    applying the queue sequentially (including ``Bag.patch``'s floor at
+    zero copies: deletes surviving cancellation target pre-queue rows,
+    where the index's own floored delete matches the table's), but its
+    size is the *net churn* — an insert-then-delete round trip, or many
+    patches touching the same row, collapse before the index is touched.
+    """
+    deletes: dict[Row, int] = {}
+    inserts: dict[Row, int] = {}
+    for delete, insert in tail:
+        for row, count in delete.items():
+            queued = inserts.get(row, 0)
+            cancelled = count if count < queued else queued
+            if cancelled:
+                if cancelled == queued:
+                    del inserts[row]
+                else:
+                    inserts[row] = queued - cancelled
+            remaining = count - cancelled
+            if remaining:
+                deletes[row] = deletes.get(row, 0) + remaining
+        for row, count in insert.items():
+            inserts[row] = inserts.get(row, 0) + count
+    return deletes, inserts
+
+
 class IndexManager:
     """All hash indexes of one database, maintained through its writes.
 
     Maintenance is **deferred**: a patch-driven write only enqueues its
     ``(delete, insert)`` delta, and a wholesale assignment only marks the
-    table's indexes stale.  The queue is drained (or, when the pending
-    delta volume exceeds the current table size, the index is rebuilt
-    wholesale — whichever is cheaper) the next time an executor actually
-    probes the index.  A table that is written by many transactions but
+    table's indexes stale (except assignment of the empty bag — log
+    truncation — which clears buckets in place and keeps the index
+    current).  The next time an executor actually probes the index, the
+    queued run is *netted* first (:func:`_compose_tail` — insert-then-
+    delete round trips and repeated touches of one row collapse), then
+    either the net is applied or, when the net churn still exceeds the
+    table's distinct size, the index is rebuilt wholesale — whichever
+    is cheaper.  A table that is written by many transactions but
     probed only at refresh time therefore pays index upkeep once per
     refresh instead of once per transaction, and pays nothing at all
     while it is write-only.
@@ -158,18 +194,35 @@ class IndexManager:
                 start = synced.get(positions, 0)
                 tail = queue[start:]
                 if tail:
-                    delta_rows = sum(len(delete) + len(insert) for delete, insert in tail)
-                    with obs.span("index_sync", table=table, delta_rows=delta_rows, counter=counter):
-                        if delta_rows > len(bag):
+                    # Net the queued run first: the rebuild-vs-drain
+                    # decision is then based on net churn, not raw
+                    # patch volume, and a tie prefers the drain (it
+                    # keeps buckets warm for the next round).
+                    net_deletes, net_inserts = _compose_tail(tail)
+                    if net_deletes:
+                        # Deletes of rows this index never held — e.g.
+                        # weak-minimality cancellations against a log
+                        # that was empty when they were queued — floor
+                        # to no-ops; drop them before costing the drain.
+                        net_deletes = {
+                            row: count
+                            for row, count in net_deletes.items()
+                            if row in index.lookup(index.key_of(row))
+                        }
+                    net_rows = len(net_deletes) + len(net_inserts)
+                    with obs.span("index_sync", table=table, delta_rows=net_rows, counter=counter):
+                        if net_rows > bag.distinct_count():
                             index = HashIndex.build(positions, bag)
                             indexes[positions] = index
                             if counter is not None:
                                 counter.record("index_build", len(bag))
                         else:
-                            for delete, insert in tail:
-                                index.apply_delta(delete, insert)
-                            if counter is not None and delta_rows:
-                                counter.record("index_maint", delta_rows)
+                            for row, count in net_deletes.items():
+                                index._delete(row, count)
+                            for row, count in net_inserts.items():
+                                index._insert(row, count)
+                            if counter is not None and net_rows:
+                                counter.record("index_maint", net_rows)
                     synced[positions] = len(queue)
             if queue and all(synced.get(pos, 0) == len(queue) for pos in indexes):
                 self._pending[table] = []
@@ -226,6 +279,18 @@ class IndexManager:
                 self._by_table.pop(table, None)
                 self._pending.pop(table, None)
                 self._synced.pop(table, None)
+                self._stale.discard(table)
+                return
+            if not new_value:
+                # Assignment of the *empty* bag — how refresh truncates
+                # log tables.  Clearing buckets in place is free and
+                # leaves the indexes warm and current, so the next probe
+                # after a round of log appends pays an O(|net delta|)
+                # drain instead of an O(|log|) rebuild.
+                for index in indexes.values():
+                    index._buckets.clear()
+                self._pending.pop(table, None)
+                self._synced[table] = {positions: 0 for positions in indexes}
                 self._stale.discard(table)
                 return
             self._pending.pop(table, None)

@@ -1,0 +1,256 @@
+"""Whole-plan SQL pushdown (``exec_mode="sqlite"``).
+
+The :class:`PushdownExecutor` compiles *pushable* bag-algebra subtrees
+to single SQLite ``SELECT`` statements (:func:`repro.storage.sqlite_backend.compile_expr`)
+and runs them against an incrementally-maintained
+:class:`~repro.storage.sqlite_backend.SQLiteMirror` of the database —
+joins, grouping, and multiplicity arithmetic then execute in SQLite's
+C engine instead of the Python interpreter.
+
+Pushability is *structural* and cached per expression:
+
+* every node in the subtree must produce arity > 0 (SQL has no
+  zero-column rows — the paper's boolean-flag bags stay in-process);
+* ``Literal`` bags and predicate/term constants must hold only values
+  SQLite round-trips faithfully (``None``/bool/int/float/str);
+* all seven core operators (and ``MapProject``) are pushable when
+  their children are.
+
+A non-pushable node falls back *per subtree*: its maximal pushable
+descendants are evaluated in SQL, substituted back into the tree as
+``Literal`` results, and the remaining top of the tree runs on the
+vectorized kernels this class inherits (the executor IS a
+:class:`~repro.exec.vectorized.VectorizedExecutor`, so the fallback
+shares its plan cache, batch memos, table batch cache, and maintained
+hash indexes).  Tables whose *values* turn out not to mirror raise
+:class:`~repro.storage.sqlite_backend.MirrorUnsupported` at scan time
+and the whole subtree falls back the same way.
+
+Results are memoized per expression under the same per-table version
+stamps the compiled engine uses, so an unchanged expression — the
+common case across deferred-refresh rounds — re-evaluates in O(1)
+without touching SQLite at all.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.bag import Bag, Row
+from repro.algebra.evaluation import CostCounter
+from repro.algebra.expr import (
+    DupElim,
+    Expr,
+    Literal,
+    MapProject,
+    Monus,
+    Product,
+    Project,
+    Select,
+    TableRef,
+    UnionAll,
+)
+from repro.algebra.predicates import (
+    And,
+    Arith,
+    Comparison,
+    Const,
+    Not,
+    Or,
+    Predicate,
+    Term,
+)
+from repro.errors import ReproError, UnknownTableError
+from repro.exec.executor import ExecutionContext
+from repro.exec.vectorized import VectorizedExecutor
+from repro.storage.sqlite_backend import (
+    MirrorUnsupported,
+    SQLiteMirror,
+    compile_expr,
+    sqlite_supported_value,
+)
+
+__all__ = ["PushdownExecutor"]
+
+
+def _term_consts_supported(term: Term) -> bool:
+    if isinstance(term, Const):
+        return sqlite_supported_value(term.value)
+    if isinstance(term, Arith):
+        return _term_consts_supported(term.left) and _term_consts_supported(term.right)
+    return True  # Attr
+
+
+def _predicate_consts_supported(predicate: Predicate) -> bool:
+    if isinstance(predicate, Comparison):
+        return _term_consts_supported(predicate.left) and _term_consts_supported(predicate.right)
+    if isinstance(predicate, (And, Or)):
+        return _predicate_consts_supported(predicate.left) and _predicate_consts_supported(predicate.right)
+    if isinstance(predicate, Not):
+        return _predicate_consts_supported(predicate.operand)
+    return True  # TruePredicate
+
+
+def _rebuild(expr: Expr, children: tuple[Expr, ...]) -> Expr:
+    """Reconstruct ``expr`` with new children (same node type/attributes)."""
+    if isinstance(expr, Select):
+        return Select(expr.predicate, children[0])
+    if isinstance(expr, Project):
+        return Project(expr.attrs, children[0], expr.names)
+    if isinstance(expr, MapProject):
+        return MapProject(expr.terms, children[0], expr.names)
+    if isinstance(expr, DupElim):
+        return DupElim(children[0])
+    if isinstance(expr, UnionAll):
+        return UnionAll(children[0], children[1])
+    if isinstance(expr, Monus):
+        return Monus(children[0], children[1])
+    if isinstance(expr, Product):
+        return Product(children[0], children[1])
+    raise ReproError(f"pushdown: cannot rebuild node {type(expr).__name__}")
+
+
+class PushdownExecutor(VectorizedExecutor):
+    """Evaluate expressions by pushing pushable subtrees into SQLite."""
+
+    def __init__(self, database) -> None:
+        super().__init__(database)
+        self._mirror = SQLiteMirror()
+        database.add_write_listener(self._mirror)
+        #: expr -> structural pushability verdict (content-independent).
+        self._pushable_memo: dict[Expr, bool] = {}
+        #: expr -> compiled SQL text (table names/arities are stable).
+        self._sql_cache: dict[Expr, str] = {}
+        #: expr -> [stamp, bag]; stamp spans the expr's table versions.
+        self._result_memo: dict[Expr, list] = {}
+
+    @property
+    def mirror(self) -> SQLiteMirror:
+        """The SQLite shadow database (exposed for tests/diagnostics)."""
+        return self._mirror
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def evaluate(self, expr: Expr, *, counter: CostCounter | None = None) -> Bag:
+        database = self._database
+        stamp = tuple(database.version_of(name) for name in sorted(expr.tables()))
+        entry = self._result_memo.get(expr)
+        if entry is not None and entry[0] == stamp:
+            if counter is not None:
+                counter.memo_hits += 1
+            return entry[1]
+        if len(self._result_memo) > self.MAX_NODES:
+            self._result_memo.clear()
+        bag = self._eval(expr, counter)
+        self._result_memo[expr] = [stamp, bag]
+        return bag
+
+    def _eval(self, expr: Expr, counter: CostCounter | None) -> Bag:
+        if self._is_pushable(expr):
+            try:
+                return self._sql_eval(expr, counter)
+            except MirrorUnsupported:
+                return super().evaluate(expr, counter=counter)
+        rewritten = self._push_maximal(expr, counter)
+        return super().evaluate(rewritten, counter=counter)
+
+    # ------------------------------------------------------------------
+    # Pushability analysis
+    # ------------------------------------------------------------------
+
+    def _is_pushable(self, expr: Expr) -> bool:
+        cached = self._pushable_memo.get(expr)
+        if cached is None:
+            cached = self._compute_pushable(expr)
+            self._pushable_memo[expr] = cached
+        return cached
+
+    def _compute_pushable(self, expr: Expr) -> bool:
+        if isinstance(expr, TableRef):
+            return expr.table_schema.arity > 0
+        if isinstance(expr, Literal):
+            return expr.literal_schema.arity > 0 and all(
+                sqlite_supported_value(value) for row, _count in expr.bag.items() for value in row
+            )
+        if isinstance(expr, Select):
+            return _predicate_consts_supported(expr.predicate) and self._is_pushable(expr.child)
+        if isinstance(expr, MapProject):
+            return all(_term_consts_supported(term) for term in expr.terms) and self._is_pushable(
+                expr.child
+            )
+        if isinstance(expr, Project):
+            return bool(expr.attrs) and self._is_pushable(expr.child)
+        if isinstance(expr, DupElim):
+            return self._is_pushable(expr.child)
+        if isinstance(expr, (UnionAll, Monus, Product)):
+            return self._is_pushable(expr.left) and self._is_pushable(expr.right)
+        return False
+
+    # ------------------------------------------------------------------
+    # SQL evaluation + per-subtree fallback
+    # ------------------------------------------------------------------
+
+    def _sql_eval(self, expr: Expr, counter: CostCounter | None) -> Bag:
+        """Evaluate a pushable ``expr`` entirely inside SQLite."""
+        mirror = self._mirror
+        database = self._database
+        state = database.state
+        with mirror.lock:
+            for name in expr.tables():
+                try:
+                    bag = state[name]
+                except KeyError:
+                    raise UnknownTableError(
+                        f"table {name!r} is not present in the database state"
+                    ) from None
+                mirror.ensure(name, database.schema_of(name), bag)
+            sql = self._sql_cache.get(expr)
+            if sql is None:
+                if counter is not None:
+                    counter.plan_misses += 1
+                if len(self._sql_cache) > self.MAX_NODES:
+                    self._sql_cache.clear()
+                sql = compile_expr(expr, scan=mirror.scan_sql, net=True)
+                self._sql_cache[expr] = sql
+            elif counter is not None:
+                counter.plan_hits += 1
+            rows = mirror.execute(sql)
+        counts: dict[Row, int] = {}
+        for *values, mult in rows:
+            row = tuple(values)
+            counts[row] = counts.get(row, 0) + int(mult)
+        if counter is not None:
+            counter.record("pushdown", len(rows))
+        return Bag.from_counts(counts)
+
+    def _push_maximal(self, expr: Expr, counter: CostCounter | None) -> Expr:
+        """Replace each maximal pushable subtree with its SQL result.
+
+        The rewritten tree's remaining operators run on the inherited
+        vectorized kernels; a subtree whose tables fail to mirror is
+        left in place (the kernels read the in-memory state directly).
+        """
+        if self._is_pushable(expr):
+            try:
+                bag = self._sql_eval(expr, counter)
+            except MirrorUnsupported:
+                return expr
+            return Literal(bag, expr.schema())
+        children = expr.children()
+        if not children:
+            return expr
+        rewritten = tuple(self._push_maximal(child, counter) for child in children)
+        if all(new is old for new, old in zip(rewritten, children)):
+            return expr
+        return _rebuild(expr, rewritten)
+
+    # ------------------------------------------------------------------
+    # Priming
+    # ------------------------------------------------------------------
+
+    def _build_index(self, ctx: ExecutionContext, table: str, positions: tuple[int, ...]) -> None:
+        # Hash indexes serve the vectorized fallback path; the mirror
+        # additionally indexes the same key columns so pushed-down
+        # equi-joins use them inside SQLite.
+        super()._build_index(ctx, table, positions)
+        self._mirror.request_index(table, positions)

@@ -28,7 +28,14 @@ from repro.algebra.evaluation import CostCounter, evaluate
 from repro.algebra.expr import Expr, TableRef
 from repro.algebra.schema import Schema
 from repro.errors import SchemaError, TransactionError, UnknownTableError
-from repro.exec import COMPILED, Executor, default_exec_mode, resolve_exec_mode
+from repro.exec import (
+    INTERPRETED,
+    SQLITE,
+    VECTORIZED,
+    Executor,
+    default_exec_mode,
+    resolve_exec_mode,
+)
 from repro.exec.indexes import IndexManager
 from repro.robustness.faults import fault_point
 
@@ -38,19 +45,26 @@ __all__ = ["Database"]
 class Database:
     """A mutable collection of named bag tables with schemas.
 
-    Queries run through one of two engines (see :mod:`repro.exec`):
+    Queries run through one of four engines (see :mod:`repro.exec`):
 
     * ``exec_mode="compiled"`` (the default) lowers expressions once
       into cached physical plans whose subexpression results are reused
       across calls, guarded by per-table *version stamps* — a monotonic
       clock value bumped on every write to a table;
+    * ``exec_mode="vectorized"`` runs the same plans batch-at-a-time
+      over columnar multiplicity-vector batches;
+    * ``exec_mode="sqlite"`` pushes pushable plan subtrees down into an
+      incrementally-mirrored SQLite database, falling back to the
+      vectorized kernels per subtree;
     * ``exec_mode="interpreted"`` walks the AST on every call and serves
       as the correctness oracle.
 
     The database also owns the :class:`~repro.exec.indexes.IndexManager`
     holding hash indexes on stored tables; every write path below
     forwards its delta (or replacement value) so indexes stay current
-    incrementally.
+    incrementally.  Engines that keep further derived state (columnar
+    table batches, the SQLite mirror) register *write listeners* via
+    :meth:`add_write_listener` and receive the same per-write deltas.
     """
 
     def __init__(self, *, exec_mode: str | None = None) -> None:
@@ -62,6 +76,9 @@ class Database:
         self._clock = 0
         self._indexes = IndexManager()
         self._executor: Executor | None = None
+        #: Write listeners: objects with ``on_patch(name, delete, insert,
+        #: before, after)``, ``on_replace(name, bag)``, ``on_drop(name)``.
+        self._listeners: list = []
         #: Path of the snapshot file this state was loaded from, if any
         #: (set by :func:`repro.storage.persistence.load_database`).
         self.durable_origin = None
@@ -84,8 +101,39 @@ class Database:
     @property
     def executor(self) -> Executor:
         if self._executor is None:
-            self._executor = Executor(self)
+            if self._exec_mode == VECTORIZED:
+                from repro.exec.vectorized import VectorizedExecutor
+
+                self._executor = VectorizedExecutor(self)
+            elif self._exec_mode == SQLITE:
+                from repro.exec.pushdown import PushdownExecutor
+
+                self._executor = PushdownExecutor(self)
+            else:
+                self._executor = Executor(self)
         return self._executor
+
+    def add_write_listener(self, listener) -> None:
+        """Register an engine-side mirror for per-write delta forwarding.
+
+        Listeners see every mutation path — patch installs (with the
+        pre- and post-patch values), wholesale replacements, restores,
+        rollbacks, and drops — in the order they take effect, so derived
+        state stays exactly as current as the maintained hash indexes.
+        """
+        self._listeners.append(listener)
+
+    def _notify_patch(self, name: str, delete: Bag, insert: Bag, before: Bag, after: Bag) -> None:
+        for listener in self._listeners:
+            listener.on_patch(name, delete, insert, before, after)
+
+    def _notify_replace(self, name: str, bag: Bag) -> None:
+        for listener in self._listeners:
+            listener.on_replace(name, bag)
+
+    def _notify_drop(self, name: str) -> None:
+        for listener in self._listeners:
+            listener.on_drop(name)
 
     def version_of(self, name: str) -> int:
         """The table's current version stamp (bumped on every write)."""
@@ -102,7 +150,7 @@ class Database:
         empty, so index builds are free and all later maintenance is
         incremental.  A no-op in interpreted mode.
         """
-        if self._exec_mode != COMPILED:
+        if self._exec_mode == INTERPRETED:
             return
         for expr in exprs:
             self.executor.prime(expr, counter=counter)
@@ -142,6 +190,8 @@ class Database:
         self._internal.discard(name)
         self._versions.pop(name, None)
         self._indexes.drop(name)
+        if self._listeners:
+            self._notify_drop(name)
 
     def has_table(self, name: str) -> bool:
         return name in self._tables
@@ -187,9 +237,9 @@ class Database:
 
     def evaluate(self, expr: Expr, *, counter: CostCounter | None = None) -> Bag:
         """Evaluate a query in the current state."""
-        if self._exec_mode == COMPILED:
-            return self.executor.evaluate(expr, counter=counter)
-        return evaluate(expr, self._tables, counter=counter)
+        if self._exec_mode == INTERPRETED:
+            return evaluate(expr, self._tables, counter=counter)
+        return self.executor.evaluate(expr, counter=counter)
 
     def total_rows(self) -> int:
         """Total tuple count across all tables (with multiplicity)."""
@@ -209,6 +259,8 @@ class Database:
         self._tables[name] = bag
         self._bump(name)
         self._indexes.on_replace(name, bag)
+        if self._listeners:
+            self._notify_replace(name, bag)
 
     def load(self, name: str, rows: Iterable[Row]) -> None:
         """Bulk-insert rows (bypasses transactions; for initial loading)."""
@@ -268,18 +320,18 @@ class Database:
         counter: CostCounter | None = None,
         restrict_to_external: bool = False,
     ) -> None:
-        compiled = self._exec_mode == COMPILED
+        interpreted = self._exec_mode == INTERPRETED
         memo: dict[Expr, Bag] = {}
 
         def run(expr: Expr) -> Bag:
-            # Compiled: the executor's version-stamped memo shares work
-            # both within this transaction and with earlier evaluations
-            # of the (unchanged) pre-state.  Interpreted: a fresh memo
-            # scoped to this transaction's pre-state (see the warning on
-            # :func:`repro.algebra.evaluation.evaluate`).
-            if compiled:
-                return self.executor.evaluate(expr, counter=counter)
-            return evaluate(expr, self._tables, counter=counter, memo=memo)
+            # Engine-backed modes: the executor's version-stamped memo
+            # shares work both within this transaction and with earlier
+            # evaluations of the (unchanged) pre-state.  Interpreted: a
+            # fresh memo scoped to this transaction's pre-state (see the
+            # warning on :func:`repro.algebra.evaluation.evaluate`).
+            if interpreted:
+                return evaluate(expr, self._tables, counter=counter, memo=memo)
+            return self.executor.evaluate(expr, counter=counter)
 
         new_values: dict[str, Bag] = {}
         patch_deltas: dict[str, tuple[Bag, Bag]] = {}
@@ -337,8 +389,12 @@ class Database:
                 delta = patch_deltas.get(name)
                 if delta is not None:
                     self._indexes.on_patch(name, delta[0], delta[1], counter=counter)
+                    if self._listeners:
+                        self._notify_patch(name, delta[0], delta[1], old_values[name], bag)
                 else:
                     self._indexes.on_replace(name, bag, counter=counter)
+                    if self._listeners:
+                        self._notify_replace(name, bag)
         except BaseException:
             for name, old_bag in old_values.items():
                 self._tables[name] = old_bag
@@ -349,8 +405,10 @@ class Database:
                     self._versions[name] = old_version
                 # A failed incremental index update may have left the
                 # table's indexes half-maintained; rebuild them from the
-                # restored value.
+                # restored value.  Engine mirrors get the same signal.
                 self._indexes.on_replace(name, old_bag)
+                if self._listeners:
+                    self._notify_replace(name, old_bag)
             self._clock = old_clock
             raise
 
@@ -370,6 +428,8 @@ class Database:
         for name, bag in snapshot.items():
             self._bump(name)
             self._indexes.on_replace(name, bag)
+            if self._listeners:
+                self._notify_replace(name, bag)
 
     def clone(self) -> Database:
         """An independent copy sharing the (immutable) bag values.

@@ -57,6 +57,13 @@ class RetailConfig:
     duplicate_fraction: float = 0.1
     #: Probability a sale row has quantity 0 (filtered out by the view).
     zero_quantity_fraction: float = 0.05
+    #: Fraction of transactions that also re-score an existing customer
+    #: (delete + reinsert with a changed score) — the paper's
+    #: newly-valued-customer scenario: maintaining the view then has to
+    #: look up that customer's accumulated sales history, so refresh
+    #: cost depends on *how* the engine finds those rows (base-table
+    #: scan vs. index probe).
+    promotion_fraction: float = 0.0
     seed: int = 96
 
 
@@ -67,6 +74,7 @@ class RetailWorkload:
         self.config = config if config is not None else RetailConfig()
         self._rng = random.Random(self.config.seed)
         self._live_sales: list[Row] = []
+        self._customers: list[Row] = []
 
     # ------------------------------------------------------------------
     # Initial data
@@ -79,6 +87,7 @@ class RetailWorkload:
         for cust_id in range(self.config.customers):
             score = "High" if cust_id < high_cutoff else self._rng.choice(_SCORES[1:])
             rows.append((cust_id, f"customer-{cust_id}", f"{cust_id} Main St", score))
+        self._customers = list(rows)
         return rows
 
     def _sale_row(self) -> Row:
@@ -124,6 +133,20 @@ class RetailWorkload:
                 for __ in range(victims_count)
             ]
             txn.delete("sales", victims)
+        # Guard the RNG draw so configs with promotions disabled generate
+        # exactly the sequence they did before the knob existed.
+        if (
+            self.config.promotion_fraction > 0
+            and self._customers
+            and self._rng.random() < self.config.promotion_fraction
+        ):
+            index = self._rng.randrange(len(self._customers))
+            old = self._customers[index]
+            new_score = self._rng.choice([s for s in _SCORES if s != old[3]])
+            new = (old[0], old[1], old[2], new_score)
+            self._customers[index] = new
+            txn.delete("customer", [old])
+            txn.insert("customer", [new])
         return txn
 
     def transactions(self, db: Database, count: int) -> Iterator[UserTransaction]:

@@ -7,7 +7,7 @@ from repro.algebra.evaluation import CostCounter
 from repro.algebra.expr import Literal
 from repro.algebra.predicates import Attr, Comparison, Const
 from repro.errors import ReproError
-from repro.exec import COMPILED, INTERPRETED, resolve_exec_mode
+from repro.exec import COMPILED, INTERPRETED, SQLITE, VECTORIZED, resolve_exec_mode
 from repro.storage.database import Database
 
 
@@ -29,10 +29,14 @@ class TestModeResolution:
         assert resolve_exec_mode("interp") == INTERPRETED
         assert resolve_exec_mode("ORACLE") == INTERPRETED
         assert resolve_exec_mode("Compiled") == COMPILED
+        assert resolve_exec_mode("columnar") == VECTORIZED
+        assert resolve_exec_mode("batch") == VECTORIZED
+        assert resolve_exec_mode("pushdown") == SQLITE
+        assert resolve_exec_mode("SQL") == SQLITE
 
     def test_unknown_mode_rejected(self):
         with pytest.raises(ReproError):
-            resolve_exec_mode("vectorized")
+            resolve_exec_mode("quantum")
 
     def test_env_var_default(self, monkeypatch):
         monkeypatch.setenv("REPRO_EXEC", "interpreted")

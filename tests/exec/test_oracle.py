@@ -1,11 +1,13 @@
-"""Compiled-vs-interpreted oracle: identical end states on every scenario.
+"""Engine-vs-interpreted oracle: identical end states on every scenario.
 
 Runs the same retail workload (the shape behind the E1–E16 experiments:
 the Example 1.1 join view, scenario grid IM/BL/DT/C with and without
 strong minimality, maintenance policies, the shared-log extension, and
-the recompute baseline) once under each execution engine and asserts the
-full database state — base tables, MV, logs, and differential tables —
-is bag-identical after every phase.
+the recompute baseline) once under each execution engine — interpreted,
+compiled, vectorized, sqlite — and asserts the full database state —
+base tables, MV, logs, and differential tables — is bag-identical after
+every phase.  The interpreted engine is the oracle; every other engine
+must match it checkpoint for checkpoint.
 """
 
 import pytest
@@ -24,7 +26,8 @@ from repro.sqlfront import sql_to_view
 from repro.storage.database import Database
 from repro.workloads.retail import VIEW_SQL, RetailConfig, RetailWorkload
 
-MODES = ("interpreted", "compiled")
+MODES = ("interpreted", "compiled", "vectorized", "sqlite")
+ENGINES = tuple(mode for mode in MODES if mode != "interpreted")
 
 
 def fresh(mode, **overrides):
@@ -79,10 +82,14 @@ SCENARIOS = {
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
 def test_scenario_states_identical(name):
     states = checkpoints_for_scenario(SCENARIOS[name])
-    interpreted, compiled = states["interpreted"], states["compiled"]
-    assert len(interpreted) == len(compiled)
-    for step, (expected, actual) in enumerate(zip(interpreted, compiled)):
-        assert actual == expected, f"{name}: state diverged at checkpoint {step}"
+    oracle = states["interpreted"]
+    for mode in ENGINES:
+        subject = states[mode]
+        assert len(oracle) == len(subject)
+        for step, (expected, actual) in enumerate(zip(oracle, subject)):
+            assert actual == expected, (
+                f"{name}: {mode} state diverged at checkpoint {step}"
+            )
 
 
 @pytest.mark.parametrize("policy_factory", [lambda: Policy1(k=2, m=4), lambda: Policy2(k=2, m=4)])
@@ -98,7 +105,8 @@ def test_policy_driven_maintenance_identical(policy_factory):
             driver.tick([workload.next_transaction(db)])
             snaps.append(db.snapshot())
         states[mode] = snaps
-    assert states["interpreted"] == states["compiled"]
+    for mode in ENGINES:
+        assert states[mode] == states["interpreted"], mode
 
 
 def test_shared_log_scenario_identical():
@@ -115,7 +123,8 @@ def test_shared_log_scenario_identical():
                 scenario.refresh_all()
             snaps.append(db.snapshot())
         states[mode] = snaps
-    assert states["interpreted"] == states["compiled"]
+    for mode in ENGINES:
+        assert states[mode] == states["interpreted"], mode
 
 
 def test_compiled_engine_attributes_its_work():
