@@ -1,0 +1,29 @@
+"""Seeded concurrency mutation: Refresh runs without the view's exclusive lock.
+
+Both the lock acquisition (`Scenario._refresh_lock`) and its static
+declaration (`_refresh_lock_resources`) are patched away, so `refresh`
+reads and patches the `MV` table with no critical section around it.
+Caught statically as RVM601 (unlocked MV read) + RVM602 (unlocked MV
+write), and dynamically by the lockset sanitizer: the candidate
+lockset of the MV table is empty at first access.
+
+Run:  python examples/mutations/dropped_lock_demo.py
+Lint: python -m repro lint --concurrency examples/mutations/dropped_lock_demo.py
+"""
+
+#: Consumed by ``repro lint --concurrency`` and the mutation harness.
+CONCURRENCY_MUTATION = "dropped_lock"
+
+
+def main() -> int:
+    from repro.analysis.mutations import run_mutation
+
+    report = run_mutation(CONCURRENCY_MUTATION)
+    print(f"mutation {CONCURRENCY_MUTATION!r}: {len(report)} finding(s)")
+    print(report.format())
+    # A mutation fixture is healthy when the analyzer *catches* it.
+    return 0 if len(report) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

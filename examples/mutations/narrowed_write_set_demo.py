@@ -1,0 +1,28 @@
+"""Seeded concurrency mutation: A group task declares its log writes but forgets the MV table.
+
+`BaseLogScenario._group_writes` is patched to drop the MV table, so
+conflict batching would let another task touch it concurrently. The
+analyzer compares the declaration against the independently inferred
+footprint (compiled delta plans + apply-plan structure) and flags the
+narrowing as RVM604.
+
+Run:  python examples/mutations/narrowed_write_set_demo.py
+Lint: python -m repro lint --concurrency examples/mutations/narrowed_write_set_demo.py
+"""
+
+#: Consumed by ``repro lint --concurrency`` and the mutation harness.
+CONCURRENCY_MUTATION = "narrowed_write_set"
+
+
+def main() -> int:
+    from repro.analysis.mutations import run_mutation
+
+    report = run_mutation(CONCURRENCY_MUTATION)
+    print(f"mutation {CONCURRENCY_MUTATION!r}: {len(report)} finding(s)")
+    print(report.format())
+    # A mutation fixture is healthy when the analyzer *catches* it.
+    return 0 if len(report) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Seeded concurrency mutation: Journal intents stop digesting the reader-visible MV tables.
+
+`intent_payload_tables` is patched to exclude MV tables, so a crash
+during refresh would leave recovery unable to verify or roll back
+the view materialization. Caught statically (every operation's
+inferred writes must be covered by the payload seam) and dynamically
+(version-stamp diff around each journaled action) as RVM605.
+
+Run:  python examples/mutations/omitted_journal_table_demo.py
+Lint: python -m repro lint --concurrency examples/mutations/omitted_journal_table_demo.py
+"""
+
+#: Consumed by ``repro lint --concurrency`` and the mutation harness.
+CONCURRENCY_MUTATION = "omitted_journal_table"
+
+
+def main() -> int:
+    from repro.analysis.mutations import run_mutation
+
+    report = run_mutation(CONCURRENCY_MUTATION)
+    print(f"mutation {CONCURRENCY_MUTATION!r}: {len(report)} finding(s)")
+    print(report.format())
+    # A mutation fixture is healthy when the analyzer *catches* it.
+    return 0 if len(report) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Seeded concurrency mutation: A view overlapping a refresh group is registered outside it.
+
+Two structurally identical views are defined - one in the shared-log
+group, one standalone - so group refresh can never share the delta
+evaluation the overlap makes possible. Caught as RVM501.
+
+Run:  python examples/mutations/overlapping_view_demo.py
+Lint: python -m repro lint --concurrency examples/mutations/overlapping_view_demo.py
+"""
+
+#: Consumed by ``repro lint --concurrency`` and the mutation harness.
+CONCURRENCY_MUTATION = "overlapping_view"
+
+
+def main() -> int:
+    from repro.analysis.mutations import run_mutation
+
+    report = run_mutation(CONCURRENCY_MUTATION)
+    print(f"mutation {CONCURRENCY_MUTATION!r}: {len(report)} finding(s)")
+    print(report.format())
+    # A mutation fixture is healthy when the analyzer *catches* it.
+    return 0 if len(report) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

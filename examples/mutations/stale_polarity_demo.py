@@ -1,0 +1,27 @@
+"""Seeded concurrency mutation: The log substitution reads with pre-update polarity (Section 1.2).
+
+`Log.substitution` is patched to swap the (D, A) components per
+table - the classic state bug. Caught as RVM301 (polarity check)
+plus a companion RVM601: the locked apply installs deltas computed
+against a pre-update image the lock never covered.
+
+Run:  python examples/mutations/stale_polarity_demo.py
+Lint: python -m repro lint --concurrency examples/mutations/stale_polarity_demo.py
+"""
+
+#: Consumed by ``repro lint --concurrency`` and the mutation harness.
+CONCURRENCY_MUTATION = "stale_polarity"
+
+
+def main() -> int:
+    from repro.analysis.mutations import run_mutation
+
+    report = run_mutation(CONCURRENCY_MUTATION)
+    print(f"mutation {CONCURRENCY_MUTATION!r}: {len(report)} finding(s)")
+    print(report.format())
+    # A mutation fixture is healthy when the analyzer *catches* it.
+    return 0 if len(report) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Seeded concurrency mutation: The group scheduler emits its conflict-ordered batches reversed.
+
+A dependent refresh pair (downstream reads the MV table upstream
+writes) must keep registration order across batches; with the batch
+list reversed, the schedule edge and the registration edge for the
+conflicting pair close a lock-order cycle. Caught as RVM603.
+
+Run:  python examples/mutations/swapped_batch_order_demo.py
+Lint: python -m repro lint --concurrency examples/mutations/swapped_batch_order_demo.py
+"""
+
+#: Consumed by ``repro lint --concurrency`` and the mutation harness.
+CONCURRENCY_MUTATION = "swapped_batch_order"
+
+
+def main() -> int:
+    from repro.analysis.mutations import run_mutation
+
+    report = run_mutation(CONCURRENCY_MUTATION)
+    print(f"mutation {CONCURRENCY_MUTATION!r}: {len(report)} finding(s)")
+    print(report.format())
+    # A mutation fixture is healthy when the analyzer *catches* it.
+    return 0 if len(report) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

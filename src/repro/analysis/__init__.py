@@ -11,12 +11,25 @@ Three pillars (see ``docs/analysis.md``):
   \\mathrm{Del}(\\widehat{L},Q)`;
 * **state-bug detection** (:mod:`repro.analysis.statebug`) —
   ``RVM3xx`` findings for refresh machinery that mixes pre- and
-  post-update state (Section 1.2).
+  post-update state (Section 1.2);
+* **concurrency effects** (:mod:`repro.analysis.effects` +
+  :mod:`repro.analysis.concurrency_check`) — inferred read/write/lock
+  footprints of the maintenance protocols checked against the Section
+  5.3 lock discipline (``RVM6xx``), with a dynamic lockset sanitizer
+  counterpart in :mod:`repro.obs.sanitizer`.
 
 The :mod:`repro.analysis.lint` driver ties them together behind
 ``python -m repro lint``.
 """
 
+from repro.analysis.concurrency_check import (
+    check_journal_coverage,
+    check_scenario,
+    check_schedule,
+    check_stack,
+    check_tasks,
+    demo_stack_report,
+)
 from repro.analysis.diagnostics import (
     CODES,
     AnalysisReport,
@@ -35,10 +48,22 @@ from repro.analysis.properties import (
     redundant_min_guard,
     subsumed_by,
 )
+from repro.analysis.effects import EffectSet, OpEffects, Step, plan_effects, read_footprint
 from repro.analysis.schema_check import check_expr
 from repro.analysis.statebug import audit_plan, audit_refresh_pair, check_log_polarity
 
 __all__ = [
+    "EffectSet",
+    "OpEffects",
+    "Step",
+    "plan_effects",
+    "read_footprint",
+    "check_journal_coverage",
+    "check_scenario",
+    "check_schedule",
+    "check_stack",
+    "check_tasks",
+    "demo_stack_report",
     "CODES",
     "AnalysisReport",
     "AnalysisWarning",

@@ -13,7 +13,10 @@ Code ranges:
 * ``RVM2xx`` — derived-property and minimality findings (Lemmas 2–4);
 * ``RVM3xx`` — state-bug findings (Section 1.2 / Lemma 1 duality);
 * ``RVM4xx`` — robustness/durability findings (crash safety of the
-  maintenance state; see :mod:`repro.robustness`).
+  maintenance state; see :mod:`repro.robustness`);
+* ``RVM5xx`` — group-refresh configuration findings;
+* ``RVM6xx`` — concurrency/effect findings (Section 5.3 lock discipline;
+  see :mod:`repro.analysis.concurrency_check`).
 """
 
 from __future__ import annotations
@@ -64,6 +67,11 @@ CODES: dict[str, str] = {
     "RVM302": "state bug: refresh pair disagrees with PAST-state oracle",
     "RVM401": "scenario installed on persistent database without journaling",
     "RVM501": "view overlaps a refresh group but is registered outside it",
+    "RVM601": "table read during refresh outside any lock section",
+    "RVM602": "write effect not covered by exclusive lock",
+    "RVM603": "potential lock-order cycle across group batches",
+    "RVM604": "scheduler task declares narrower read/write set than its inferred footprint",
+    "RVM605": "journal intent payload omits a written table",
 }
 
 
@@ -93,6 +101,16 @@ class Diagnostic:
         location = f" [{', '.join(where)}]" if where else ""
         return f"{self.code} {self.severity.label()}{location}: {self.message}"
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (``repro lint --json``, CI gates)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.label(),
+            "message": self.message,
+            "path": self.path,
+            "position": self.position,
+        }
+
     def __str__(self) -> str:
         return self.format()
 
@@ -103,9 +121,19 @@ class AnalysisWarning(UserWarning):
 
 @dataclass
 class AnalysisReport:
-    """An ordered collection of diagnostics with convenience accessors."""
+    """An ordered collection of diagnostics with convenience accessors.
+
+    Identical ``(code, path, message)`` findings are reported once per
+    report: re-traversals of shared subtrees (plan caches, repeated
+    property queries) collapse onto the first occurrence instead of
+    repeating it per visit.
+    """
 
     diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def _seen(self, diagnostic: Diagnostic) -> bool:
+        key = (diagnostic.code, diagnostic.path, diagnostic.message)
+        return any((d.code, d.path, d.message) == key for d in self.diagnostics)
 
     def add(
         self,
@@ -117,11 +145,14 @@ class AnalysisReport:
         position: int | None = None,
     ) -> Diagnostic:
         diagnostic = Diagnostic(code, severity, message, path=path, position=position)
-        self.diagnostics.append(diagnostic)
+        if not self._seen(diagnostic):
+            self.diagnostics.append(diagnostic)
         return diagnostic
 
     def extend(self, other: AnalysisReport) -> AnalysisReport:
-        self.diagnostics.extend(other.diagnostics)
+        for diagnostic in other.diagnostics:
+            if not self._seen(diagnostic):
+                self.diagnostics.append(diagnostic)
         return self
 
     @property
@@ -151,6 +182,15 @@ class AnalysisReport:
         if not self.diagnostics:
             return "no diagnostics"
         return "\n".join(d.format() for d in self.diagnostics)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form: diagnostics plus severity tallies."""
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+        }
 
     def __len__(self) -> int:
         return len(self.diagnostics)

@@ -13,7 +13,14 @@ view installation (warn-by-default, ``strict=True`` raises), and by CI:
   ``LINT_SCHEMA`` / ``LINT_QUERIES`` manifest plus state-bug detection
   (verified against the canonical Example 1.2/1.3 fixtures);
 * :func:`lint_experiments` — the named E1–E16 experiment queries;
+* :func:`lint_concurrency` — the RVM6xx concurrency/effect suite: the
+  clean demo stack (must lint empty) or, for a target file declaring
+  ``CONCURRENCY_MUTATION``, the seeded-mutation probes (must lint
+  non-empty);
 * :func:`main` — the command-line front end.
+
+Exit-code contract (stable; CI gates depend on it): **0** clean, **1**
+warnings promoted by ``--strict``, **2** errors (or usage problems).
 """
 
 from __future__ import annotations
@@ -45,6 +52,7 @@ __all__ = [
     "lint_view",
     "lint_example",
     "lint_experiments",
+    "lint_concurrency",
     "experiment_queries",
     "main",
 ]
@@ -317,6 +325,40 @@ def lint_experiments(*, engine: str | None = None) -> AnalysisReport:
 
 
 # ----------------------------------------------------------------------
+# Concurrency / effect suite (RVM6xx)
+# ----------------------------------------------------------------------
+
+
+def lint_concurrency(path: str | None = None, *, engine: str | None = None) -> AnalysisReport:
+    """Run the RVM6xx concurrency suite.
+
+    With no ``path``, lints the *clean* canonical stack: the static
+    effect/lock-coverage pass over all four scenarios plus the dynamic
+    lockset-sanitizer probes — an empty report is the healthy outcome.
+
+    With a ``path`` to a Python file, the file's ``CONCURRENCY_MUTATION``
+    declaration (if any) selects a seeded fault from
+    :mod:`repro.analysis.mutations` and the suite runs *under* that
+    fault — here a **non-empty** report is the healthy outcome, and the
+    fixture files under ``examples/mutations/`` encode exactly that.
+    Files without the declaration get the static pass over the clean
+    stack.
+    """
+    from repro.analysis.concurrency_check import demo_stack_report
+    from repro.analysis.mutations import run_clean, run_mutation
+
+    exec_mode = engine if engine is not None else "compiled"
+    if path is None:
+        report = demo_stack_report(exec_mode=exec_mode)
+        return report.extend(run_clean(exec_mode=exec_mode))
+    module = _load_module(path)
+    mutation = getattr(module, "CONCURRENCY_MUTATION", None)
+    if mutation is not None:
+        return run_mutation(mutation, exec_mode=exec_mode)
+    return demo_stack_report(exec_mode=exec_mode)
+
+
+# ----------------------------------------------------------------------
 # Command line
 # ----------------------------------------------------------------------
 
@@ -330,21 +372,31 @@ Targets:
 
 Options:
   --experiments    lint the named E1-E16 experiment queries
+  --concurrency    run the RVM6xx concurrency/effect suite; alone it lints
+                   the clean demo stack (must be empty), on a .py target it
+                   honours the file's CONCURRENCY_MUTATION declaration
   --engine MODE    execution mode for the scratch catalog (compiled /
                    interpreted / vectorized / sqlite); diagnostics are
                    static and must not depend on it
-  --strict         exit non-zero on warnings as well as errors
+  --json           emit machine-readable JSON instead of text
+  --strict         exit 1 on warnings (errors always exit 2)
   --verbose        show info-level notes too
+
+Exit status: 0 clean, 1 warnings under --strict, 2 errors or usage problems.
 """
 
 
 def main(argv: list[str]) -> int:
     """``python -m repro lint`` entry point.  Returns the exit status."""
+    import json as json_module
+
     from repro.exec import resolve_exec_mode
 
     strict = "--strict" in argv
     verbose = "--verbose" in argv
     experiments = "--experiments" in argv
+    concurrency = "--concurrency" in argv
+    as_json = "--json" in argv
     engine: str | None = None
     positional: list[str] = []
     arguments = iter(argv)
@@ -365,29 +417,45 @@ def main(argv: list[str]) -> int:
             print(str(exc))
             return 2
     targets = positional
-    if not targets and not experiments:
+    if not targets and not experiments and not concurrency:
         print(_USAGE)
         return 2
-    failed = False
     sections: list[tuple[str, AnalysisReport]] = []
     if experiments:
         sections.append(("experiments", lint_experiments(engine=engine)))
+    if concurrency and not targets:
+        sections.append(("concurrency", lint_concurrency(engine=engine)))
     for target in targets:
         if target.endswith(".py"):
             sections.append((target, lint_example(target, engine=engine)))
+            if concurrency:
+                sections.append((f"{target}:concurrency", lint_concurrency(target, engine=engine)))
         elif target.endswith(".sql"):
             with open(target) as handle:
                 sections.append((target, lint_sql(handle.read(), engine=engine)))
         else:
             sections.append(("<sql>", lint_sql(target, engine=engine)))
+    has_errors = any(report.errors for _, report in sections)
+    has_warnings = any(report.warnings for _, report in sections)
+    status = 2 if has_errors else (1 if strict and has_warnings else 0)
+    if as_json:
+        payload = {
+            "status": status,
+            "strict": strict,
+            "sections": [
+                {"target": label, "clean": not report.errors and not report.warnings}
+                | report.to_dict()
+                for label, report in sections
+            ],
+        }
+        print(json_module.dumps(payload, indent=2))
+        return status
     for label, report in sections:
         shown = list(report.errors) + list(report.warnings)
         if verbose:
             shown += list(report.infos)
         for diagnostic in shown:
             print(f"{label}: {diagnostic.format()}")
-        if report.errors or (strict and report.warnings):
-            failed = True
-        elif not shown:
+        if not shown:
             print(f"{label}: clean")
-    return 1 if failed else 0
+    return status

@@ -160,8 +160,14 @@ def run_policy_comparison(*, smoke: bool = False, k: int = 2, m: int = 7) -> dic
 # ----------------------------------------------------------------------
 
 
-def _e7_shaped_run(*, smoke: bool, enabled: bool) -> dict[str, object]:
-    """An E7-shaped transaction stream + refresh, observed or not."""
+def _e7_shaped_run(*, smoke: bool, enabled: bool, sanitizer: bool = False) -> dict[str, object]:
+    """An E7-shaped transaction stream + refresh, observed or not.
+
+    ``sanitizer=True`` runs under the dynamic lockset sanitizer *only*
+    (tracer/metrics/accounting stay as ``enabled`` says) — the
+    regression gate's ``--sanitizer-guard`` uses this to price the
+    sanitizer's overhead in isolation.
+    """
     initial_sales = 200 if smoke else 800
     pending = initial_sales
     config = RetailConfig(customers=80, initial_sales=initial_sales, txn_inserts=20, seed=96)
@@ -183,13 +189,20 @@ def _e7_shaped_run(*, smoke: bool, enabled: bool) -> dict[str, object]:
         scenario.uninstall()
         return ops, wall
 
-    if enabled:
-        with obs.observed():
+    if enabled or sanitizer:
+        with obs.observed(
+            tracer=enabled, metrics=enabled, accounting=enabled, sanitizer=sanitizer
+        ) as stack:
             ops, wall = run()
+            findings = len(stack.sanitizer.findings) if sanitizer else 0
     else:
         obs.disable()
         ops, wall = run()
-    return {"ops": ops, "wall_s": round(wall, 6)}
+        findings = 0
+    result = {"ops": ops, "wall_s": round(wall, 6)}
+    if sanitizer:
+        result["sanitizer_findings"] = findings
+    return result
 
 
 def run_overhead_check(*, smoke: bool = False, repeats: int = 3) -> dict[str, object]:

@@ -11,6 +11,17 @@ headroom factor (``--tolerance``, default 1.2): vectorized must stay
 within ``tolerance × compiled``.  Set ``--tolerance 1.0`` for a strict
 local check.  Experiments missing either engine are skipped (the gate
 only judges what was measured).
+
+``--sanitizer-guard`` runs a second, self-contained gate for the
+dynamic lockset sanitizer (:mod:`repro.obs.sanitizer`): on two pinned
+smoke workloads (the E7-shaped refresh stream and an 8-view group
+epoch) the sanitizer-disabled tuple-op counts must be **bit-identical**
+to the checked-in baselines in ``bench/baselines/sanitizer_ops.json``,
+the sanitizer-enabled counts must match them too (tracking changes no
+accounting), the clean workloads must produce zero findings, and the
+sanitizer's wall-clock overhead must stay within
+``--sanitizer-tolerance`` (default 1.05×, judged on the median wall
+ratio over ``--repeats`` interleaved plain/sanitized run pairs).
 """
 
 from __future__ import annotations
@@ -18,9 +29,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
-__all__ = ["check", "main"]
+__all__ = ["check", "sanitizer_guard", "main"]
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+_SANITIZER_BASELINE = _REPO_ROOT / "bench" / "baselines" / "sanitizer_ops.json"
 
 _EXPERIMENT_WALLS = {
     "E7_refresh": lambda run: run["refresh_wall_s"],
@@ -50,6 +65,94 @@ def check(
     return violations
 
 
+# ----------------------------------------------------------------------
+# Sanitizer overhead guard
+# ----------------------------------------------------------------------
+
+
+def _e7_smoke_run(sanitizer: bool) -> tuple[int, float, int]:
+    from repro.bench.obs_bench import _e7_shaped_run
+
+    result = _e7_shaped_run(smoke=True, enabled=False, sanitizer=sanitizer)
+    return result["ops"], result["wall_s"], result.get("sanitizer_findings", 0)
+
+
+def _group_smoke_run(sanitizer: bool) -> tuple[int, float, int]:
+    from repro import obs
+    from repro.bench.group_bench import _build
+
+    manager, _ = _build("compiled", 8, smoke=True)
+    marker = manager.counter.tuples_out
+    findings = 0
+    start = time.perf_counter()
+    if sanitizer:
+        with obs.observed(
+            tracer=False, metrics=False, accounting=False, sanitizer=True
+        ) as stack:
+            manager.refresh_group(parallel=False)
+            findings = len(stack.sanitizer.findings)
+    else:
+        obs.disable()
+        manager.refresh_group(parallel=False)
+    wall = time.perf_counter() - start
+    return manager.counter.tuples_out - marker, wall, findings
+
+
+_SANITIZER_WORKLOADS = {
+    "e7_smoke": _e7_smoke_run,
+    "group_smoke_8_views": _group_smoke_run,
+}
+
+
+def sanitizer_guard(
+    baseline_path: Path = _SANITIZER_BASELINE, *, tolerance: float = 1.05, repeats: int = 15
+) -> list[str]:
+    """Violation messages for the sanitizer overhead gate (empty = pass)."""
+    baseline = json.loads(Path(baseline_path).read_text())["workloads"]
+    violations: list[str] = []
+    for name, runner in _SANITIZER_WORKLOADS.items():
+        expected = baseline[name]["ops"]
+        # Interleave the two variants so clock/cache drift over the batch
+        # biases neither side.
+        plain, sanitized = [], []
+        for _ in range(repeats):
+            plain.append(runner(False))
+            sanitized.append(runner(True))
+        plain_ops = {ops for ops, _, _ in plain}
+        sanitized_ops = {ops for ops, _, _ in sanitized}
+        if plain_ops != {expected}:
+            violations.append(
+                f"{name}: sanitizer-disabled tuple ops {sorted(plain_ops)} != "
+                f"baseline {expected}"
+            )
+        if sanitized_ops != {expected}:
+            violations.append(
+                f"{name}: sanitizer-enabled tuple ops {sorted(sanitized_ops)} != "
+                f"baseline {expected} (tracking must not change accounting)"
+            )
+        findings = sum(count for _, _, count in sanitized)
+        if findings:
+            violations.append(
+                f"{name}: clean workload produced {findings} sanitizer finding(s)"
+            )
+        # Single smoke runs finish in a few milliseconds, where scheduler
+        # jitter swamps any single measurement.  Each adjacent
+        # plain/sanitized pair runs under the same machine conditions, so
+        # its wall ratio is drift-free; the median over pairs then
+        # discards outlier runs in either direction.
+        ratios = sorted(
+            (s_wall / p_wall if p_wall else 1.0)
+            for (_, p_wall, _), (_, s_wall, _) in zip(plain, sanitized)
+        )
+        ratio = ratios[len(ratios) // 2]
+        if ratio > tolerance:
+            violations.append(
+                f"{name}: sanitizer wall overhead {ratio:.3f}x exceeds {tolerance}x "
+                f"(median of {repeats} interleaved run pairs)"
+            )
+    return violations
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -67,7 +170,47 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--subject", default="vectorized", help="engine under test")
     parser.add_argument("--baseline", default="compiled", help="engine it must not lose to")
+    parser.add_argument(
+        "--sanitizer-guard",
+        action="store_true",
+        help="run the lockset-sanitizer overhead gate instead of the exec-bench gate",
+    )
+    parser.add_argument(
+        "--sanitizer-baseline",
+        type=Path,
+        default=_SANITIZER_BASELINE,
+        help="pinned tuple-op baselines for the sanitizer guard",
+    )
+    parser.add_argument(
+        "--sanitizer-tolerance",
+        type=float,
+        default=1.05,
+        help="wall-clock headroom for the sanitizer guard (1.0 = strict)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=15,
+        help="run pairs per workload for the sanitizer guard",
+    )
     args = parser.parse_args(argv)
+
+    if args.sanitizer_guard:
+        violations = sanitizer_guard(
+            args.sanitizer_baseline,
+            tolerance=args.sanitizer_tolerance,
+            repeats=args.repeats,
+        )
+        if violations:
+            for violation in violations:
+                print(f"REGRESSION: {violation}", file=sys.stderr)
+            return 1
+        print(
+            "gate passed: sanitizer-disabled and -enabled tuple ops bit-identical "
+            f"to baselines, wall overhead within {args.sanitizer_tolerance}x on "
+            f"{', '.join(_SANITIZER_WORKLOADS)}"
+        )
+        return 0
 
     data = json.loads(args.report.read_text())
     violations = check(

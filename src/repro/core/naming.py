@@ -23,6 +23,7 @@ __all__ = [
     "dt_delete_name",
     "dt_insert_name",
     "view_of_mv",
+    "is_mv_table",
 ]
 
 
@@ -45,6 +46,16 @@ def view_of_mv(table: str) -> str:
     """The owning view of an ``MV`` table name (identity for other names)."""
     prefix = "__mv__"
     return table[len(prefix):] if table.startswith(prefix) else table
+
+
+def is_mv_table(table: str) -> bool:
+    """Whether a table name is a reader-visible materialized-view table.
+
+    ``MV`` tables are the only internal tables readers are served from,
+    so they are the resources the Section 5.3 lock discipline protects;
+    log and differential tables are maintenance-private.
+    """
+    return table.startswith("__mv__")
 
 
 def dt_delete_name(view: str) -> str:

@@ -171,6 +171,32 @@ class Scenario(ABC):
     def refresh(self) -> None:
         """Bring ``MV`` up to date: afterwards :math:`Q \\equiv MV`."""
 
+    def _refresh_lock(self, label: str):
+        """The exclusive section guarding reader-visible ``MV`` state.
+
+        Every refresh-family operation takes this lock around its ``MV``
+        reads and writes; :meth:`_refresh_lock_resources` is the static
+        declaration of the same fact, consumed by
+        ``maintenance_protocol()``.  Keeping acquisition and declaration
+        on one seam means the concurrency analyzer and the runtime code
+        cannot silently drift apart.
+        """
+        return self.ledger.exclusive(self.view.mv_table, label=label, counter=self.counter)
+
+    def _refresh_lock_resources(self) -> frozenset[str]:
+        """Resources :meth:`_refresh_lock` holds exclusively."""
+        return frozenset((self.view.mv_table,))
+
+    def maintenance_protocol(self) -> tuple:
+        """This scenario's operations as inferred effect sets.
+
+        Returns :class:`~repro.analysis.effects.OpEffects` entries built
+        from the same delta expressions and plan constructors the
+        runtime operations use, for the Section 5.3 lock-discipline
+        checks in :mod:`repro.analysis.concurrency_check`.
+        """
+        return ()
+
     def read_view(self) -> Bag:
         """The current contents of ``MV`` (what a reader sees)."""
         return self.db[self.view.mv_table]
@@ -209,12 +235,12 @@ class Scenario(ABC):
 
     def _note_stale(self) -> None:
         """Record post-transaction staleness on the active accountant."""
-        if obs.is_enabled():
+        if obs.telemetry_enabled():
             obs.accountant().mark_stale(self.view.name, pending_entries=self.staleness_entries())
 
     def _note_fresh(self, residual_entries: int | None = None) -> None:
         """Record a completed refresh (``residual_entries`` left behind)."""
-        if obs.is_enabled():
+        if obs.telemetry_enabled():
             residual = self.staleness_entries() if residual_entries is None else residual_entries
             obs.accountant().mark_fresh(self.view.name, residual_entries=residual)
             obs.metric_inc("refreshes")
@@ -235,6 +261,7 @@ def _log_delta_task(scenario, *, order: int):
     group-refresh epoch.  The *apply* half is scenario-specific
     (``scenario._apply_group_deltas``).
     """
+    from repro.analysis.effects import EffectSet, plan_effects, read_footprint
     from repro.exec.group import GroupTask, evaluate_delta_pair, subplan_fingerprint
 
     view = scenario.view
@@ -242,6 +269,13 @@ def _log_delta_task(scenario, *, order: int):
     view_delete, view_insert = post_update_delta(log, view.query)
     rename = log.canonical_rename()
     base = tuple(sorted(view.base_tables()))
+
+    # Independently inferred footprint: the compiled delta plans' read
+    # sets plus the apply plans' structural effects — *not* the declared
+    # reads/writes below, so a drifted declaration is detectable (RVM604).
+    inferred = EffectSet(reads=read_footprint(scenario.db, view_delete, view_insert))
+    for apply_plan in scenario._group_apply_plans(view_delete, view_insert):
+        inferred = inferred | plan_effects(scenario.db, apply_plan)
 
     def key():
         stamps = tuple((table, scenario.db.version_of(table)) for table in base)
@@ -268,6 +302,8 @@ def _log_delta_task(scenario, *, order: int):
         reads=frozenset(base) | frozenset(log.table_names()),
         writes=scenario._group_writes(),
         prime=prime,
+        inferred_reads=inferred.reads,
+        inferred_writes=inferred.writes,
     )
 
 
@@ -291,6 +327,28 @@ class ImmediateScenario(Scenario):
 
     def refresh(self) -> None:
         """No-op: the view is consistent after every transaction."""
+
+    def maintenance_protocol(self) -> tuple:
+        from repro.analysis.effects import EffectSet, OpEffects, Step, read_footprint
+
+        mv = self.view.mv_table
+        # makesafe_IM patches MV inside the user transaction's own
+        # atomicity, so it holds no maintenance lock — and needs none.
+        makesafe = OpEffects(
+            op="makesafe",
+            view=self.view.name,
+            scenario=self.tag,
+            steps=(
+                Step(
+                    "mv_patch",
+                    EffectSet(
+                        reads=read_footprint(self.db, self.view.query) | {mv},
+                        writes=frozenset((mv,)),
+                    ),
+                ),
+            ),
+        )
+        return (makesafe,)
 
     def invariant_holds(self) -> bool:
         return invariants.immediate_invariant(self.db, self.view)
@@ -342,13 +400,13 @@ class BaseLogScenario(Scenario):
             "refresh",
             view=self.view.name,
             scenario=self.tag,
-            log_watermark=self.log.recorded_changes() if obs.is_enabled() else 0,
+            log_watermark=self.log.recorded_changes() if obs.telemetry_enabled() else 0,
             counter=self.counter,
         ):
             view_delete, view_insert = post_update_delta(self.log, self.view.query)
             plan = MaintenancePlan(assignments=self.log.clear_assignments())
             plan.add_patch(self.view.mv_table, view_delete, view_insert)
-            with self.ledger.exclusive(self.view.mv_table, label="refresh_BL", counter=self.counter):
+            with self._refresh_lock("refresh_BL"):
                 fault_point("crash-mid-refresh")
                 plan.execute(self.db, counter=self.counter)
         self._note_fresh(0)
@@ -370,6 +428,47 @@ class BaseLogScenario(Scenario):
     def _group_writes(self) -> frozenset[str]:
         return frozenset((self.view.mv_table, *self.log.table_names()))
 
+    def _group_apply_plans(self, view_delete: Expr, view_insert: Expr) -> tuple[MaintenancePlan, ...]:
+        """The apply-side plans of a group refresh, for effect inference.
+
+        Structurally identical to the plan :meth:`_apply_group_deltas`
+        builds (the runtime version substitutes evaluated delta bags as
+        literals, which have empty footprints — the symbolic deltas here
+        are a superset).
+        """
+        plan = MaintenancePlan(assignments=self.log.clear_assignments())
+        plan.add_patch(self.view.mv_table, view_delete, view_insert)
+        return (plan,)
+
+    def maintenance_protocol(self) -> tuple:
+        from repro.analysis.effects import EffectSet, OpEffects, Step, plan_effects, read_footprint
+
+        log_tables = frozenset(self.log.table_names())
+        makesafe = OpEffects(
+            op="makesafe",
+            view=self.view.name,
+            scenario=self.tag,
+            steps=(Step("log_extend", EffectSet(reads=log_tables, writes=log_tables)),),
+        )
+        view_delete, view_insert = post_update_delta(self.log, self.view.query)
+        plan = MaintenancePlan(assignments=self.log.clear_assignments())
+        plan.add_patch(self.view.mv_table, view_delete, view_insert)
+        locked = self._refresh_lock_resources()
+        refresh = OpEffects(
+            op="refresh",
+            view=self.view.name,
+            scenario=self.tag,
+            steps=(
+                Step(
+                    "delta_compute",
+                    EffectSet(reads=read_footprint(self.db, view_delete, view_insert)),
+                    locks=locked,
+                ),
+                Step("apply", plan_effects(self.db, plan), locks=locked),
+            ),
+        )
+        return (makesafe, refresh)
+
     def _apply_group_deltas(self, deltas: tuple[Bag, Bag]) -> None:
         """The ``refresh_BL`` tail for pre-evaluated delta bags."""
         delete_bag, insert_bag = deltas
@@ -387,7 +486,7 @@ class BaseLogScenario(Scenario):
                 Literal(delete_bag, self.view.schema),
                 Literal(insert_bag, self.view.schema),
             )
-            with self.ledger.exclusive(self.view.mv_table, label="refresh_BL", counter=self.counter):
+            with self._refresh_lock("refresh_BL"):
                 fault_point("crash-mid-refresh")
                 # The bags were already evaluated (and counted) in the task's
                 # compute step; this plan only re-emits them as literals.
@@ -476,16 +575,48 @@ class DiffTableScenario(Scenario):
             "refresh",
             view=self.view.name,
             scenario=self.tag,
-            delta_rows=self._pending_dt_rows() if obs.is_enabled() else 0,
+            delta_rows=self._pending_dt_rows() if obs.telemetry_enabled() else 0,
             counter=self.counter,
         ):
-            with self.ledger.exclusive(self.view.mv_table, label="refresh_DT", counter=self.counter):
+            with self._refresh_lock("refresh_DT"):
                 fault_point("crash-mid-refresh")
                 self._apply_dt_plan().execute(self.db, counter=self.counter)
         self._note_fresh(0)
 
     def _pending_dt_rows(self) -> int:
         return len(self.db[self.view.dt_delete_table]) + len(self.db[self.view.dt_insert_table])
+
+    def maintenance_protocol(self) -> tuple:
+        from repro.analysis.effects import EffectSet, OpEffects, Step, plan_effects, read_footprint
+
+        dt_tables = frozenset((self.view.dt_delete_table, self.view.dt_insert_table))
+        makesafe = OpEffects(
+            op="makesafe",
+            view=self.view.name,
+            scenario=self.tag,
+            steps=(
+                Step(
+                    "dt_fold",
+                    EffectSet(
+                        reads=read_footprint(self.db, self.view.query) | dt_tables,
+                        writes=dt_tables,
+                    ),
+                ),
+            ),
+        )
+        refresh = OpEffects(
+            op="refresh",
+            view=self.view.name,
+            scenario=self.tag,
+            steps=(
+                Step(
+                    "apply",
+                    plan_effects(self.db, self._apply_dt_plan()),
+                    locks=self._refresh_lock_resources(),
+                ),
+            ),
+        )
+        return (makesafe, refresh)
 
     def staleness_entries(self) -> int:
         return self._pending_dt_rows()
@@ -547,7 +678,7 @@ class CombinedScenario(DiffTableScenario):
             "propagate",
             view=self.view.name,
             scenario=self.tag,
-            log_watermark=self.log.recorded_changes() if obs.is_enabled() else 0,
+            log_watermark=self.log.recorded_changes() if obs.telemetry_enabled() else 0,
             counter=self.counter,
         ):
             view_delete, view_insert = post_update_delta(self.log, self.view.query)
@@ -556,7 +687,7 @@ class CombinedScenario(DiffTableScenario):
             fault_point("crash-mid-propagate")
             plan.execute(self.db, counter=self.counter)
             super().post_execute()  # strong-minimality normalization, if enabled
-        if obs.is_enabled():
+        if obs.telemetry_enabled():
             obs.metric_inc("propagations")
 
     def partial_refresh(self) -> None:
@@ -565,15 +696,15 @@ class CombinedScenario(DiffTableScenario):
             "partial_refresh",
             view=self.view.name,
             scenario=self.tag,
-            delta_rows=self._pending_dt_rows() if obs.is_enabled() else 0,
+            delta_rows=self._pending_dt_rows() if obs.telemetry_enabled() else 0,
             counter=self.counter,
         ):
-            with self.ledger.exclusive(self.view.mv_table, label="partial_refresh_C", counter=self.counter):
+            with self._refresh_lock("partial_refresh_C"):
                 fault_point("crash-mid-refresh")
                 self._apply_dt_plan().execute(self.db, counter=self.counter)
         # Policy 2 leaves the still-unpropagated log behind: the view is
         # a bounded k ticks out of date, never fully current.
-        self._note_fresh(self.log.recorded_changes() if obs.is_enabled() else 0)
+        self._note_fresh(self.log.recorded_changes() if obs.telemetry_enabled() else 0)
 
     def refresh(self, *, order: str = "propagate_first") -> None:
         """``refresh_C``: full refresh via either composition of Figure 3.
@@ -591,9 +722,9 @@ class CombinedScenario(DiffTableScenario):
             view=self.view.name,
             scenario=self.tag,
             order=order,
-            log_watermark=self.log.recorded_changes() if obs.is_enabled() else 0,
+            log_watermark=self.log.recorded_changes() if obs.telemetry_enabled() else 0,
             counter=self.counter,
-        ), self.ledger.exclusive(self.view.mv_table, label="refresh_C", counter=self.counter):
+        ), self._refresh_lock("refresh_C"):
             fault_point("crash-mid-refresh")
             if order == "propagate_first":
                 view_delete, view_insert = post_update_delta(self.log, self.view.query)
@@ -634,6 +765,62 @@ class CombinedScenario(DiffTableScenario):
             )
         )
 
+    def _group_apply_plans(self, view_delete: Expr, view_insert: Expr) -> tuple[MaintenancePlan, ...]:
+        """The apply-side plans of a group refresh, for effect inference.
+
+        Mirrors :meth:`_apply_group_deltas`: the propagate-shaped fold
+        through the differential tables, then the differential apply.
+        """
+        propagate_plan = MaintenancePlan(assignments=self.log.clear_assignments())
+        self._fold_into_dt(propagate_plan, view_delete, view_insert)
+        return (propagate_plan, self._apply_dt_plan())
+
+    def maintenance_protocol(self) -> tuple:
+        from repro.analysis.effects import EffectSet, OpEffects, Step, plan_effects, read_footprint
+
+        log_tables = frozenset(self.log.table_names())
+        makesafe = OpEffects(
+            op="makesafe",
+            view=self.view.name,
+            scenario=self.tag,
+            steps=(Step("log_extend", EffectSet(reads=log_tables, writes=log_tables)),),
+        )
+        view_delete, view_insert = post_update_delta(self.log, self.view.query)
+        delta_reads = EffectSet(reads=read_footprint(self.db, view_delete, view_insert))
+        propagate_plan = MaintenancePlan(assignments=self.log.clear_assignments())
+        self._fold_into_dt(propagate_plan, view_delete, view_insert)
+        propagate_effects = plan_effects(self.db, propagate_plan)
+        apply_effects = plan_effects(self.db, self._apply_dt_plan())
+        locked = self._refresh_lock_resources()
+        # propagate_C holds no lock by design: it reads base/log tables
+        # and writes only maintenance-private differentials — never MV.
+        propagate = OpEffects(
+            op="propagate",
+            view=self.view.name,
+            scenario=self.tag,
+            steps=(
+                Step("delta_compute", delta_reads),
+                Step("dt_fold", propagate_effects),
+            ),
+        )
+        partial_refresh = OpEffects(
+            op="partial_refresh",
+            view=self.view.name,
+            scenario=self.tag,
+            steps=(Step("apply", apply_effects, locks=locked),),
+        )
+        refresh = OpEffects(
+            op="refresh",
+            view=self.view.name,
+            scenario=self.tag,
+            steps=(
+                Step("delta_compute", delta_reads, locks=locked),
+                Step("dt_fold", propagate_effects, locks=locked),
+                Step("apply", apply_effects, locks=locked),
+            ),
+        )
+        return (makesafe, propagate, partial_refresh, refresh)
+
     def _apply_group_deltas(self, deltas: tuple[Bag, Bag]) -> None:
         """The ``refresh_C`` (propagate-first) tail for pre-evaluated deltas."""
         delete_bag, insert_bag = deltas
@@ -647,7 +834,7 @@ class CombinedScenario(DiffTableScenario):
             delta_rows=len(delete_bag) + len(insert_bag),
             counter=self.counter,
         ):
-            with self.ledger.exclusive(self.view.mv_table, label="refresh_C", counter=self.counter):
+            with self._refresh_lock("refresh_C"):
                 fault_point("crash-mid-refresh")
                 propagate_plan = MaintenancePlan(assignments=self.log.clear_assignments())
                 self._fold_into_dt(propagate_plan, lit_delete, lit_insert)

@@ -70,6 +70,24 @@ class Executor:
         """The cached physical node for ``expr``, if compiled (for tests)."""
         return self._nodes.get(expr)
 
+    def footprint(self, expr: Expr) -> frozenset[str]:
+        """The set of stored tables the compiled plan for ``expr`` reads.
+
+        Every physical node carries the input tables its memo guard
+        stamps, so the root node's table set *is* the plan's read
+        footprint — including tables the compiler's simplifications kept
+        and excluding none.  The effect analyzer
+        (:mod:`repro.analysis.effects`) uses this as the inferred read
+        set of maintenance operations.  Compiling is side-effect-free,
+        so calling this never changes execution behavior.
+        """
+        node = self._nodes.get(expr)
+        if node is None:
+            if len(self._nodes) > self.MAX_NODES:
+                self._nodes.clear()
+            node = Compiler(self._nodes).compile(expr)
+        return frozenset(node.tables)
+
     # -- execution -----------------------------------------------------
 
     def evaluate(self, expr: Expr, *, counter: CostCounter | None = None) -> Bag:
@@ -83,7 +101,7 @@ class Executor:
                 counter.plan_misses += 1
             if len(self._nodes) > self.MAX_NODES:
                 self._nodes.clear()
-            if obs.is_enabled():
+            if obs.telemetry_enabled():
                 with obs.span("plan_compile", tables=",".join(sorted(expr.tables()))):
                     node = Compiler(self._nodes).compile(expr)
                 obs.metric_inc("plan_compiles")

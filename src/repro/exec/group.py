@@ -217,6 +217,11 @@ class GroupTask:
     reads: frozenset[str] = frozenset()
     writes: frozenset[str] = frozenset()
     prime: Callable[[], None] | None = None
+    #: Independently inferred footprint (compiled delta plans + apply-plan
+    #: structure), consumed by the concurrency analyzer's RVM604 check of
+    #: declared vs. inferred sets.  ``None`` = no inference available.
+    inferred_reads: frozenset[str] | None = None
+    inferred_writes: frozenset[str] | None = None
 
 
 def _conflicts(a: GroupTask, b: GroupTask) -> bool:

@@ -459,6 +459,10 @@ class SharedLogScenario:
             reads=frozenset(base + log_tables),
             writes=frozenset((view.mv_table,)),
             prime=prime,
+            # The MV patch is a read-modify-write of the MV table; its
+            # read side is covered by the declared write above (RVM604).
+            inferred_reads=frozenset(base + log_tables) | {view.mv_table},
+            inferred_writes=frozenset((view.mv_table,)),
         )
 
     # ------------------------------------------------------------------

@@ -49,6 +49,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetrics,
 )
+from repro.obs.sanitizer import (
+    NULL_SANITIZER,
+    OP_SPANS,
+    LocksetSanitizer,
+    NullSanitizer,
+    SanitizerFinding,
+)
 from repro.obs.tracer import NULL_HANDLE, NullTracer, Span, SpanHandle, Tracer
 
 __all__ = [
@@ -58,6 +65,11 @@ __all__ = [
     "observed",
     "current",
     "is_enabled",
+    "telemetry_enabled",
+    "active_sanitizer",
+    "LocksetSanitizer",
+    "NullSanitizer",
+    "SanitizerFinding",
     "span",
     "metric_inc",
     "metric_observe",
@@ -82,29 +94,43 @@ __all__ = [
 
 
 class Observability:
-    """One tracer + one metrics registry + one downtime accountant."""
+    """One tracer + one metrics registry + one downtime accountant.
 
-    __slots__ = ("tracer", "metrics", "accounting", "enabled")
+    Plus, optionally, one dynamic lockset sanitizer
+    (:class:`~repro.obs.sanitizer.LocksetSanitizer`) — off by default
+    like everything else here.
+    """
 
-    def __init__(self, tracer=None, metrics=None, accounting=None) -> None:
+    __slots__ = ("tracer", "metrics", "accounting", "sanitizer", "telemetry", "enabled")
+
+    def __init__(self, tracer=None, metrics=None, accounting=None, sanitizer=None) -> None:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.accounting = accounting if accounting is not None else DowntimeAccountant()
-        self.enabled = bool(
+        self.sanitizer = sanitizer if sanitizer is not None else NULL_SANITIZER
+        #: Whether any *reporting* piece (tracer/metrics/accounting) is
+        #: live.  Instrumented sites that compute values only to feed
+        #: those pieces (delta sizes, log watermarks) gate on this, not
+        #: on ``enabled`` — a sanitizer-only stack must not pay for
+        #: telemetry nobody records.
+        self.telemetry = bool(
             getattr(self.tracer, "enabled", False)
             or getattr(self.metrics, "enabled", False)
             or getattr(self.accounting, "enabled", False)
         )
+        self.enabled = self.telemetry or bool(getattr(self.sanitizer, "enabled", False))
 
     def reset(self) -> None:
         self.tracer.reset()
         self.metrics.reset()
         self.accounting.reset()
+        if self.sanitizer.enabled:
+            self.sanitizer.reset()
 
 
 #: The default no-op stack; instrumentation dispatches through
 #: :data:`_current`, which points here unless :func:`enable` ran.
-NULL_OBS = Observability(NullTracer(), NullMetrics(), NullAccountant())
+NULL_OBS = Observability(NullTracer(), NullMetrics(), NullAccountant(), NULL_SANITIZER)
 
 _current: Observability = NULL_OBS
 
@@ -118,16 +144,24 @@ def is_enabled() -> bool:
     return _current.enabled
 
 
+def telemetry_enabled() -> bool:
+    """Whether tracer/metrics/accounting (not just the sanitizer) are live."""
+    return _current.telemetry
+
+
 def enable(
     *,
     tracer: bool | Tracer = True,
     metrics: bool | MetricsRegistry = True,
     accounting: bool | DowntimeAccountant = True,
+    sanitizer: bool | LocksetSanitizer = False,
 ) -> Observability:
     """Install (and return) a live observability stack.
 
     Each piece can be toggled off individually (``tracer=False``) or
-    replaced with a preconfigured instance.
+    replaced with a preconfigured instance.  The lockset ``sanitizer``
+    is opt-in (``sanitizer=True``): it changes no results and no tuple
+    accounting, but it is extra per-access work.
     """
     global _current
     _current = Observability(
@@ -136,6 +170,9 @@ def enable(
         accounting
         if not isinstance(accounting, bool)
         else (DowntimeAccountant() if accounting else NullAccountant()),
+        sanitizer
+        if not isinstance(sanitizer, bool)
+        else (LocksetSanitizer() if sanitizer else NULL_SANITIZER),
     )
     return _current
 
@@ -163,9 +200,47 @@ def observed(**options: Any) -> Iterator[Observability]:
 # ----------------------------------------------------------------------
 
 
+class _SanitizedSpan:
+    """Span wrapper that pushes/pops the sanitizer's operation stack."""
+
+    __slots__ = ("_inner", "_sanitizer", "_name", "_view")
+
+    def __init__(self, inner, sanitizer, name: str, view: str) -> None:
+        self._inner = inner
+        self._sanitizer = sanitizer
+        self._name = name
+        self._view = view
+
+    def __enter__(self):
+        self._sanitizer.op_enter(self._name, self._view)
+        return self._inner.__enter__()
+
+    def __exit__(self, *exc_info):
+        try:
+            return self._inner.__exit__(*exc_info)
+        finally:
+            self._sanitizer.op_exit(self._name)
+
+
 def span(name: str, *, counter: Any = None, parent: Any = None, **attrs: Any):
-    """Open a span on the current tracer (the shared no-op when disabled)."""
-    return _current.tracer.span(name, counter=counter, parent=parent, **attrs)
+    """Open a span on the current tracer (the shared no-op when disabled).
+
+    When the lockset sanitizer is enabled and the span names a
+    maintenance operation (``makesafe`` / ``refresh`` /
+    ``partial_refresh`` / ``propagate``), the handle also scopes the
+    sanitizer's per-thread operation stack.
+    """
+    handle = _current.tracer.span(name, counter=counter, parent=parent, **attrs)
+    sanitizer = _current.sanitizer
+    if sanitizer.enabled and name in OP_SPANS:
+        return _SanitizedSpan(handle, sanitizer, name, str(attrs.get("view", "")))
+    return handle
+
+
+def active_sanitizer() -> LocksetSanitizer | None:
+    """The live lockset sanitizer, or ``None`` when disabled."""
+    sanitizer = _current.sanitizer
+    return sanitizer if sanitizer.enabled else None
 
 
 def metric_inc(name: str, amount: float = 1) -> None:

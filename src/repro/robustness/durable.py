@@ -48,7 +48,21 @@ from repro.robustness.journal import (
 from repro.warehouse.manager import ViewManager
 from repro.warehouse.persistence import load_warehouse, save_warehouse
 
-__all__ = ["DurableWarehouse", "DurableTransaction"]
+__all__ = ["DurableWarehouse", "DurableTransaction", "intent_payload_tables"]
+
+
+def intent_payload_tables(db) -> frozenset[str]:
+    """The tables whose digests every journal intent payload carries.
+
+    This is the *coverage seam* of the write-ahead protocol: recovery
+    can only verify or roll back tables digested in an intent's
+    ``pre_digests``, so the concurrency analyzer's RVM605 check holds
+    every maintenance operation's inferred write set against exactly
+    this set — and the dynamic sanitizer diffs version stamps around
+    each journaled action against the same set.  Narrowing it (the
+    seeded ``omitted_journal_table`` mutation) is caught by both.
+    """
+    return frozenset(db.table_names())
 
 
 class DurableTransaction:
@@ -163,11 +177,27 @@ class DurableWarehouse:
         if token is not None and self.journal.has_committed(token):
             return False
         full_payload = dict(payload or {})
-        full_payload.setdefault("pre_digests", table_digests(self.db))
+        full_payload.setdefault("pre_digests", table_digests(self.db, intent_payload_tables(self.db)))
         with obs.span("journal_op", kind=kind, view=view or "", counter=self.manager.counter):
             op_id = self.journal.begin(kind, view=view, token=token, payload=full_payload)
             fault_point("crash-after-journal")
+            sanitizer = obs.active_sanitizer()
+            if sanitizer is not None:
+                stamps = {name: self.db.version_of(name) for name in self.db.table_names()}
             action()
+            if sanitizer is not None:
+                # Dynamic RVM605: every *pre-existing* table the action
+                # wrote (version-stamp diff) must be digested in the
+                # intent.  Tables the action itself created have no
+                # pre-state for recovery to verify or restore.
+                written = {
+                    name
+                    for name in self.db.table_names()
+                    if name in stamps and self.db.version_of(name) != stamps[name]
+                }
+                sanitizer.check_journal_payload(
+                    kind, written, frozenset(full_payload.get("pre_digests", {}))
+                )
             with obs.span("checkpoint", path=str(self.path)):
                 self._checkpoint()
             fault_point("crash-after-checkpoint")
@@ -245,7 +275,7 @@ class DurableWarehouse:
             "txn",
             lambda: self.manager.execute(literal),
             token=token,
-            payload={"deltas": deltas, "pre_digests": table_digests(self.db)},
+            payload={"deltas": deltas, "pre_digests": table_digests(self.db, intent_payload_tables(self.db))},
         )
 
     def execute_sql(self, script: str, *, token: str | None = None) -> bool:
@@ -264,14 +294,14 @@ class DurableWarehouse:
             "refresh",
             lambda: self.manager.refresh(name),
             view=name,
-            payload={"watermark": self._watermark([name]), "pre_digests": table_digests(self.db)},
+            payload={"watermark": self._watermark([name]), "pre_digests": table_digests(self.db, intent_payload_tables(self.db))},
         )
 
     def refresh_all(self) -> None:
         self._run_journaled(
             "refresh_all",
             self.manager.refresh_all,
-            payload={"watermark": self._watermark(self.views()), "pre_digests": table_digests(self.db)},
+            payload={"watermark": self._watermark(self.views()), "pre_digests": table_digests(self.db, intent_payload_tables(self.db))},
         )
 
     def refresh_group(
@@ -300,7 +330,7 @@ class DurableWarehouse:
                 "views": members,
                 "compact": compact,
                 "watermark": self._watermark(members),
-                "pre_digests": table_digests(self.db),
+                "pre_digests": table_digests(self.db, intent_payload_tables(self.db)),
             },
         )
 
@@ -309,7 +339,7 @@ class DurableWarehouse:
             "propagate",
             lambda: self.manager.propagate(name),
             view=name,
-            payload={"watermark": self._watermark([name]), "pre_digests": table_digests(self.db)},
+            payload={"watermark": self._watermark([name]), "pre_digests": table_digests(self.db, intent_payload_tables(self.db))},
         )
 
     def partial_refresh(self, name: str) -> None:
@@ -317,7 +347,7 @@ class DurableWarehouse:
             "partial_refresh",
             lambda: self.manager.partial_refresh(name),
             view=name,
-            payload={"watermark": self._watermark([name]), "pre_digests": table_digests(self.db)},
+            payload={"watermark": self._watermark([name]), "pre_digests": table_digests(self.db, intent_payload_tables(self.db))},
         )
 
     # ------------------------------------------------------------------

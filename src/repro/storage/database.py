@@ -237,6 +237,9 @@ class Database:
 
     def evaluate(self, expr: Expr, *, counter: CostCounter | None = None) -> Bag:
         """Evaluate a query in the current state."""
+        sanitizer = obs.active_sanitizer()
+        if sanitizer is not None and sanitizer.tracking():
+            sanitizer.on_read(expr.tables())
         if self._exec_mode == INTERPRETED:
             return evaluate(expr, self._tables, counter=counter)
         return self.executor.evaluate(expr, counter=counter)
@@ -322,6 +325,12 @@ class Database:
     ) -> None:
         interpreted = self._exec_mode == INTERPRETED
         memo: dict[Expr, Bag] = {}
+        # The op stack only changes at span boundaries outside this call,
+        # so whether accesses are judged is constant for the whole
+        # transaction — hoist the check out of the per-expression loops.
+        sanitizer = obs.active_sanitizer()
+        if sanitizer is not None and not sanitizer.tracking():
+            sanitizer = None
 
         def run(expr: Expr) -> Bag:
             # Engine-backed modes: the executor's version-stamped memo
@@ -329,6 +338,8 @@ class Database:
             # evaluations of the (unchanged) pre-state.  Interpreted: a
             # fresh memo scoped to this transaction's pre-state (see the
             # warning on :func:`repro.algebra.evaluation.evaluate`).
+            if sanitizer is not None:
+                sanitizer.on_read(expr.tables())
             if interpreted:
                 return evaluate(expr, self._tables, counter=counter, memo=memo)
             return self.executor.evaluate(expr, counter=counter)
@@ -356,9 +367,14 @@ class Database:
             insert_value = run(insert)
             if counter is not None:
                 counter.record("patch", len(delete_value) + len(insert_value))
+            if sanitizer is not None:
+                # A patch is a read-modify-write of its target table.
+                sanitizer.on_read((name,))
             new_values[name] = self._tables[name].patch(delete_value, insert_value)
             patch_deltas[name] = (delete_value, insert_value)
-        if obs.is_enabled():
+        if sanitizer is not None:
+            sanitizer.on_write(new_values)
+        if obs.telemetry_enabled():
             obs.metric_inc("transactions")
             for delete_value, insert_value in patch_deltas.values():
                 obs.metric_observe("delta_rows", len(delete_value) + len(insert_value))

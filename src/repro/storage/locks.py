@@ -51,11 +51,16 @@ class LockLedger:
         during the block (0 when no counter is supplied).
         """
         ops_before = counter.tuples_out if counter is not None else 0
+        sanitizer = obs.active_sanitizer()
+        if sanitizer is not None:
+            sanitizer.lock_acquired(resource)
         started = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - started
+            if sanitizer is not None:
+                sanitizer.lock_released(resource)
             ops_after = counter.tuples_out if counter is not None else 0
             ops = ops_after - ops_before
             self.sections.append(
@@ -66,7 +71,7 @@ class LockLedger:
                     tuple_ops=ops,
                 )
             )
-            if obs.is_enabled():
+            if obs.telemetry_enabled():
                 # Every exclusive section on a view table is downtime in
                 # the paper's model: account it per view and feed the
                 # refresh-latency histograms.  (Import here: storage sits

@@ -265,6 +265,31 @@ class ViewManager:
         for diagnostic in report.warnings:
             warnings.warn(diagnostic.format(), AnalysisWarning, stacklevel=3)
 
+    def _lint_group_schedule(self, tasks) -> None:
+        """RVM603/RVM604: validate a group epoch's tasks before running it.
+
+        Each task's *declared* read/write sets must cover the footprint
+        the effect system infers from its scenario's maintenance
+        protocol (RVM604 — an under-declared task can be co-batched with
+        a conflicting one), and the batch schedule must respect
+        registration order for every conflicting pair (RVM603).  Checked
+        once per epoch; warn-by-default like :meth:`_lint_group_overlap`
+        — the epoch still runs, because the scheduler's own batching is
+        conservative, but the warning means the declared metadata can no
+        longer be trusted to prove that.
+        """
+        import warnings
+
+        from repro.analysis.concurrency_check import check_schedule, check_tasks
+        from repro.analysis.diagnostics import AnalysisWarning
+
+        if not tasks:
+            return
+        report = check_tasks(tasks)
+        report.extend(check_schedule(tasks))
+        for diagnostic in report:
+            warnings.warn(diagnostic.format(), AnalysisWarning, stacklevel=4)
+
     def scenario(self, name: str) -> Scenario:
         """The scenario object maintaining view ``name``."""
         try:
@@ -336,7 +361,7 @@ class ViewManager:
             plan.execute(self.db, counter=self.counter)
             for scenario in self._scenarios.values():
                 scenario.post_execute()
-        if obs.is_enabled():
+        if obs.telemetry_enabled():
             for scenario in self._scenarios.values():
                 # AggregateScenario wears the Scenario interface without
                 # subclassing it; skip anything without the hook.
@@ -390,7 +415,7 @@ class ViewManager:
             counter=self.counter,
         ):
             self._refresh_group(members, parallel=parallel, max_workers=max_workers, compact=compact)
-        if obs.is_enabled():
+        if obs.telemetry_enabled():
             obs.metric_inc("group_epochs")
             obs.current().metrics.absorb_counter(self.counter)
 
@@ -421,6 +446,7 @@ class ViewManager:
             if compact:
                 group.compact()
             tasks.extend(group.group_tasks(group_members))
+        self._lint_group_schedule(tasks)
         scheduler = GroupScheduler(
             counter=self.counter, parallel=parallel, max_workers=max_workers
         )

@@ -104,9 +104,9 @@ class TestCli:
         assert status == 0
         assert "clean" in capsys.readouterr().out
 
-    def test_inline_sql_error_exit_one(self, capsys):
+    def test_inline_sql_error_exit_two(self, capsys):
         status = main(["SELECT z FROM nowhere"])
-        assert status == 1
+        assert status == 2
         out = capsys.readouterr().out
         assert "RVM" in out
 
@@ -126,7 +126,7 @@ class TestCli:
 
     def test_example_driver(self, capsys):
         demo = os.path.join(EXAMPLES, "state_bug_demo.py")
-        assert main([demo]) == 1
+        assert main([demo]) == 2
         assert "RVM30" in capsys.readouterr().out
 
     def test_experiments_flag(self, capsys):
@@ -146,6 +146,49 @@ class TestCli:
     def test_unknown_engine_exits_two(self, capsys):
         assert main(["--engine", "turbo", "SELECT 1"]) == 2
         assert "unknown execution mode" in capsys.readouterr().out
+
+    def test_json_output_clean(self, capsys):
+        import json
+
+        status = main(["--json", "CREATE TABLE r (a); SELECT a FROM r"])
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 0
+        assert payload["status"] == 0
+        (section,) = payload["sections"]
+        assert section["clean"] is True
+        assert section["diagnostics"] == []
+
+    def test_json_output_error(self, capsys):
+        import json
+
+        status = main(["--json", "SELECT z FROM nowhere"])
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 2
+        assert payload["status"] == 2
+        (section,) = payload["sections"]
+        assert section["clean"] is False
+        assert section["errors"] >= 1
+        diag = section["diagnostics"][0]
+        assert set(diag) == {"code", "severity", "message", "path", "position"}
+        assert diag["severity"] == "error"
+
+    def test_concurrency_flag_clean_stack(self, capsys):
+        assert main(["--concurrency"]) == 0
+        assert "concurrency: clean" in capsys.readouterr().out
+
+    def test_concurrency_flag_on_mutation_fixture(self, capsys):
+        import json
+
+        fixture = os.path.join(EXAMPLES, "mutations", "narrowed_write_set_demo.py")
+        status = main(["--json", "--concurrency", fixture])
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 2
+        codes = {
+            diag["code"]
+            for section in payload["sections"]
+            for diag in section["diagnostics"]
+        }
+        assert "RVM604" in codes
 
     def test_diagnostics_identical_across_engines(self):
         # Lints are static: the selected engine must change nothing.

@@ -1,0 +1,99 @@
+"""LockLedger edge cases: re-entrancy, mid-section reset, no counter."""
+
+import pytest
+
+from repro.algebra.evaluation import CostCounter
+from repro.storage.locks import LockLedger
+
+
+class TestReentrancy:
+    def test_nested_exclusive_same_resource_records_both_sections(self):
+        ledger = LockLedger()
+        with ledger.exclusive("__mv__V", label="outer"):
+            with ledger.exclusive("__mv__V", label="inner"):
+                pass
+        assert ledger.section_count("__mv__V") == 2
+        # Inner section completes (and is recorded) first.
+        assert [s.label for s in ledger.sections] == ["inner", "outer"]
+
+    def test_nested_sections_share_counter_growth(self):
+        counter = CostCounter()
+        ledger = LockLedger()
+        with ledger.exclusive("__mv__V", label="outer", counter=counter):
+            counter.tuples_out += 3
+            with ledger.exclusive("__mv__V", label="inner", counter=counter):
+                counter.tuples_out += 5
+        by_label = {s.label: s.tuple_ops for s in ledger.sections}
+        assert by_label == {"inner": 5, "outer": 8}
+
+    def test_nested_distinct_resources(self):
+        ledger = LockLedger()
+        with ledger.exclusive("__mv__A"):
+            with ledger.exclusive("__mv__B"):
+                pass
+        assert ledger.section_count("__mv__A") == 1
+        assert ledger.section_count("__mv__B") == 1
+
+
+class TestResetMidSection:
+    def test_reset_inside_section_keeps_later_close_consistent(self):
+        ledger = LockLedger()
+        with ledger.exclusive("__mv__V", label="first"):
+            pass
+        with ledger.exclusive("__mv__V", label="second"):
+            ledger.reset()  # drops 'first' and anything recorded so far
+        # The in-flight section still closes and records itself.
+        assert [s.label for s in ledger.sections] == ["second"]
+        assert ledger.section_count("__mv__V") == 1
+
+    def test_reset_clears_aggregates(self):
+        ledger = LockLedger()
+        with ledger.exclusive("__mv__V"):
+            pass
+        ledger.reset()
+        assert ledger.downtime_seconds("__mv__V") == 0.0
+        assert ledger.downtime_tuple_ops("__mv__V") == 0
+        assert ledger.max_section_seconds("__mv__V") == 0.0
+        assert ledger.max_section_tuple_ops("__mv__V") == 0
+        assert ledger.section_count("__mv__V") == 0
+
+
+class TestNoCounter:
+    def test_counter_none_records_zero_ops(self):
+        ledger = LockLedger()
+        with ledger.exclusive("__mv__V", counter=None):
+            pass
+        (section,) = ledger.sections
+        assert section.tuple_ops == 0
+        assert section.wall_seconds >= 0.0
+
+    def test_mixed_counter_and_none_sections(self):
+        counter = CostCounter()
+        ledger = LockLedger()
+        with ledger.exclusive("__mv__V", label="counted", counter=counter):
+            counter.tuples_out += 7
+        with ledger.exclusive("__mv__V", label="uncounted", counter=None):
+            pass
+        by_label = {s.label: s.tuple_ops for s in ledger.sections}
+        assert by_label == {"counted": 7, "uncounted": 0}
+        assert ledger.downtime_tuple_ops("__mv__V") == 7
+
+
+class TestExceptions:
+    def test_section_recorded_when_body_raises(self):
+        ledger = LockLedger()
+        with pytest.raises(RuntimeError):
+            with ledger.exclusive("__mv__V", label="boom"):
+                raise RuntimeError("body failed")
+        assert [s.label for s in ledger.sections] == ["boom"]
+
+    def test_sanitizer_lock_released_on_exception(self):
+        from repro import obs
+
+        with obs.observed(sanitizer=True) as stack:
+            ledger = LockLedger()
+            with pytest.raises(RuntimeError):
+                with ledger.exclusive("__mv__V"):
+                    assert "__mv__V" in stack.sanitizer.held_locks()
+                    raise RuntimeError("body failed")
+            assert "__mv__V" not in stack.sanitizer.held_locks()
