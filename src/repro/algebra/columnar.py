@@ -45,6 +45,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 
 from repro.algebra.bag import Bag, Row
+from repro.robustness.faults import fault_point
 
 __all__ = ["ColumnBatch"]
 
@@ -186,20 +187,32 @@ class ColumnBatch:
         delete side is clamped against it (mirroring ``Bag.patch``'s
         floor at zero copies) so the batch keeps netting exactly to the
         post-patch bag.  Only the owner of the batch may call this.
+
+        Exception-safe by stage-and-swap: the appended tail is built in
+        staging lists first and committed with per-column ``extend``
+        calls only once complete, so an error raised mid-append (the
+        ``crash-mid-consolidate`` fault point sits on the seam) can
+        never leave ragged columns — a torn batch would silently corrupt
+        every later read of the table.
         """
-        columns = self.columns
-        mults = self.mults
+        arity = self.arity
+        staged_columns: tuple[list, ...] = tuple([] for _ in range(arity))
+        staged_mults: list[int] = []
         for row, count in insert.items():
-            for j in range(self.arity):
-                columns[j].append(row[j])
-            mults.append(count)
+            for j in range(arity):
+                staged_columns[j].append(row[j])
+            staged_mults.append(count)
         for row, count in delete.items():
             clamped = min(count, before.multiplicity(row))
             if clamped <= 0:
                 continue
-            for j in range(self.arity):
-                columns[j].append(row[j])
-            mults.append(-clamped)
+            for j in range(arity):
+                staged_columns[j].append(row[j])
+            staged_mults.append(-clamped)
+        fault_point("crash-mid-consolidate")
+        for j in range(arity):
+            self.columns[j].extend(staged_columns[j])
+        self.mults.extend(staged_mults)
 
     def __repr__(self) -> str:
         return f"ColumnBatch(arity={self.arity}, physical_rows={len(self.mults)})"

@@ -22,6 +22,14 @@ accounting), the clean workloads must produce zero findings, and the
 sanitizer's wall-clock overhead must stay within
 ``--sanitizer-tolerance`` (default 1.05×, judged on the median wall
 ratio over ``--repeats`` interleaved plain/sanitized run pairs).
+
+``--governor-guard`` gates the engine governor
+(:mod:`repro.robustness.governor`) the same way: on a pinned retail
+maintenance workload, run per engine with the governor disabled and
+enabled — with no faults armed, the ladder must be pure bookkeeping.
+Tuple-op counts and the final view digest must be **bit-identical**
+across the two arms, and no breaker may trip (a trip on a healthy
+backend would mean the governor is demoting spuriously).
 """
 
 from __future__ import annotations
@@ -32,7 +40,7 @@ import sys
 import time
 from pathlib import Path
 
-__all__ = ["check", "sanitizer_guard", "main"]
+__all__ = ["check", "sanitizer_guard", "governor_guard", "main"]
 
 _REPO_ROOT = Path(__file__).resolve().parents[3]
 _SANITIZER_BASELINE = _REPO_ROOT / "bench" / "baselines" / "sanitizer_ops.json"
@@ -153,6 +161,66 @@ def sanitizer_guard(
     return violations
 
 
+# ----------------------------------------------------------------------
+# Engine-governor purity guard
+# ----------------------------------------------------------------------
+
+_GOVERNOR_ENGINES = ("interpreted", "compiled", "vectorized", "sqlite")
+
+
+def _governor_run(engine: str, governed: bool) -> tuple[int, str, dict | None]:
+    """One pinned retail maintenance run; (tuple ops, view digest, snapshot)."""
+    from repro.bench.robust_bench import _build_manager
+    from repro.robustness.journal import bag_digest
+    from repro.workloads.retail import RetailConfig
+
+    config = RetailConfig(customers=16, items=8, initial_sales=48, txn_inserts=4, seed=96)
+    manager, workload = _build_manager(engine, governed=governed, config=config)
+    marker = manager.counter.tuples_out
+    for index in range(4):
+        txn = manager.transaction()
+        txn.insert("sales", [workload._sale_row() for __ in range(config.txn_inserts)])
+        txn.run()
+        if index % 2 == 1:
+            manager.propagate("V")
+    manager.refresh("V")
+    governor = manager.db.governor
+    snapshot = governor.snapshot() if governor is not None else None
+    return manager.counter.tuples_out - marker, bag_digest(manager.query("V")), snapshot
+
+
+def governor_guard(*, engines: tuple[str, ...] = _GOVERNOR_ENGINES) -> list[str]:
+    """Violation messages for the governor purity gate (empty = pass).
+
+    With no faults armed, the governor must be invisible: identical
+    tuple-op accounting, identical view contents, zero breaker trips.
+    """
+    from repro.robustness.faults import INJECTOR
+
+    if INJECTOR.armed():
+        return ["governor guard requires a disarmed fault injector"]
+    violations: list[str] = []
+    for engine in engines:
+        plain_ops, plain_digest, _ = _governor_run(engine, governed=False)
+        governed_ops, governed_digest, snapshot = _governor_run(engine, governed=True)
+        if governed_ops != plain_ops:
+            violations.append(
+                f"{engine}: governed tuple ops {governed_ops} != ungoverned "
+                f"{plain_ops} (the ladder must not change accounting)"
+            )
+        if governed_digest != plain_digest:
+            violations.append(
+                f"{engine}: governed view digest diverges from ungoverned run"
+            )
+        trips = sum(b["trips"] for b in snapshot["breakers"].values())
+        if trips:
+            violations.append(
+                f"{engine}: {trips} breaker trip(s) on a healthy backend "
+                f"(snapshot: {snapshot['breakers']})"
+            )
+    return violations
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -176,6 +244,11 @@ def main(argv: list[str] | None = None) -> int:
         help="run the lockset-sanitizer overhead gate instead of the exec-bench gate",
     )
     parser.add_argument(
+        "--governor-guard",
+        action="store_true",
+        help="run the engine-governor purity gate instead of the exec-bench gate",
+    )
+    parser.add_argument(
         "--sanitizer-baseline",
         type=Path,
         default=_SANITIZER_BASELINE,
@@ -194,6 +267,18 @@ def main(argv: list[str] | None = None) -> int:
         help="run pairs per workload for the sanitizer guard",
     )
     args = parser.parse_args(argv)
+
+    if args.governor_guard:
+        violations = governor_guard()
+        if violations:
+            for violation in violations:
+                print(f"REGRESSION: {violation}", file=sys.stderr)
+            return 1
+        print(
+            "gate passed: governed and ungoverned tuple ops and view digests "
+            f"bit-identical, zero breaker trips on {', '.join(_GOVERNOR_ENGINES)}"
+        )
+        return 0
 
     if args.sanitizer_guard:
         violations = sanitizer_guard(

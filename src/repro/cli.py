@@ -27,6 +27,7 @@ immediately:
 ``.plan V``        show the view's incremental refresh queries
 ``.analyze V``     self-maintainability and refresh footprint
 ``.stats``         cost-counter and downtime summary
+``.governor``      engine fallback-ladder status (``.governor on`` enables)
 ``.save FILE``     persist the warehouse (tables + views) to SQLite
 ``.open FILE``     load a warehouse saved with ``.save``
 ``.help``          this text
@@ -239,6 +240,30 @@ class WarehouseShell:
             seconds = self.manager.downtime_seconds(view)
             lines.append(f"view {view}: downtime {seconds * 1000:.3f} ms")
         return "\n".join(lines)
+
+    def _cmd_governor(self, action: str = "") -> str:
+        """Engine-governor status: ladder, active tier, breaker states."""
+        db = self.manager.db
+        if action == "on":
+            governor = db.enable_governor()
+            return f"governor enabled (ladder: {' → '.join(governor.ladder)})"
+        if action:
+            return "usage: .governor [on]"
+        governor = db.governor
+        if governor is None:
+            return "(ungoverned — `.governor on` enables the fallback ladder)"
+        snapshot = governor.snapshot()
+        header = (
+            f"mode {snapshot['mode']}, active tier {snapshot['active_tier']} "
+            f"(ladder: {' → '.join(governor.ladder)})"
+        )
+        if not snapshot["breakers"]:
+            return header + "\n(no breakers — the interpreted floor never demotes)"
+        rows = [
+            {"tier": tier, "breaker": info["state"], "trips": info["trips"]}
+            for tier, info in snapshot["breakers"].items()
+        ]
+        return header + "\n" + format_table(rows)
 
     def _cmd_plan(self, name: str) -> str:
         """Show the view's post-update incremental queries (▼/▲)."""

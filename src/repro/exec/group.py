@@ -45,6 +45,7 @@ from repro.algebra.bag import Bag
 from repro.algebra.evaluation import CostCounter, evaluate
 from repro.algebra.expr import Expr
 from repro.algebra.serialize import expr_to_dict
+from repro.robustness.faults import fault_point
 
 __all__ = [
     "bag_digest",
@@ -184,6 +185,9 @@ class EpochDeltaCache:
         return len(self._entries)
 
     def store(self, key: object, deltas: tuple[Bag, Bag]) -> None:
+        # The install seam: a crash here loses only a *cache entry* —
+        # followers recompute their deltas, never read a torn pair.
+        fault_point("crash-mid-delta-cache")
         self._entries[key] = deltas
 
     def hit(self, key: object) -> tuple[Bag, Bag]:

@@ -234,6 +234,40 @@ class IndexManager:
         with self._lock:
             return tuple(self._by_table.get(table, {}).values())
 
+    def verify(self, state: Mapping[str, Bag], *, repair: bool = True) -> list[str]:
+        """Audit every registered index against the canonical tables.
+
+        Deferred maintenance means a queued-but-undrained index is
+        *by design* behind, so each index is first brought current
+        through the normal :meth:`get` drain; only then is it compared
+        bucket-for-bucket against a fresh build.  A mismatch after the
+        drain is real corruption (for example, a crash that interrupted
+        incremental maintenance before the rollback signal arrived) —
+        with ``repair`` (the default) the index is rebuilt in place.
+        Indexes on tables no longer in ``state`` are dropped.  Returns
+        labels of the healed (or, with ``repair=False``, divergent)
+        indexes.
+        """
+        healed: list[str] = []
+        with self._lock:
+            for table in list(self._by_table):
+                bag = state.get(table)
+                if bag is None:
+                    if repair:
+                        self.drop(table)
+                    healed.append(table)
+                    continue
+                for positions in list(self._by_table.get(table, {})):
+                    current = self.get(table, positions, bag)
+                    fresh = HashIndex.build(positions, bag)
+                    if current._buckets != fresh._buckets:
+                        if repair:
+                            self._by_table[table][positions] = fresh
+                        healed.append(f"{table}[{','.join(map(str, positions))}]")
+            if healed and repair:
+                obs.metric_inc("index_rebuilds", len(healed))
+        return healed
+
     def pending_deltas(self, table: str) -> int:
         """How many patch deltas are queued but not yet drained (testing aid)."""
         with self._lock:

@@ -60,6 +60,7 @@ from repro.algebra.predicates import (
 )
 from repro.errors import ReproError, UnknownTableError
 from repro.exec.executor import ExecutionContext
+from repro.robustness.faults import fault_point
 from repro.exec.vectorized import VectorizedExecutor
 from repro.storage.sqlite_backend import (
     MirrorUnsupported,
@@ -214,6 +215,7 @@ class PushdownExecutor(VectorizedExecutor):
                 self._sql_cache[expr] = sql
             elif counter is not None:
                 counter.plan_hits += 1
+            fault_point("flaky-pushdown-execute")
             rows = mirror.execute(sql)
         counts: dict[Row, int] = {}
         for *values, mult in rows:

@@ -60,6 +60,7 @@ from repro.exec.compiler import (
     PUnionAll,
 )
 from repro.exec.executor import ExecutionContext, Executor
+from repro.robustness.faults import fault_point
 
 __all__ = ["VectorizedExecutor", "TableBatchCache"]
 
@@ -109,7 +110,12 @@ class TableBatchCache:
             batch = ColumnBatch.from_pairs(bag.items(), arity)
             self._batches[name] = batch
         elif len(batch) > _COMPACT_FACTOR * max(bag.distinct_count(), 16):
-            batch = batch.consolidate()
+            # ``consolidate`` is pure, so the swap below is the whole
+            # commit: a fault raised before it leaves the (larger but
+            # correct) delta-appended batch in place, never a torn one.
+            consolidated = batch.consolidate()
+            fault_point("crash-mid-consolidate")
+            batch = consolidated
             self._batches[name] = batch
         return batch
 

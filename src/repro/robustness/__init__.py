@@ -31,30 +31,40 @@ from __future__ import annotations
 from typing import Any
 
 __all__ = [
+    "CRASH_POINTS",
+    "CircuitBreaker",
     "DurableWarehouse",
+    "EngineGovernor",
     "FAULT_POINTS",
     "FaultInjector",
     "InjectedCrash",
     "INJECTOR",
     "IntentJournal",
     "RecoveryReport",
+    "STORM_POINTS",
     "audit_manager",
     "bag_digest",
     "fault_point",
+    "heal_engine_state",
     "recover",
 ]
 
 _EXPORTS = {
+    "CRASH_POINTS": ("repro.robustness.faults", "CRASH_POINTS"),
+    "CircuitBreaker": ("repro.robustness.governor", "CircuitBreaker"),
     "DurableWarehouse": ("repro.robustness.durable", "DurableWarehouse"),
+    "EngineGovernor": ("repro.robustness.governor", "EngineGovernor"),
     "FAULT_POINTS": ("repro.robustness.faults", "FAULT_POINTS"),
     "FaultInjector": ("repro.robustness.faults", "FaultInjector"),
     "InjectedCrash": ("repro.robustness.faults", "InjectedCrash"),
     "INJECTOR": ("repro.robustness.faults", "INJECTOR"),
     "IntentJournal": ("repro.robustness.journal", "IntentJournal"),
     "RecoveryReport": ("repro.robustness.recovery", "RecoveryReport"),
+    "STORM_POINTS": ("repro.robustness.faults", "STORM_POINTS"),
     "audit_manager": ("repro.robustness.recovery", "audit_manager"),
     "bag_digest": ("repro.robustness.journal", "bag_digest"),
     "fault_point": ("repro.robustness.faults", "fault_point"),
+    "heal_engine_state": ("repro.robustness.governor", "heal_engine_state"),
     "recover": ("repro.robustness.recovery", "recover"),
 }
 

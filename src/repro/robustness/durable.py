@@ -102,6 +102,8 @@ class DurableWarehouse:
         path: str | Path,
         *,
         exec_mode: str | None = None,
+        governed: bool = False,
+        governor_opts: dict | None = None,
         _manager: ViewManager | None = None,
         _skip_baseline: bool = False,
     ) -> None:
@@ -114,6 +116,8 @@ class DurableWarehouse:
             _manager = ViewManager(exec_mode=exec_mode)
         self.manager = _manager
         self.db = self.manager.db
+        if governed:
+            self.db.enable_governor(**(governor_opts or {}))
         self.db.journaled = True
         self.db.durable_origin = self.path
         self.journal = IntentJournal(journal_path(self.path))
@@ -130,18 +134,32 @@ class DurableWarehouse:
             self._checkpoint()
 
     @classmethod
-    def open(cls, path: str | Path, *, auto_recover: bool = True) -> DurableWarehouse:
+    def open(
+        cls,
+        path: str | Path,
+        *,
+        auto_recover: bool = True,
+        exec_mode: str | None = None,
+        governed: bool = False,
+        governor_opts: dict | None = None,
+    ) -> DurableWarehouse:
         """Resume a durable warehouse from its snapshot (+ journal).
 
         With ``auto_recover`` (the default) any interrupted operation is
         resolved first, exactly as ``python -m repro recover`` would.
+        ``exec_mode`` and ``governed`` re-establish the runtime engine
+        configuration — the snapshot file stores neither, so a caller
+        that ran a vectorized governed warehouse must say so again here
+        to resume on the same engine.
         """
         path = Path(path)
         if auto_recover:
             from repro.robustness.recovery import recover
 
             recover(path)
-        manager = load_warehouse(path)
+        manager = load_warehouse(
+            path, exec_mode=exec_mode, governed=governed, governor_opts=governor_opts
+        )
         return cls(path, _manager=manager, _skip_baseline=True)
 
     def close(self) -> None:

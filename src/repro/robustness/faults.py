@@ -21,31 +21,46 @@ cheap enough to leave compiled into production code paths.
 
 The catalog (see :data:`FAULT_POINTS`):
 
-====================== ==========================================================
-point                  where it fires
-====================== ==========================================================
-crash-before-journal   durable op, before the intent record is written
-crash-after-journal    durable op, intent journaled, before any state mutation
-crash-mid-apply        ``Database.apply`` commit phase, between table installs
-crash-mid-execute      ``ViewManager.execute``, after planning, before applying
-crash-mid-refresh      inside a refresh critical section, before the plan runs
-crash-mid-propagate    ``propagate_C``, before the propagation plan runs
-crash-mid-checkpoint   ``save_database``, temp file written, before ``os.replace``
-crash-after-checkpoint durable op, checkpoint durable, before the journal commit
-crash-after-commit     durable op, journal committed, before returning
-flaky-save             ``save_database``, start of a (retried) write attempt
-====================== ==========================================================
+======================= =========================================================
+point                   where it fires
+======================= =========================================================
+crash-before-journal    durable op, before the intent record is written
+crash-after-journal     durable op, intent journaled, before any state mutation
+crash-mid-apply         ``Database.apply`` commit phase, between table installs
+crash-mid-execute       ``ViewManager.execute``, after planning, before applying
+crash-mid-refresh       inside a refresh critical section, before the plan runs
+crash-mid-propagate     ``propagate_C``, before the propagation plan runs
+crash-mid-checkpoint    ``save_database``, temp file written, before ``os.replace``
+crash-after-checkpoint  durable op, checkpoint durable, before the journal commit
+crash-after-commit      durable op, journal committed, before returning
+crash-mid-consolidate   columnar consolidation, staged rows built, before the swap
+crash-mid-delta-cache   ``EpochDeltaCache.store``, before the entry installs
+flaky-save              ``save_database``, start of a (retried) write attempt
+flaky-mirror-upsert     ``SQLiteMirror._apply_net``, before the UPSERT batch
+flaky-mirror-adopt      ``SQLiteMirror._adopt``, before the eager table create
+flaky-mirror-reload     ``SQLiteMirror._reload``, before the wholesale re-insert
+flaky-index-create      ``SQLiteMirror._create_index``, before the CREATE INDEX
+flaky-pushdown-execute  ``PushdownExecutor._sql_eval``, before the compiled SELECT
+flaky-governor-probe    engine governor, half-open probe, before the cross-check
+======================= =========================================================
+
+``crash-*`` points simulate process death (:class:`InjectedCrash`);
+``flaky-*`` points sit on retryable backend seams and are the targets
+of :meth:`FaultInjector.arm_storm`'s probabilistic transient storms.
 """
 
 from __future__ import annotations
 
+import random
 import sqlite3
 
 from repro import obs
 from typing import Callable
 
 __all__ = [
+    "CRASH_POINTS",
     "FAULT_POINTS",
+    "STORM_POINTS",
     "FaultInjector",
     "InjectedCrash",
     "INJECTOR",
@@ -79,9 +94,26 @@ FAULT_POINTS: frozenset[str] = frozenset(
         "crash-mid-checkpoint",
         "crash-after-checkpoint",
         "crash-after-commit",
+        "crash-mid-consolidate",
+        "crash-mid-delta-cache",
         "flaky-save",
+        "flaky-mirror-upsert",
+        "flaky-mirror-adopt",
+        "flaky-mirror-reload",
+        "flaky-index-create",
+        "flaky-pushdown-execute",
+        "flaky-governor-probe",
     }
 )
+
+#: Transient-only points: retryable backend seams where a real deployment
+#: sees contention/IO errors, never a process death.
+STORM_POINTS: frozenset[str] = frozenset(
+    point for point in FAULT_POINTS if point.startswith("flaky-")
+)
+
+#: Points where crash schedules may kill the process.
+CRASH_POINTS: frozenset[str] = FAULT_POINTS - STORM_POINTS
 
 
 def _locked_error() -> Exception:
@@ -97,6 +129,8 @@ class FaultInjector:
         self.hits: dict[str, int] = {}
         self._crashes: dict[str, list[int]] = {}
         self._transients: dict[str, tuple[int, Callable[[], Exception]]] = {}
+        #: Probabilistic transient storm: (points, probability, rng, factory).
+        self._storm: tuple[frozenset[str], float, random.Random, Callable[[], Exception]] | None = None
 
     # ------------------------------------------------------------------
     # Arming
@@ -109,6 +143,7 @@ class FaultInjector:
         self.hits.clear()
         self._crashes.clear()
         self._transients.clear()
+        self._storm = None
 
     def arm(self, point: str, *, hit: int = 1) -> None:
         """Crash at the ``hit``-th visit of ``point`` (1-based, one-shot)."""
@@ -128,6 +163,32 @@ class FaultInjector:
         """Raise a transient error at the next ``times`` visits of ``point``."""
         self._require(point)
         self._transients[point] = (times, exc_factory)
+        self.active = True
+
+    def arm_storm(
+        self,
+        *,
+        seed: int,
+        probability: float = 0.05,
+        points: frozenset[str] | None = None,
+        exc_factory: Callable[[], Exception] = _locked_error,
+    ) -> None:
+        """Rain seeded transient errors on the retryable backend seams.
+
+        Every visit of a storm point independently raises with the given
+        ``probability`` — modeling sustained backend contention rather
+        than the one-shot schedules of :meth:`arm_transient`.  Only
+        :data:`STORM_POINTS` (the ``flaky-*`` seams) are eligible;
+        crashes never rain, they are scheduled.  Cleared by
+        :meth:`reset`.
+        """
+        points = STORM_POINTS if points is None else points
+        unknown = points - STORM_POINTS
+        if unknown:
+            raise ValueError(f"not transient storm points: {sorted(unknown)}")
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("storm probability must be in [0, 1]")
+        self._storm = (frozenset(points), probability, random.Random(seed), exc_factory)
         self.active = True
 
     def trace(self) -> None:
@@ -163,10 +224,16 @@ class FaultInjector:
                 del self._crashes[point]
             obs.metric_inc("faults_injected")
             raise InjectedCrash(point)
+        storm = self._storm
+        if storm is not None:
+            points, probability, rng, factory = storm
+            if point in points and rng.random() < probability:
+                obs.metric_inc("faults_injected")
+                raise factory()
 
     def armed(self) -> bool:
-        """Whether any crash or transient fault is still pending."""
-        return bool(self._crashes or self._transients)
+        """Whether any crash, transient, or storm fault is still pending."""
+        return bool(self._crashes or self._transients or self._storm)
 
 
 #: The process-wide injector used by :func:`fault_point`.

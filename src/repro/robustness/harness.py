@@ -31,7 +31,7 @@ from pathlib import Path
 
 from repro.algebra.bag import Bag
 from repro.robustness.durable import DurableWarehouse
-from repro.robustness.faults import FAULT_POINTS, INJECTOR, InjectedCrash
+from repro.robustness.faults import CRASH_POINTS, INJECTOR, InjectedCrash
 from repro.robustness.journal import journal_path
 from repro.robustness.recovery import RecoveryReport, recover
 from repro.workloads.retail import VIEW_SQL, RetailConfig, RetailWorkload
@@ -61,8 +61,14 @@ class HarnessResult:
 
 
 def random_schedule(rng: random.Random, *, max_events: int = 3, max_hit: int = 30) -> list[CrashEvent]:
-    """A random crash schedule: 1–``max_events`` kills at random visits."""
-    points = sorted(FAULT_POINTS - {"flaky-save"})  # flaky-save is transient-only
+    """A random crash schedule: 1–``max_events`` kills at random visits.
+
+    Draws from :data:`~repro.robustness.faults.CRASH_POINTS` only — the
+    ``flaky-*`` seams model transient backend trouble, which storms
+    (:meth:`~repro.robustness.faults.FaultInjector.arm_storm`) rain on
+    instead of scheduling.
+    """
+    points = sorted(CRASH_POINTS)
     events = []
     for __ in range(rng.randint(1, max_events)):
         events.append(CrashEvent(rng.choice(points), rng.randint(1, max_hit)))
@@ -79,11 +85,15 @@ class RetailCrashHarness:
         seed: int = 96,
         txns: int = 6,
         exec_mode: str | None = None,
+        governed: bool = False,
+        governor_opts: dict | None = None,
     ) -> None:
         self.path = Path(path)
         self.seed = seed
         self.txns = txns
         self.exec_mode = exec_mode
+        self.governed = governed
+        self.governor_opts = governor_opts
         self.config = RetailConfig(
             customers=24, items=10, initial_sales=60, txn_inserts=4, seed=seed
         )
@@ -169,9 +179,24 @@ class RetailCrashHarness:
     # ------------------------------------------------------------------
 
     def _attach(self) -> DurableWarehouse:
+        # The snapshot stores no engine choice, so the harness replays
+        # its configured exec_mode/governed flags on every reopen — a
+        # vectorized chaos run stays vectorized across every simulated
+        # process death.
         if self.path.exists():
-            return DurableWarehouse.open(self.path, auto_recover=False)
-        return DurableWarehouse(self.path, exec_mode=self.exec_mode)
+            return DurableWarehouse.open(
+                self.path,
+                auto_recover=False,
+                exec_mode=self.exec_mode,
+                governed=self.governed,
+                governor_opts=self.governor_opts,
+            )
+        return DurableWarehouse(
+            self.path,
+            exec_mode=self.exec_mode,
+            governed=self.governed,
+            governor_opts=self.governor_opts,
+        )
 
     def _recover_until_done(self, result: HarnessResult) -> None:
         """Recovery must survive crashes of its own (idempotence)."""
@@ -182,12 +207,24 @@ class RetailCrashHarness:
             except InjectedCrash:
                 result.crashes += 1
 
-    def run(self, schedule: list[CrashEvent] | None = None, *, trace: bool = False) -> HarnessResult:
+    def run(
+        self,
+        schedule: list[CrashEvent] | None = None,
+        *,
+        trace: bool = False,
+        storm_seed: int | None = None,
+        storm_probability: float = 0.05,
+        storm_points: frozenset[str] | None = None,
+    ) -> HarnessResult:
         """Drive the full workload, crashing and recovering per schedule.
 
         With ``trace`` the injector counts fault-point visits (in
         ``INJECTOR.hits``) without the run crashing — used to verify the
-        point catalog is actually reachable.
+        point catalog is actually reachable.  ``storm_seed`` arms a
+        seeded transient-fault storm on every ``flaky-*`` seam for the
+        whole run (independently of, and composable with, the crash
+        schedule); under a governed warehouse the storm must stay
+        invisible to the workload.
         """
         for stale in (self.path, journal_path(self.path), self.path.with_name(self.path.name + ".saving")):
             if stale.exists():
@@ -197,6 +234,10 @@ class RetailCrashHarness:
             INJECTOR.trace()
         for event in schedule or []:
             INJECTOR.arm(event.point, hit=event.hit)
+        if storm_seed is not None:
+            INJECTOR.arm_storm(
+                seed=storm_seed, probability=storm_probability, points=storm_points
+            )
         result = HarnessResult(contents={}, crashes=0)
         warehouse: DurableWarehouse | None = None
         ops = self._ops()

@@ -43,7 +43,7 @@ from repro import obs
 from repro.algebra.bag import Bag
 from repro.errors import RecoveryError
 from repro.storage.database import Database
-from repro.storage.persistence import with_retry
+from repro.storage.persistence import RETRY_POLICY, with_retry
 
 __all__ = [
     "IntentJournal",
@@ -142,9 +142,12 @@ class IntentJournal:
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
-        self._conn = with_retry(lambda: sqlite3.connect(self.path))
+        # The shared retry policy (jittered backoff + deadline): opening
+        # the journal races checkpoint writers and concurrent recoveries
+        # for the same file, so connect/DDL must absorb lock contention.
+        self._conn = with_retry(lambda: sqlite3.connect(self.path), policy=RETRY_POLICY)
         self._conn.execute("PRAGMA synchronous=FULL")
-        with_retry(self._create)
+        with_retry(self._create, policy=RETRY_POLICY)
 
     def _create(self) -> None:
         with self._conn:

@@ -19,7 +19,13 @@ restart every scenario's invariant — ``INV_IM``, ``INV_BL``,
    makes roll-forward sound), checkpoint, and commit the intent.
    Non-replayable intents (DDL) are rolled back.  Post-op snapshot: the
    work is already durable; just commit the intent.
-3. **Audit.**  Recompute every view's scenario invariant from scratch
+3. **Heal.**  Validate the engine-derived state against the recovered
+   tables (:func:`repro.robustness.governor.heal_engine_state`): hash
+   indexes are drained and audited bucket-for-bucket, and a pushdown
+   executor's SQLite mirror is digest-compared per table — anything a
+   crash left corrupted is rebuilt or resynced before the warehouse
+   answers queries again.
+4. **Audit.**  Recompute every view's scenario invariant from scratch
    and report.  ``recover`` is idempotent: a second run finds no
    pending intent and changes nothing.
 
@@ -35,6 +41,7 @@ from pathlib import Path
 from repro import obs
 from repro.core.transactions import UserTransaction
 from repro.errors import RecoveryError
+from repro.robustness.governor import heal_engine_state
 from repro.robustness.journal import (
     IntentJournal,
     OpIntent,
@@ -84,6 +91,9 @@ class RecoveryReport:
     #: ``"already_applied"``, or ``"rolled_back"``.
     action: str
     audits: list[ViewAudit] = field(default_factory=list)
+    #: Engine-derived state repaired by the heal step:
+    #: ``{"indexes": [...], "mirror": [...]}`` (usually both empty).
+    healed: dict = field(default_factory=lambda: {"indexes": [], "mirror": []})
 
     @property
     def green(self) -> bool:
@@ -97,6 +107,9 @@ class RecoveryReport:
         else:
             lines.append(f"  pending: {self.pending.describe()}")
             lines.append(f"  action: {self.action.replace('_', ' ')}")
+        repaired = [item for items in self.healed.values() for item in items]
+        if repaired:
+            lines.append(f"  healed engine state: {', '.join(sorted(repaired))}")
         if not self.audits:
             lines.append("  no views registered")
         for audit in self.audits:
@@ -190,10 +203,11 @@ def recover(path: str | Path) -> RecoveryReport:
                     # completed post-state; only the commit mark was lost.
                     journal.commit_op(pending.op_id)
                     action = "already_applied"
+            healed = heal_engine_state(manager.db)
             audits = audit_manager(manager)
             recovery_span.set(action=action, pending=pending.describe() if pending else "")
             obs.metric_inc("recoveries")
-            return RecoveryReport(path, pending, action, audits)
+            return RecoveryReport(path, pending, action, audits, healed)
         finally:
             journal.close()
 

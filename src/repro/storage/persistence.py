@@ -30,8 +30,10 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import sqlite3
 import time
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, TypeVar
 
@@ -42,13 +44,92 @@ from repro.errors import ReproError
 from repro.robustness.faults import fault_point
 from repro.storage.database import Database
 
-__all__ = ["save_database", "load_database", "with_retry", "staging_path"]
+__all__ = [
+    "save_database",
+    "load_database",
+    "with_retry",
+    "staging_path",
+    "RetryPolicy",
+    "RETRY_POLICY",
+    "transient_sqlite_error",
+]
 
 _CATALOG = "__catalog__"
 _TRUE_TAG = "\x00bool:1"
 _FALSE_TAG = "\x00bool:0"
 
 _T = TypeVar("_T")
+
+#: Substrings of ``sqlite3.OperationalError`` messages that mark a
+#: *transient* condition — another connection holds the file, or the OS
+#: hiccuped — as opposed to permanent failures (corruption, missing
+#: table, bad SQL), which no amount of retrying fixes.
+_TRANSIENT_MARKERS = ("locked", "busy", "disk i/o error")
+
+
+def transient_sqlite_error(exc: BaseException) -> bool:
+    """The default retry classifier: transient SQLite contention errors."""
+    return isinstance(exc, sqlite3.OperationalError) and any(
+        marker in str(exc).lower() for marker in _TRANSIENT_MARKERS
+    )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff under a total-deadline cap.
+
+    ``classifier`` decides which exceptions are worth retrying; anything
+    it rejects propagates immediately.  Per-attempt delay grows as
+    ``base_delay * 2**attempt`` (capped at ``max_delay``), stretched by
+    a random factor in ``[1, 1 + jitter]`` so independent retriers do
+    not thunder in lockstep.  The policy gives up — re-raising the last
+    transient error — after ``attempts`` tries *or* once the attempts
+    plus the pending sleep would exceed ``deadline`` seconds, whichever
+    comes first.
+    """
+
+    attempts: int = 5
+    base_delay: float = 0.01
+    max_delay: float = 1.0
+    deadline: float | None = 10.0
+    jitter: float = 0.25
+    classifier: Callable[[BaseException], bool] = transient_sqlite_error
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        delay = min(self.base_delay * (2**attempt), self.max_delay)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+    def run(
+        self,
+        action: Callable[[], _T],
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> _T:
+        if self.attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        rng = rng if rng is not None else random.Random()
+        start = clock()
+        for attempt in range(self.attempts):
+            try:
+                return action()
+            except Exception as exc:
+                if not self.classifier(exc) or attempt == self.attempts - 1:
+                    raise
+                delay = self.delay_for(attempt, rng)
+                if self.deadline is not None and clock() - start + delay > self.deadline:
+                    raise
+                obs.metric_inc("lock_retries")
+                sleep(delay)
+        raise AssertionError("unreachable")
+
+
+#: The shared default policy: snapshot writes, journal connections, and
+#: the engine governor's per-tier evaluation retries all run under it.
+RETRY_POLICY = RetryPolicy()
 
 
 def with_retry(
@@ -57,24 +138,25 @@ def with_retry(
     attempts: int = 5,
     base_delay: float = 0.01,
     sleep: Callable[[float], None] = time.sleep,
+    classifier: Callable[[BaseException], bool] | None = None,
+    policy: RetryPolicy | None = None,
 ) -> _T:
-    """Run ``action``, retrying transient SQLite lock errors with backoff.
+    """Run ``action``, retrying transient errors with jittered backoff.
 
-    Only ``OperationalError`` mentioning a lock is retried — anything
-    else (corruption, missing file, syntax) propagates immediately, as
-    does the lock error itself once ``attempts`` are exhausted.
+    The classifier (default :func:`transient_sqlite_error`) decides what
+    counts as transient — anything else (corruption, missing file,
+    syntax) propagates immediately, as does the transient error itself
+    once ``attempts`` or the policy's total deadline are exhausted.
+    Pass ``policy`` to override every knob at once.
     """
-    if attempts < 1:
-        raise ValueError("attempts must be at least 1")
-    for attempt in range(attempts):
-        try:
-            return action()
-        except sqlite3.OperationalError as exc:
-            if "locked" not in str(exc) or attempt == attempts - 1:
-                raise
-            obs.metric_inc("lock_retries")
-            sleep(base_delay * (2**attempt))
-    raise AssertionError("unreachable")
+    if policy is None:
+        policy = replace(
+            RETRY_POLICY,
+            attempts=attempts,
+            base_delay=base_delay,
+            classifier=classifier if classifier is not None else transient_sqlite_error,
+        )
+    return policy.run(action, sleep=sleep)
 
 
 def staging_path(path: str | Path) -> Path:
@@ -155,8 +237,13 @@ def save_database(db: Database, path: str | Path) -> None:
     os.replace(staged, path)
 
 
-def load_database(path: str | Path) -> Database:
-    """Reconstruct a database previously written by :func:`save_database`."""
+def load_database(path: str | Path, *, exec_mode: str | None = None) -> Database:
+    """Reconstruct a database previously written by :func:`save_database`.
+
+    ``exec_mode`` selects the execution engine of the reconstructed
+    database (the snapshot file stores no engine choice — it is a
+    runtime property, not data).
+    """
     path = Path(path)
     if not path.exists():
         raise ReproError(f"no database file at {path}")
@@ -164,7 +251,7 @@ def load_database(path: str | Path) -> Database:
     def read() -> Database:
         conn = sqlite3.connect(path)
         try:
-            db = Database()
+            db = Database(exec_mode=exec_mode)
             catalog = conn.execute(
                 f"SELECT name, attrs, internal FROM {_CATALOG} ORDER BY name"
             ).fetchall()

@@ -48,12 +48,15 @@ workload generators produce — behave identically.
 
 from __future__ import annotations
 
+import hashlib
 import sqlite3
 import threading
 from collections.abc import Callable, Iterable
 from typing import Any
 
+from repro import obs
 from repro.algebra.bag import Bag, Row
+from repro.robustness.faults import fault_point
 from repro.algebra.expr import (
     DupElim,
     Expr,
@@ -82,7 +85,14 @@ from repro.algebra.schema import Schema
 from repro.errors import ReproError, SchemaError, UnknownTableError
 from repro.storage.database import Database
 
-__all__ = ["MirrorUnsupported", "SQLiteBackend", "SQLiteMirror", "compile_expr", "sqlite_supported_value"]
+__all__ = [
+    "MirrorUnsupported",
+    "SQLiteBackend",
+    "SQLiteMirror",
+    "compile_expr",
+    "mirror_digest",
+    "sqlite_supported_value",
+]
 
 #: Python types SQLite stores faithfully (round-trip preserves Bag
 #: equality: bool maps to 0/1, which hashes equal to the original).
@@ -92,6 +102,36 @@ _SUPPORTED_TYPES = (bool, int, float, str)
 def sqlite_supported_value(value: Any) -> bool:
     """Whether ``value`` survives a round trip through SQLite unchanged."""
     return value is None or isinstance(value, _SUPPORTED_TYPES)
+
+
+def _normalize_row(row: Row) -> Row:
+    # SQLite stores bool as 0/1; normalize so digests compare the same
+    # logical content on both sides (True == 1 for Bag equality, but
+    # repr-based hashing would tell them apart).
+    return tuple(int(value) if isinstance(value, bool) else value for value in row)
+
+
+def mirror_digest(content: Bag | Iterable[tuple[Row, int]]) -> str:
+    """A stable digest of bag content under SQLite value normalization.
+
+    Divergence detection hashes the canonical table and the mirrored
+    rows through this one function, so the comparison is insensitive to
+    SQLite's bool→int round trip and to physical row order.
+    """
+    pairs = content.items() if isinstance(content, Bag) else content
+    counts: dict[Row, int] = {}
+    for row, count in pairs:
+        row = _normalize_row(row)
+        counts[row] = counts.get(row, 0) + int(count)
+    hasher = hashlib.sha256()
+    for row, count in sorted(counts.items(), key=lambda item: repr(item[0])):
+        if count == 0:
+            continue
+        hasher.update(repr(row).encode())
+        hasher.update(b"\x00")
+        hasher.update(str(count).encode())
+        hasher.update(b"\x01")
+    return hasher.hexdigest()
 
 
 class MirrorUnsupported(ReproError):
@@ -471,7 +511,11 @@ class SQLiteMirror:
             if name in self._dirty or name in self._unsupported:
                 return
             if name not in self._schemas:
-                self._adopt(name, before, after)
+                try:
+                    self._adopt(name, before, after)
+                except sqlite3.Error:
+                    self._degrade(name)
+                    return
                 if name not in self._schemas:
                     return
             arity = self._schemas[name].arity
@@ -493,7 +537,32 @@ class SQLiteMirror:
                 self._forget(name)
                 self._unsupported.add(name)
                 return
-            self._apply_net(name, arity, net)
+            try:
+                self._apply_net(name, arity, net)
+            except sqlite3.Error:
+                self._degrade(name)
+
+    def _degrade(self, name: str) -> None:
+        """Contain a backend fault on the listener path.
+
+        The mirror is derived state: a failed incremental fold must
+        never surface into the canonical write that triggered it
+        (``Database._install`` would roll the whole transaction back for
+        a cache's problem).  Mirrored tables fall back to a lazy full
+        reload at the next scan; a half-adopted table is dropped
+        entirely.  ``InjectedCrash`` is a ``BaseException`` and still
+        propagates — containment absorbs backend errors, not simulated
+        process deaths.
+        """
+        if name in self._schemas:
+            self._dirty.add(name)
+        else:
+            try:
+                self._forget(name)
+            except sqlite3.Error:  # pragma: no cover - DROP TABLE failing too
+                self._schemas.pop(name, None)
+                self._dirty.discard(name)
+        obs.metric_inc("mirror_degraded")
 
     def _adopt(self, name: str, before: Bag, after: Bag) -> None:
         """Mirror a table at its first write when that costs nothing.
@@ -513,10 +582,12 @@ class SQLiteMirror:
         sample = next(iter(after.items()), None)
         if sample is None:
             return
+        fault_point("flaky-mirror-adopt")
         self._create_table(name, Schema(tuple(f"c{index}" for index in range(len(sample[0])))))
 
     def _apply_net(self, name: str, arity: int, net: dict[Row, int]) -> None:
         """Fold per-row count deltas into the canonical stored table."""
+        fault_point("flaky-mirror-upsert")
         mangled = _mangle(name)
         if arity:
             plain = [(row, delta) for row, delta in net.items() if None not in row]
@@ -582,6 +653,10 @@ class SQLiteMirror:
                 raise MirrorUnsupported(f"table {name!r} holds values SQLite cannot mirror")
             created = name not in self._schemas
             if created:
+                # Dirty until the first reload *succeeds*: if the load
+                # below dies transiently (and the caller retries), the
+                # empty shell must not pass for current content.
+                self._dirty.add(name)
                 self._create_table(name, schema)
             if created or name in self._dirty:
                 self._reload(name, schema.arity, bag)
@@ -602,6 +677,7 @@ class SQLiteMirror:
             self._create_index(name, positions)
 
     def _reload(self, name: str, arity: int, bag: Bag) -> None:
+        fault_point("flaky-mirror-reload")
         rows = []
         for row, count in bag.items():
             if not all(sqlite_supported_value(value) for value in row):
@@ -637,9 +713,16 @@ class SQLiteMirror:
                 return
             requested.add(positions)
             if name in self._schemas:
-                self._create_index(name, positions)
+                try:
+                    self._create_index(name, positions)
+                except sqlite3.Error:
+                    # Indexes are an optimization: keep the request
+                    # queued — :meth:`resync` retries it — and let the
+                    # scan run unindexed meanwhile.
+                    obs.metric_inc("mirror_degraded")
 
     def _create_index(self, name: str, positions: tuple[int, ...]) -> None:
+        fault_point("flaky-index-create")
         label = _mangle(f"__mirror_idx__{name}__{'_'.join(map(str, positions))}")
         cols = ", ".join(f"c{position}" for position in positions)
         self._conn.execute(f"CREATE INDEX IF NOT EXISTS {label} ON {_mangle(name)} ({cols})")
@@ -647,6 +730,102 @@ class SQLiteMirror:
     def execute(self, sql: str) -> list[tuple]:
         """Run a compiled query (hold :attr:`lock` across ensure+execute)."""
         return self._conn.execute(sql).fetchall()
+
+    # ------------------------------------------------------------------
+    # Self-healing
+    # ------------------------------------------------------------------
+
+    def mirrored_tables(self) -> tuple[str, ...]:
+        """The names this mirror currently materializes (sorted)."""
+        with self.lock:
+            return tuple(sorted(self._schemas))
+
+    def to_bag(self, name: str) -> Bag:
+        """The logical content of a mirrored table, netted into a bag."""
+        with self.lock:
+            if name not in self._schemas:
+                raise UnknownTableError(f"no such table in SQLite mirror: {name!r}")
+            rows = self._conn.execute(f"SELECT * FROM {_mangle(name)}").fetchall()
+        counts: dict[Row, int] = {}
+        for *values, mult in rows:
+            row = tuple(values)
+            counts[row] = counts.get(row, 0) + int(mult)
+        return Bag.from_counts(counts)
+
+    def table_digest(self, name: str) -> str | None:
+        """Digest of the stored rows, or ``None`` when absent or dirty.
+
+        Dirty tables are *self-known* stale (a pending lazy reload), so
+        there is no point hashing them — resync reloads them regardless.
+        """
+        with self.lock:
+            if name not in self._schemas or name in self._dirty:
+                return None
+            rows = self._conn.execute(f"SELECT * FROM {_mangle(name)}").fetchall()
+        return mirror_digest((tuple(values), int(mult)) for *values, mult in rows)
+
+    def divergent_tables(self, db: Database) -> list[str]:
+        """Mirrored tables whose stored rows no longer match ``db``.
+
+        Compares :func:`mirror_digest` of each *clean* mirrored table
+        against the canonical content (dirty tables are already queued
+        for reload and are not re-hashed; tables ``db`` has dropped
+        count as divergent).  An empty result means every scan the
+        pushdown engine could run would read exactly the canonical
+        state — the re-promotion criterion of the engine governor's
+        half-open probe.
+        """
+        diverged = []
+        for name in self.mirrored_tables():
+            with self.lock:
+                if name in self._dirty:
+                    continue
+            if name not in db.table_names():
+                diverged.append(name)
+                continue
+            if self.table_digest(name) != mirror_digest(db[name]):
+                diverged.append(name)
+        return diverged
+
+    def resync(self, db: Database, names: Iterable[str] | None = None) -> list[str]:
+        """Targeted repair: reload exactly the tables that need it.
+
+        With ``names`` omitted, the targets are the divergent tables
+        plus the dirty ones — everything else is left untouched, so a
+        single corrupted table heals in O(|that table|), not O(DB).
+        Dropped tables are forgotten, queued index requests are retried
+        (a contained ``flaky-index-create`` leaves them pending), and
+        tables whose values stopped round-tripping fall to the
+        :class:`MirrorUnsupported` per-table fallback as usual.  Returns
+        the sorted list of healed tables.
+        """
+        with self.lock:
+            if names is None:
+                targets = set(self.divergent_tables(db))
+                targets.update(name for name in self._dirty if name in self._schemas)
+            else:
+                targets = {name for name in names if name in self._schemas}
+            healed = []
+            for name in sorted(targets):
+                if name not in db.table_names():
+                    self._forget(name)
+                    self._index_requests.pop(name, None)
+                    healed.append(name)
+                    continue
+                schema = db.schema_of(name)
+                try:
+                    self._reload(name, schema.arity, db[name])
+                except MirrorUnsupported:
+                    # _reload already forgot the table and recorded it
+                    # unsupported; the executor's per-table fallback
+                    # takes over from here.
+                    continue
+                for positions in self._index_requests.get(name, ()):
+                    self._create_index(name, positions)
+                healed.append(name)
+            if healed:
+                obs.metric_inc("mirror_resyncs", len(healed))
+        return healed
 
     # ------------------------------------------------------------------
     # Introspection (tests)

@@ -13,7 +13,7 @@ import random
 
 import pytest
 
-from repro.robustness.faults import FAULT_POINTS, INJECTOR
+from repro.robustness.faults import CRASH_POINTS, FAULT_POINTS, INJECTOR
 from repro.robustness.harness import CrashEvent, RetailCrashHarness, random_schedule
 from repro.robustness.recovery import recover
 
@@ -58,7 +58,7 @@ def test_randomized_crash_schedules_converge(tmp_path, oracle, batch):
         assert report.action == "none" and report.green, context
 
 
-@pytest.mark.parametrize("point", sorted(FAULT_POINTS - {"flaky-save"}))
+@pytest.mark.parametrize("point", sorted(CRASH_POINTS))
 def test_single_crash_at_every_point_converges(tmp_path, oracle, point):
     harness = RetailCrashHarness(tmp_path / "wh.db")
     for hit in (1, 2, 5):
@@ -69,14 +69,84 @@ def test_single_crash_at_every_point_converges(tmp_path, oracle, point):
 
 
 def test_every_fault_point_is_reachable(tmp_path):
-    """The catalog is honest: the workload visits every injection point."""
-    harness = RetailCrashHarness(tmp_path / "wh.db")
+    """The catalog is honest: some driver visits every injection point.
+
+    The default-engine workload covers the classic journal/checkpoint
+    points; the governed sqlite engine adds the mirror and pushdown
+    seams.  Three points need targeted drivers: consolidation only
+    triggers past a compaction threshold, the epoch delta cache only
+    fills under a *group* refresh, and the probe seam only fires while
+    a breaker is half-open — each is exercised below.
+    """
+    harness = RetailCrashHarness(tmp_path / "wh1.db")
     harness.run(trace=True)
     visited = set(INJECTOR.hits)
     INJECTOR.reset()
-    # flaky-save fires on every snapshot write attempt; the crash points
-    # must all be visited by an ordinary (uninterrupted) run.
-    assert FAULT_POINTS <= visited
+    sqlite_harness = RetailCrashHarness(tmp_path / "wh2.db", exec_mode="sqlite", governed=True)
+    sqlite_harness.run(trace=True)
+    visited |= set(INJECTOR.hits)
+    INJECTOR.reset()
+    targeted = {"crash-mid-consolidate", "crash-mid-delta-cache", "flaky-governor-probe"}
+    assert FAULT_POINTS - targeted <= visited
+
+
+def test_consolidate_point_is_reachable():
+    from repro.algebra.bag import Bag
+    from repro.exec.vectorized import TableBatchCache
+
+    cache = TableBatchCache()
+    bag = Bag([(1, "x")])
+    cache.get("t", bag, 2)
+    INJECTOR.trace()
+    # Pile appended deltas far past the compaction threshold, then read.
+    for index in range(200):
+        cache.on_patch("t", Bag(), Bag([(index, "y")]), bag, bag)
+    cache.get("t", bag, 2)
+    visits = INJECTOR.hits.get("crash-mid-consolidate", 0)
+    INJECTOR.reset()
+    assert visits >= 1
+
+
+def test_delta_cache_point_is_reachable():
+    from repro.warehouse.manager import ViewManager
+    from repro.workloads.retail import VIEW_SQL, RetailConfig, RetailWorkload
+
+    workload = RetailWorkload(RetailConfig(customers=6, items=4, initial_sales=12))
+    manager = ViewManager()
+    manager.create_table("customer", ("custId", "name", "address", "score"))
+    manager.load("customer", workload.customer_rows())
+    manager.create_table("sales", ("custId", "itemNo", "quantity", "salesPrice"))
+    manager.load("sales", workload.initial_sales_rows())
+    # Two views over the same plan: the group refresh shares one
+    # delta-cache entry between them — store() is the seam.
+    manager.define_view("V1", VIEW_SQL, scenario="combined")
+    manager.define_view("V2", VIEW_SQL, scenario="combined")
+    txn = manager.transaction()
+    txn.insert("sales", [workload._sale_row() for __ in range(3)])
+    txn.run()
+    INJECTOR.trace()
+    manager.refresh_group()
+    visits = INJECTOR.hits.get("crash-mid-delta-cache", 0)
+    INJECTOR.reset()
+    assert visits >= 1
+
+
+def test_governor_probe_point_is_reachable():
+    from repro.storage.database import Database
+
+    db = Database(exec_mode="sqlite")
+    db.enable_governor(cooldown_ops=1, sleep=lambda delay: None)
+    db.create_table("t", ("a",), rows=[(1,)])
+    ref = db.ref("t")
+    db.evaluate(ref)
+    INJECTOR.trace()
+    INJECTOR.arm_transient("flaky-pushdown-execute", times=5)
+    db.load("t", [(2,)])
+    db.evaluate(ref)  # demotes: retry budget exhausted
+    db.evaluate(ref)  # cooldown of 1 expires; half-open probe fires
+    visits = INJECTOR.hits.get("flaky-governor-probe", 0)
+    INJECTOR.reset()
+    assert visits >= 1
 
 
 def test_back_to_back_crashes_in_one_run(tmp_path, oracle):

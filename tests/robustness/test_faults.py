@@ -4,7 +4,15 @@ import sqlite3
 
 import pytest
 
-from repro.robustness.faults import FAULT_POINTS, FaultInjector, InjectedCrash, INJECTOR, fault_point
+from repro.robustness.faults import (
+    CRASH_POINTS,
+    FAULT_POINTS,
+    INJECTOR,
+    STORM_POINTS,
+    FaultInjector,
+    InjectedCrash,
+    fault_point,
+)
 from repro.storage.persistence import with_retry
 
 
@@ -128,5 +136,56 @@ class TestCatalog:
             "crash-mid-checkpoint",
             "crash-after-checkpoint",
             "crash-after-commit",
+            "crash-mid-consolidate",
+            "crash-mid-delta-cache",
             "flaky-save",
+            "flaky-mirror-upsert",
+            "flaky-mirror-adopt",
+            "flaky-mirror-reload",
+            "flaky-index-create",
+            "flaky-pushdown-execute",
+            "flaky-governor-probe",
         }
+
+    def test_storm_and_crash_points_partition_the_catalog(self):
+        assert STORM_POINTS == {p for p in FAULT_POINTS if p.startswith("flaky-")}
+        assert CRASH_POINTS == {p for p in FAULT_POINTS if p.startswith("crash-")}
+        assert STORM_POINTS | CRASH_POINTS == FAULT_POINTS
+        assert not STORM_POINTS & CRASH_POINTS
+
+
+class TestStorms:
+    def test_storm_rains_probabilistically_and_seeded(self):
+        def fires(seed):
+            INJECTOR.reset()
+            INJECTOR.arm_storm(seed=seed, probability=0.5)
+            hits = 0
+            for __ in range(100):
+                try:
+                    fault_point("flaky-save")
+                except sqlite3.OperationalError:
+                    hits += 1
+            return hits
+
+        first = fires(42)
+        assert 20 < first < 80  # p=0.5 over 100 visits
+        assert fires(42) == first  # same seed, same rain
+
+    def test_storm_only_accepts_flaky_points(self):
+        with pytest.raises(ValueError, match="not transient storm points"):
+            INJECTOR.arm_storm(seed=1, points=frozenset({"crash-mid-apply"}))
+        with pytest.raises(ValueError, match="probability"):
+            INJECTOR.arm_storm(seed=1, probability=1.5)
+
+    def test_storm_never_rains_on_crash_points(self):
+        INJECTOR.arm_storm(seed=7, probability=1.0)
+        fault_point("crash-mid-apply")  # crash points stay dry
+        with pytest.raises(sqlite3.OperationalError):
+            fault_point("flaky-save")
+
+    def test_storm_cleared_by_reset(self):
+        INJECTOR.arm_storm(seed=7, probability=1.0)
+        assert INJECTOR.armed()
+        INJECTOR.reset()
+        assert not INJECTOR.armed()
+        fault_point("flaky-save")

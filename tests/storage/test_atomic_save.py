@@ -38,7 +38,13 @@ class TestWithRetry:
             return "done"
 
         assert with_retry(flaky, base_delay=0.01, sleep=delays.append) == "done"
-        assert delays == [0.01, 0.02, 0.04]  # base * 2**attempt
+        # Exponential base with bounded jitter: base * 2**k, stretched
+        # by at most the policy's jitter fraction (decorrelates a herd
+        # of writers retrying against one locked file).
+        assert len(delays) == 3
+        for attempt, delay in enumerate(delays):
+            floor = 0.01 * 2**attempt
+            assert floor <= delay <= floor * 1.25, delays
 
     def test_gives_up_after_attempts(self):
         def always_locked():
