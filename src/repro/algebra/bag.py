@@ -79,6 +79,21 @@ class Bag:
     # ------------------------------------------------------------------
 
     @classmethod
+    def _from_clean(cls, counts: dict[Row, int], arity: int | None) -> Bag:
+        """Adopt an already-validated counts dict without copy or scan.
+
+        Internal: the caller guarantees tuple rows of uniform ``arity``
+        with strictly positive multiplicities, and must not mutate the
+        dict afterwards.  This is what keeps ``patch`` and the
+        partition layer's slice materialization single-pass.
+        """
+        bag = cls.__new__(cls)
+        bag._counts = counts
+        bag._arity = arity if counts else None
+        bag._hash = None
+        return bag
+
+    @classmethod
     def empty(cls) -> Bag:
         """The empty bag :math:`\\phi`."""
         return _EMPTY
@@ -245,7 +260,10 @@ class Bag:
                 counts.pop(row, None)
         for row, count in insert._counts.items():
             counts[row] = counts.get(row, 0) + count
-        return Bag(counts=counts)
+        # Every row came from an already-validated bag and every count is
+        # positive by construction, so re-normalizing would only re-copy.
+        arity = self._arity if self._arity is not None else insert._arity
+        return Bag._from_clean(counts, arity)
 
     # ------------------------------------------------------------------
     # Derived operations (Section 2.1)

@@ -67,6 +67,9 @@ class CostCounter:
     memo_hits: int = 0
     index_probes: int = 0
     delta_cache_hits: int = 0
+    partitions_touched: int = 0
+    partition_prunes: int = 0
+    partition_fallbacks: int = 0
 
     def record(self, operator: str, produced: int) -> None:
         self.tuples_out += produced
@@ -77,6 +80,21 @@ class CostCounter:
         """Charge ``probes`` index-key lookups against ``operator``."""
         self.index_probes += probes
         self.record(operator, probes)
+
+    def record_partitions(self, touched: int) -> None:
+        """Note that a partitioned apply touched ``touched`` partitions.
+
+        Bookkeeping only — partition routing moves no tuples, so this
+        does not feed ``tuples_out``.
+        """
+        self.partitions_touched += touched
+
+    def record_prune(self, *, fallback: bool = False) -> None:
+        """Note one partition-pruning decision on a maintenance plan."""
+        if fallback:
+            self.partition_fallbacks += 1
+        else:
+            self.partition_prunes += 1
 
     def snapshot(self) -> dict[str, object]:
         """A plain-dict summary (useful for report tables).
@@ -92,6 +110,9 @@ class CostCounter:
             "memo_hits": self.memo_hits,
             "index_probes": self.index_probes,
             "delta_cache_hits": self.delta_cache_hits,
+            "partitions_touched": self.partitions_touched,
+            "partition_prunes": self.partition_prunes,
+            "partition_fallbacks": self.partition_fallbacks,
             "operators": dict(self.by_operator),
         }
 
@@ -111,6 +132,9 @@ class CostCounter:
         self.memo_hits += other.memo_hits
         self.index_probes += other.index_probes
         self.delta_cache_hits += other.delta_cache_hits
+        self.partitions_touched += other.partitions_touched
+        self.partition_prunes += other.partition_prunes
+        self.partition_fallbacks += other.partition_fallbacks
 
     def reset(self) -> None:
         self.tuples_out = 0
@@ -121,6 +145,9 @@ class CostCounter:
         self.memo_hits = 0
         self.index_probes = 0
         self.delta_cache_hits = 0
+        self.partitions_touched = 0
+        self.partition_prunes = 0
+        self.partition_fallbacks = 0
 
 
 def evaluate(

@@ -16,7 +16,9 @@ Code ranges:
   maintenance state; see :mod:`repro.robustness`);
 * ``RVM5xx`` — group-refresh configuration findings;
 * ``RVM6xx`` — concurrency/effect findings (Section 5.3 lock discipline;
-  see :mod:`repro.analysis.concurrency_check`).
+  see :mod:`repro.analysis.concurrency_check`);
+* ``RVM7xx`` — partitioned-maintenance findings (pruning fallbacks and
+  partition-layout drift; see :mod:`repro.analysis.partitioning`).
 """
 
 from __future__ import annotations
@@ -72,6 +74,8 @@ CODES: dict[str, str] = {
     "RVM603": "potential lock-order cycle across group batches",
     "RVM604": "scheduler task declares narrower read/write set than its inferred footprint",
     "RVM605": "journal intent payload omits a written table",
+    "RVM701": "partition-key drift: maintenance plan falls back to whole-table scans",
+    "RVM702": "same-domain tables have drifted partition layouts (not co-partitioned)",
 }
 
 

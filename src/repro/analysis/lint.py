@@ -101,6 +101,12 @@ def lint_view(view, db: Database, *, properties: bool = True) -> AnalysisReport:
             "the maintained log is weakly minimal by construction (Lemma 4)",
             path=view.name,
         )
+    if not report.errors:
+        # RVM7xx: on a partitioned database, warn when the declared
+        # partition keys cannot prune the view's maintenance plan.
+        from repro.analysis.partitioning import partition_lint
+
+        partition_lint(view, db, report)
     return report
 
 

@@ -1,0 +1,732 @@
+"""Partition pruning for maintenance plans (RVM7xx).
+
+Given the partition layout of the base tables
+(:class:`~repro.storage.partition.PartitionSpec`) and the maintenance
+logs' affected-key sets, this module rewrites a delta expression so
+that every reference to a partitioned base table whose partition-key
+column is *bounded* by the pending delta is replaced by a restricted
+literal — the rows of the affected partitions only.  The maintenance
+epoch then touches work proportional to the delta, not the database.
+
+The analysis is static and conservative, the same stance as the
+property engine (:mod:`repro.analysis.properties`):
+
+* a position is **bounded** when every value it can take lies in the
+  affected-key set of some partition domain.  The key columns of the
+  maintenance-log leaves are bounded by construction (the log *is* the
+  delta); equality conjuncts of an enclosing selection spread
+  boundedness across their equivalence class, positionally remapped
+  through projections and products;
+* a reference to partitioned table ``R`` whose key column feeds a
+  bounded position may be replaced by :math:`\\sigma_{key \\in K}(R)`.
+  The substitution is *per occurrence*; every operator on the path
+  (σ, Π positional, map over attributes, ε, ⊎ both sides, ∸ left
+  side, ×) preserves row-level values, so rows dropped by the
+  restriction could never have survived the bounding equality above;
+* any occurrence the rewrite cannot restrict leaves the plan on the
+  whole-table **fallback** path — reported, never guessed at.
+
+The same pass computes **chunk safety**: whether evaluating the delta
+per affected-key chunk (logs filtered to the chunk) and summing the
+per-chunk results reproduces the whole delta, which is what lets the
+group scheduler refresh independent partitions of one view in
+parallel.  The criterion is a degree computation: log leaves are
+linear (degree 1), base tables constant (degree 0); linear combines
+additively through ⊎, bilinear products of two delta terms are safe
+only under a selection equating their partition keys, and the
+non-linear operators (∸, ε) are chunk-local only while a key-carrying
+column survives to witness that both operands chunk identically.
+
+Diagnostics:
+
+* **RVM701** — a maintenance plan for a view over partitioned tables
+  falls back to whole-table scans (partition-key drift: the view's
+  predicates/joins do not bound the declared key);
+* **RVM702** — tables declared in the same partition domain have
+  drifted layouts (scheme/parts/bounds differ), so co-partitioned
+  per-partition maintenance is unsound for them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.algebra.bag import Bag
+from repro.algebra.evaluation import CostCounter, _conjuncts
+from repro.algebra.expr import (
+    DupElim,
+    Expr,
+    Literal,
+    MapProject,
+    Monus,
+    Product,
+    Project,
+    Select,
+    TableRef,
+    UnionAll,
+)
+from repro.algebra.predicates import Attr, Comparison
+from repro.errors import SchemaError
+
+__all__ = [
+    "PartitionPlan",
+    "RewriteResult",
+    "analyze_deltas",
+    "key_positions",
+    "prune_expr",
+    "partition_lint",
+]
+
+# Chunk-safety lattice.  Per affected-key chunk ``c`` the logs are
+# filtered to ``c``; each subexpression's per-chunk value falls in one
+# of these classes:
+#
+# * EMPTY    — phi, identical in every chunk (bottom; combines freely);
+# * CONST    — no log references: identical and correct in every chunk;
+# * ANCHORED — supported only on rows whose key is in ``c``, and equal
+#              there to the whole computation (per-chunk values sum,
+#              ⊎ over chunks, to the whole — this is what makes a root
+#              chunk-safe);
+# * STABLE   — correct on rows whose key (at a ``keyed`` position) is
+#              in ``c``, garbage elsewhere: e.g. PAST(S) = S ∸ ▲S|c.
+#              Usable only under a selection equating its key with an
+#              anchored operand's key, which filters the garbage;
+# * PENDING  — a product of two delta-dependent terms, awaiting the
+#              key-equating selection that discharges it to ANCHORED;
+# * UNSAFE   — poison: per-chunk evaluation provably may not sum.
+_EMPTY = 0
+_CONST = 1
+_STABLE = 2
+_ANCHORED = 3
+_PENDING = 4
+_UNSAFE = 5
+
+
+@dataclass
+class _Info:
+    """Per-node analysis state threaded through the rewrite."""
+
+    expr: Expr
+    #: position -> domain whose affected-key set bounds the values there.
+    bounded: dict[int, str] = field(default_factory=dict)
+    #: position -> domain whose partition key the column carries verbatim.
+    keyed: dict[int, str] = field(default_factory=dict)
+    degree: int = _CONST
+    #: for _BILINEAR: arity of the product's left operand.
+    boundary: int = 0
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """Outcome of pruning one delta expression."""
+
+    expr: Expr
+    #: partitioned-table references replaced by restricted literals.
+    prunes: int
+    #: partitioned tables still referenced whole (fallback scans).
+    fallbacks: tuple[str, ...]
+    #: True when per-chunk evaluation sums to the whole delta.
+    chunk_safe: bool
+
+    @property
+    def prunable(self) -> bool:
+        return not self.fallbacks
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Static install-time verdict for one view's maintenance deltas."""
+
+    prunable: bool
+    fallbacks: tuple[str, ...]
+    domains: tuple[str, ...]
+    chunkable: bool
+    #: pairs of same-domain tables whose layouts drifted apart.
+    mismatched: tuple[tuple[str, str], ...]
+
+
+def _restricted_literal(bag: Bag, ref: TableRef) -> Literal:
+    return Literal(bag, ref.table_schema)
+
+
+class _Rewriter:
+    def __init__(
+        self,
+        specs: Mapping[str, object],
+        log_map: Mapping[str, str],
+        restrict: Callable[[str, str], Bag],
+        *,
+        chunk_keys: frozenset | None = None,
+        log_bags: Mapping[str, Bag] | None = None,
+        counter: CostCounter | None = None,
+    ) -> None:
+        self.specs = specs
+        self.log_map = log_map
+        self.restrict = restrict
+        self.chunk_keys = chunk_keys
+        self.log_bags = log_bags or {}
+        self.counter = counter
+        self.prunes = 0
+        self._restricted: dict[tuple[str, str], Literal] = {}
+
+    # -- entry ----------------------------------------------------------
+
+    def rewrite(self, expr: Expr) -> _Info:
+        return self._rewrite(expr, ())
+
+    # -- recursive walk -------------------------------------------------
+
+    def _rewrite(self, expr: Expr, ambient: tuple[frozenset[int], ...]) -> _Info:
+        """Rewrite ``expr``; ``ambient`` holds equality classes (in this
+        node's coordinates) contributed by enclosing selections — used to
+        discharge bilinear delta products."""
+        if isinstance(expr, TableRef):
+            return self._rewrite_leaf(expr)
+        if isinstance(expr, Literal):
+            degree = _EMPTY if not expr.bag else _CONST
+            return _Info(expr, degree=degree)
+        if isinstance(expr, Select):
+            return self._rewrite_select(expr, ambient)
+        if isinstance(expr, Project):
+            return self._rewrite_project(expr, ambient)
+        if isinstance(expr, MapProject):
+            return self._rewrite_map(expr, ambient)
+        if isinstance(expr, DupElim):
+            info = self._rewrite(expr.child, ambient)
+            degree = info.degree
+            if degree == _ANCHORED and not info.keyed:
+                # Chunks could split the duplicates of one projected row.
+                degree = _UNSAFE
+            elif degree == _PENDING:
+                degree = _UNSAFE
+            return _Info(DupElim(info.expr), info.bounded, info.keyed, degree)
+        if isinstance(expr, UnionAll):
+            return self._rewrite_union(expr, ambient)
+        if isinstance(expr, Monus):
+            return self._rewrite_monus(expr, ambient)
+        if isinstance(expr, Product):
+            return self._rewrite_product(expr, ambient)
+        return _Info(expr, degree=_UNSAFE)
+
+    # -- leaves ---------------------------------------------------------
+
+    def _rewrite_leaf(self, ref: TableRef) -> _Info:
+        base = self.log_map.get(ref.name)
+        if base is not None:
+            spec = self.specs.get(base)
+            if spec is None:
+                # A delta over an unpartitioned base: cannot be chunked
+                # (it would be replicated into every chunk).
+                return _Info(ref, degree=_UNSAFE)
+            node: Expr = ref
+            if self.chunk_keys is not None:
+                bag = self.log_bags.get(ref.name)
+                if bag is not None:
+                    position = spec.position
+                    keys = self.chunk_keys
+                    counts = {
+                        row: count for row, count in bag.items() if row[position] in keys
+                    }
+                    node = Literal(
+                        Bag._from_clean(counts, ref.table_schema.arity if counts else None),
+                        ref.table_schema,
+                    )
+            marks = {spec.position: spec.domain}
+            return _Info(node, dict(marks), dict(marks), _ANCHORED)
+        spec = self.specs.get(ref.name)
+        if spec is not None:
+            return _Info(ref, {}, {spec.position: spec.domain}, _CONST)
+        return _Info(ref)
+
+    # -- selections -----------------------------------------------------
+
+    def _rewrite_select(self, node: Select, ambient: tuple[frozenset[int], ...]) -> _Info:
+        schema = node.child.schema()
+        classes = _equality_classes(node.predicate, schema)
+        merged = _merge_classes(ambient, classes)
+        info = self._rewrite(node.child, merged)
+        bounded = dict(info.bounded)
+        keyed = dict(info.keyed)
+        # Saturate: equality spreads both bounds and key-carrying.
+        for group in merged:
+            domains = {bounded[p] for p in group if p in bounded}
+            for domain in domains:
+                for position in group:
+                    bounded.setdefault(position, domain)
+            key_domains = {keyed[p] for p in group if p in keyed}
+            for domain in key_domains:
+                for position in group:
+                    keyed.setdefault(position, domain)
+        child = info.expr
+        for position, domain in bounded.items():
+            child = self._push(child, position, domain)
+        degree = info.degree
+        if degree == _PENDING:
+            degree = _ANCHORED if _discharges(merged, info) else _UNSAFE
+        return _Info(Select(node.predicate, child), bounded, keyed, degree)
+
+    # -- structure-preserving nodes -------------------------------------
+
+    def _rewrite_project(self, node: Project, ambient: tuple[frozenset[int], ...]) -> _Info:
+        positions = node.positions()
+        child_ambient = tuple(
+            frozenset(positions[p] for p in group) for group in ambient
+        )
+        info = self._rewrite(node.child, child_ambient)
+        bounded = {
+            out: info.bounded[src]
+            for out, src in enumerate(positions)
+            if src in info.bounded
+        }
+        keyed = {
+            out: info.keyed[src]
+            for out, src in enumerate(positions)
+            if src in info.keyed
+        }
+        degree = _through_projection(info.degree, keyed)
+        return _Info(Project(node.attrs, info.expr, node.names), bounded, keyed, degree)
+
+    def _rewrite_map(self, node: MapProject, ambient: tuple[frozenset[int], ...]) -> _Info:
+        child_schema = node.child.schema()
+        # Output position -> child position, for identity (Attr) terms only.
+        out_to_child: dict[int, int] = {}
+        for out, term in enumerate(node.terms):
+            if isinstance(term, Attr):
+                try:
+                    out_to_child[out] = child_schema.index_of(term.name)
+                except SchemaError:
+                    continue
+        child_ambient = tuple(
+            frozenset(out_to_child[p] for p in group if p in out_to_child)
+            for group in ambient
+        )
+        info = self._rewrite(node.child, child_ambient)
+        bounded = {
+            out: info.bounded[src]
+            for out, src in out_to_child.items()
+            if src in info.bounded
+        }
+        keyed = {
+            out: info.keyed[src]
+            for out, src in out_to_child.items()
+            if src in info.keyed
+        }
+        degree = _through_projection(info.degree, keyed)
+        return _Info(MapProject(node.terms, info.expr, node.names), bounded, keyed, degree)
+
+    # -- binary nodes ---------------------------------------------------
+
+    def _rewrite_union(self, node: UnionAll, ambient: tuple[frozenset[int], ...]) -> _Info:
+        left = self._rewrite(node.left, ambient)
+        right = self._rewrite(node.right, ambient)
+        bounded = _positional_meet(left.bounded, right.bounded)
+        ld, rd = left.degree, right.degree
+        if ld == _EMPTY:
+            degree, keyed = rd, dict(right.keyed)
+        elif rd == _EMPTY:
+            degree, keyed = ld, dict(left.keyed)
+        elif ld in (_PENDING, _UNSAFE) or rd in (_PENDING, _UNSAFE):
+            degree, keyed = _UNSAFE, {}
+        elif ld == rd and ld in (_CONST, _ANCHORED):
+            degree, keyed = ld, _positional_meet(left.keyed, right.keyed)
+        else:
+            # A mix of CONST/STABLE/ANCHORED: correct on chunk keys,
+            # garbage elsewhere — the witness is the non-constant sides'
+            # shared key column.
+            if ld == _CONST:
+                keyed = dict(right.keyed)
+            elif rd == _CONST:
+                keyed = dict(left.keyed)
+            else:
+                keyed = _positional_meet(left.keyed, right.keyed)
+            degree = _STABLE if keyed else _UNSAFE
+        return _Info(UnionAll(left.expr, right.expr), bounded, keyed, degree)
+
+    def _rewrite_monus(self, node: Monus, ambient: tuple[frozenset[int], ...]) -> _Info:
+        left = self._rewrite(node.left, ambient)
+        right = self._rewrite(node.right, ambient)
+        keyed = dict(left.keyed)
+        ld, rd = left.degree, right.degree
+        shared = _positional_meet(left.keyed, right.keyed)
+        if ld == _EMPTY:
+            degree = _EMPTY
+        elif rd == _EMPTY:
+            degree = ld
+        elif ld in (_PENDING, _UNSAFE) or rd in (_PENDING, _UNSAFE):
+            degree = _UNSAFE
+        elif ld == _CONST:
+            if rd == _CONST:
+                degree = _CONST
+            else:
+                # S ∸ ▲S|c: correct exactly on rows whose key is in the
+                # chunk (monus matches whole rows, and the chunk filter
+                # is by that key column).
+                degree = _STABLE if shared else _UNSAFE
+                keyed = shared
+        elif ld == _ANCHORED:
+            if rd == _CONST:
+                degree = _ANCHORED
+            else:
+                degree = _ANCHORED if shared else _UNSAFE
+        else:  # ld == _STABLE
+            if rd == _CONST:
+                degree = _STABLE
+            else:
+                degree = _STABLE if shared else _UNSAFE
+                keyed = shared
+        # Result rows are a subbag of the left operand's rows.
+        return _Info(Monus(left.expr, right.expr), dict(left.bounded), keyed, degree)
+
+    def _rewrite_product(self, node: Product, ambient: tuple[frozenset[int], ...]) -> _Info:
+        left_arity = node.left.schema().arity
+        left_ambient = tuple(
+            frozenset(p for p in group if p < left_arity) for group in ambient
+        )
+        right_ambient = tuple(
+            frozenset(p - left_arity for p in group if p >= left_arity)
+            for group in ambient
+        )
+        left = self._rewrite(node.left, left_ambient)
+        right = self._rewrite(node.right, right_ambient)
+        bounded = dict(left.bounded)
+        keyed = dict(left.keyed)
+        for position, domain in right.bounded.items():
+            bounded[position + left_arity] = domain
+        for position, domain in right.keyed.items():
+            keyed[position + left_arity] = domain
+        boundary = 0
+        ld, rd = left.degree, right.degree
+        if ld == _EMPTY or rd == _EMPTY:
+            degree = _EMPTY
+        elif ld in (_PENDING, _UNSAFE) or rd in (_PENDING, _UNSAFE):
+            degree = _UNSAFE
+        elif ld == _CONST and rd == _CONST:
+            degree = _CONST
+        elif {ld, rd} == {_CONST, _ANCHORED}:
+            degree = _ANCHORED
+        elif {ld, rd} == {_CONST, _STABLE}:
+            degree = _STABLE
+        elif _ANCHORED in (ld, rd):
+            # delta x delta (or delta x past-state): sound only under a
+            # selection equating the two sides' partition keys, which
+            # confines the pairing to one chunk and filters the stable
+            # side's out-of-chunk garbage.  Check the ambient equalities
+            # here; otherwise leave PENDING for an enclosing Select.
+            degree = _PENDING
+            boundary = left_arity
+            info = _Info(Product(left.expr, right.expr), bounded, keyed, degree, boundary)
+            if _discharges(ambient, info):
+                degree = _ANCHORED
+                boundary = 0
+        else:  # STABLE x STABLE: no single-column witness survives
+            degree = _UNSAFE
+        return _Info(Product(left.expr, right.expr), bounded, keyed, degree, boundary)
+
+    # -- restriction push-down ------------------------------------------
+
+    def _push(self, expr: Expr, position: int, domain: str) -> Expr:
+        """Replace partitioned-table references feeding ``position`` with
+        key-restricted literals.  Non-matching shapes return unchanged."""
+        if isinstance(expr, TableRef):
+            if expr.name in self.log_map:
+                return expr
+            spec = self.specs.get(expr.name)
+            if spec is not None and spec.position == position:
+                cached = self._restricted.get((expr.name, domain))
+                if cached is None:
+                    cached = _restricted_literal(self.restrict(expr.name, domain), expr)
+                    self._restricted[(expr.name, domain)] = cached
+                self.prunes += 1
+                if self.counter is not None:
+                    self.counter.record_prune()
+                return cached
+            return expr
+        if isinstance(expr, Select):
+            child = self._push(expr.child, position, domain)
+            return expr if child is expr.child else Select(expr.predicate, child)
+        if isinstance(expr, Project):
+            source = expr.positions()[position]
+            child = self._push(expr.child, source, domain)
+            return expr if child is expr.child else Project(expr.attrs, child, expr.names)
+        if isinstance(expr, MapProject):
+            term = expr.terms[position]
+            if not isinstance(term, Attr):
+                return expr
+            try:
+                source = expr.child.schema().index_of(term.name)
+            except SchemaError:
+                return expr
+            child = self._push(expr.child, source, domain)
+            return expr if child is expr.child else MapProject(expr.terms, child, expr.names)
+        if isinstance(expr, DupElim):
+            child = self._push(expr.child, position, domain)
+            return expr if child is expr.child else DupElim(child)
+        if isinstance(expr, UnionAll):
+            left = self._push(expr.left, position, domain)
+            right = self._push(expr.right, position, domain)
+            if left is expr.left and right is expr.right:
+                return expr
+            return UnionAll(left, right)
+        if isinstance(expr, Monus):
+            # sigma_K(A - B) = sigma_K(A) - B: monus matches whole rows,
+            # so restricting only the left side is sound.
+            left = self._push(expr.left, position, domain)
+            return expr if left is expr.left else Monus(left, expr.right)
+        if isinstance(expr, Product):
+            left_arity = expr.left.schema().arity
+            if position < left_arity:
+                left = self._push(expr.left, position, domain)
+                return expr if left is expr.left else Product(left, expr.right)
+            right = self._push(expr.right, position - left_arity, domain)
+            return expr if right is expr.right else Product(expr.left, right)
+        return expr
+
+
+def _equality_classes(predicate, schema) -> tuple[frozenset[int], ...]:
+    """Equivalence classes of positions under the predicate's top-level
+    attribute equalities (conjuncts that fail to resolve are skipped)."""
+    parent: dict[int, int] = {}
+
+    def find(x: int) -> int:
+        while parent.get(x, x) != x:
+            parent[x] = parent.get(parent[x], parent[x])
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for conjunct in _conjuncts(predicate):
+        if (
+            isinstance(conjunct, Comparison)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, Attr)
+            and isinstance(conjunct.right, Attr)
+        ):
+            try:
+                left = schema.index_of(conjunct.left.name)
+                right = schema.index_of(conjunct.right.name)
+            except SchemaError:
+                continue
+            parent.setdefault(left, left)
+            parent.setdefault(right, right)
+            union(left, right)
+    groups: dict[int, set[int]] = {}
+    for position in parent:
+        groups.setdefault(find(position), set()).add(position)
+    return tuple(frozenset(group) for group in groups.values() if len(group) > 1)
+
+
+def _merge_classes(
+    first: tuple[frozenset[int], ...], second: tuple[frozenset[int], ...]
+) -> tuple[frozenset[int], ...]:
+    """Union-merge two collections of equivalence classes."""
+    merged: list[set[int]] = []
+    for group in (*first, *second):
+        if not group:
+            continue
+        hits = [existing for existing in merged if existing & group]
+        for hit in hits:
+            merged.remove(hit)
+        combined = set(group)
+        for hit in hits:
+            combined |= hit
+        merged.append(combined)
+    return tuple(frozenset(group) for group in merged)
+
+
+def _discharges(classes: tuple[frozenset[int], ...], info: _Info) -> bool:
+    """Whether an equality class equates a left-side and right-side
+    partition-key column (same domain) across a bilinear product."""
+    boundary = info.boundary
+    for group in classes:
+        lefts = {info.keyed[p] for p in group if p < boundary and p in info.keyed}
+        rights = {info.keyed[p] for p in group if p >= boundary and p in info.keyed}
+        if lefts & rights:
+            return True
+    return False
+
+
+def _through_projection(degree: int, keyed: dict[int, str]) -> int:
+    """Degree after a (map-)projection remapped ``keyed``.
+
+    ANCHORED survives losing its key column (projection is linear and
+    chunks partition the input rows); STABLE does not — its correctness
+    region is defined by that column.
+    """
+    if degree == _PENDING:
+        return _UNSAFE
+    if degree == _STABLE and not keyed:
+        return _UNSAFE
+    return degree
+
+
+def _positional_meet(left: dict[int, str], right: dict[int, str]) -> dict[int, str]:
+    return {
+        position: domain
+        for position, domain in left.items()
+        if right.get(position) == domain
+    }
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+
+def prune_expr(
+    expr: Expr,
+    specs: Mapping[str, object],
+    log_map: Mapping[str, str],
+    restrict: Callable[[str, str], Bag],
+    *,
+    chunk_keys: frozenset | None = None,
+    log_bags: Mapping[str, Bag] | None = None,
+    counter: CostCounter | None = None,
+) -> RewriteResult:
+    """Rewrite one delta expression with partition pruning.
+
+    ``specs`` maps base-table names to their partition specs; ``log_map``
+    maps maintenance-log table names to the base table they record;
+    ``restrict(table, domain)`` returns the affected rows of a
+    partitioned table (``PartitionedDatabase.restrict`` bound to the
+    epoch's affected keys).  With ``chunk_keys``/``log_bags`` the log
+    leaves are additionally narrowed to one key chunk, for per-chunk
+    parallel refresh (sound only when the result reports ``chunk_safe``).
+    """
+    rewriter = _Rewriter(
+        specs,
+        log_map,
+        restrict,
+        chunk_keys=chunk_keys,
+        log_bags=log_bags,
+        counter=counter,
+    )
+    info = rewriter.rewrite(expr)
+    fallbacks = tuple(sorted(info.expr.tables() & set(specs)))
+    if counter is not None and fallbacks:
+        counter.record_prune(fallback=True)
+    return RewriteResult(
+        info.expr,
+        rewriter.prunes,
+        fallbacks,
+        info.degree in (_ANCHORED, _EMPTY),
+    )
+
+
+def key_positions(expr: Expr, specs: Mapping[str, object]) -> dict[int, str]:
+    """Output positions of ``expr`` that carry a partition key, by domain.
+
+    Used to locate the materialized view's own partition-key column, so
+    the MV can be co-declared and patched partition-by-partition.
+    """
+    rewriter = _Rewriter(specs, {}, lambda table, domain: Bag.empty())
+    return dict(rewriter.rewrite(expr).keyed)
+
+
+def analyze_deltas(
+    deltas: Iterable[Expr],
+    specs: Mapping[str, object],
+    log_map: Mapping[str, str],
+) -> PartitionPlan:
+    """Static install-time verdict over a view's maintenance deltas.
+
+    Runs the same rewrite the epoch path uses, with empty key sets, and
+    reports whether every partitioned reference prunes, which domains
+    are involved, whether per-chunk refresh is sound, and any layout
+    drift among same-domain tables.
+    """
+
+    def empty_restrict(table: str, domain: str) -> Bag:
+        return Bag.empty()
+
+    fallbacks: set[str] = set()
+    chunkable = True
+    for delta in deltas:
+        result = prune_expr(delta, specs, log_map, empty_restrict)
+        fallbacks.update(result.fallbacks)
+        chunkable = chunkable and result.chunk_safe
+    domains = tuple(sorted({spec.domain for spec in specs.values()}))
+    mismatched: list[tuple[str, str]] = []
+    by_domain: dict[str, list] = {}
+    for name in sorted(specs):
+        by_domain.setdefault(specs[name].domain, []).append(name)
+    for names in by_domain.values():
+        for i, first in enumerate(names):
+            for second in names[i + 1 :]:
+                if not specs[first].co_partitioned(specs[second]):
+                    mismatched.append((first, second))
+    # Every specced reference either prunes or lands in ``fallbacks``,
+    # so no fallbacks means the rewrite is complete — including
+    # vacuously, when the deltas never reference a partitioned table
+    # whole (single-table views: the deltas are log-only and already
+    # delta-proportional, so partition-at-a-time apply is sound).
+    prunable = not fallbacks
+    return PartitionPlan(
+        prunable,
+        tuple(sorted(fallbacks)),
+        domains,
+        chunkable and prunable and len(domains) == 1,
+        tuple(mismatched),
+    )
+
+
+def partition_lint(view, db, report) -> None:
+    """Append RVM701/RVM702 findings for a view on a partitioned database.
+
+    No-op unless ``db`` declares partition specs covering at least one
+    base table of the view.  Builds the view's deferred-maintenance
+    deltas (the same ones the scenarios evaluate) and runs the static
+    pruning analysis on them.
+    """
+    specs_of = getattr(db, "partition_spec", None)
+    if specs_of is None:
+        return
+    base_tables = sorted(view.query.tables())
+    specs = {}
+    for name in base_tables:
+        spec = specs_of(name)
+        if spec is not None:
+            specs[name] = spec
+    if not specs:
+        return
+    from repro.core.differential import post_update_delta
+    from repro.core.logs import Log
+
+    # Install the probe log on a scratch clone so linting never mutates
+    # the live catalog (bags are shared, so the clone is cheap).
+    scratch = db.clone()
+    log = Log(scratch, base_tables, owner=f"__lint__{view.name}")
+    log.install()
+    log_map = {log.delete_ref(name).name: name for name in base_tables}
+    log_map.update({log.insert_ref(name).name: name for name in base_tables})
+    delete, insert = post_update_delta(log, view.query, assume_weakly_minimal_log=True)
+    plan = analyze_deltas((delete, insert), specs, log_map)
+    for first, second in plan.mismatched:
+        from repro.analysis.diagnostics import Severity
+
+        report.add(
+            "RVM702",
+            Severity.WARNING,
+            f"tables {first!r} and {second!r} declare partition domain "
+            f"{specs[first].domain!r} but their layouts drifted apart "
+            "(scheme/parts/bounds differ) — co-partitioned maintenance "
+            "is disabled for them",
+            path=view.name,
+        )
+    if not plan.prunable:
+        from repro.analysis.diagnostics import Severity
+
+        drifted = ", ".join(plan.fallbacks) if plan.fallbacks else ", ".join(specs)
+        report.add(
+            "RVM701",
+            Severity.WARNING,
+            f"partition-key drift: maintenance of {view.name!r} cannot "
+            f"prune partitions of [{drifted}] — the view's predicates/"
+            "joins do not bound the declared partition key, so refresh "
+            "falls back to whole-table scans",
+            path=view.name,
+        )

@@ -70,6 +70,68 @@ def check(
                 f"{name}: {subject} wall {subject_wall}s exceeds "
                 f"{tolerance}x {baseline} wall {baseline_wall}s"
             )
+    # The columnar kernels must also beat the *interpreted* oracle on the
+    # E7 refresh stream (>= 1.0x, modulo the CI headroom) — being merely
+    # "close to compiled" is not enough if both fell behind the baseline.
+    e7 = data.get("experiments", {}).get("E7_refresh", {})
+    vectorized = e7.get("vectorized")
+    interpreted = e7.get("interpreted")
+    if isinstance(vectorized, dict) and isinstance(interpreted, dict):
+        vectorized_wall = vectorized["refresh_wall_s"]
+        interpreted_wall = interpreted["refresh_wall_s"]
+        if vectorized_wall > tolerance * interpreted_wall:
+            violations.append(
+                f"E7_refresh: vectorized wall {vectorized_wall}s exceeds "
+                f"{tolerance}x interpreted wall {interpreted_wall}s "
+                "(vectorized must stay >= 1.0x the interpreted oracle)"
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Partitioned-maintenance guard
+# ----------------------------------------------------------------------
+
+
+def partition_guard(data: dict) -> list[str]:
+    """Violation messages for the partition-pruning gate (empty = pass).
+
+    Judges a ``BENCH_partition.json`` artifact: every sweep point's
+    partitioned view must digest-identical to both the unpartitioned
+    same-engine baseline and the interpreted oracle, pruning must never
+    have fallen back to a whole-table plan, and each epoch's partitioned
+    apply must touch at most the affected-partition count (bounded above
+    by the affected-key count and the declared partition count).
+    """
+    violations: list[str] = []
+    runs = data.get("experiments", {}).get("E21_partition_pruning", {})
+    if not runs:
+        return ["no E21_partition_pruning experiments in report"]
+    for label, point in runs.items():
+        if not isinstance(point, dict):
+            continue
+        if not point.get("digest_identical"):
+            violations.append(
+                f"{label}: partitioned digest {point.get('digest')} diverges from "
+                f"the unpartitioned interpreted oracle {point.get('oracle_digest')}"
+            )
+        partitioned = point.get("partitioned", {})
+        fallbacks = partitioned.get("partition_fallbacks", 0)
+        if fallbacks:
+            violations.append(
+                f"{label}: {fallbacks} whole-table fallback(s) on a workload the "
+                "analyzer declared fully prunable"
+            )
+        parts = point.get("parts", 0)
+        for index, epoch in enumerate(partitioned.get("epochs", [])):
+            touched = epoch.get("partitions_touched", 0)
+            bound = min(parts, epoch.get("affected_keys", 0)) if parts else 0
+            if touched > bound:
+                violations.append(
+                    f"{label} epoch {index}: touched {touched} partitions, more "
+                    f"than the affected-partition bound {bound} "
+                    f"({epoch.get('affected_keys')} affected keys, {parts} parts)"
+                )
     return violations
 
 
@@ -249,6 +311,19 @@ def main(argv: list[str] | None = None) -> int:
         help="run the engine-governor purity gate instead of the exec-bench gate",
     )
     parser.add_argument(
+        "--partition-guard",
+        action="store_true",
+        help="judge a partition_bench report (digest parity with the "
+        "interpreted oracle, zero fallbacks, touched <= affected partitions) "
+        "instead of the exec-bench gate",
+    )
+    parser.add_argument(
+        "--partition-report",
+        type=Path,
+        default=Path(__file__).resolve().parents[3] / "BENCH_partition.json",
+        help="partition_bench JSON for --partition-guard",
+    )
+    parser.add_argument(
         "--sanitizer-baseline",
         type=Path,
         default=_SANITIZER_BASELINE,
@@ -267,6 +342,19 @@ def main(argv: list[str] | None = None) -> int:
         help="run pairs per workload for the sanitizer guard",
     )
     args = parser.parse_args(argv)
+
+    if args.partition_guard:
+        violations = partition_guard(json.loads(args.partition_report.read_text()))
+        if violations:
+            for violation in violations:
+                print(f"REGRESSION: {violation}", file=sys.stderr)
+            return 1
+        print(
+            "gate passed: partitioned digests bit-identical to the interpreted "
+            "oracle, zero whole-table fallbacks, every epoch within its "
+            f"affected-partition bound ({args.partition_report.name})"
+        )
+        return 0
 
     if args.governor_guard:
         violations = governor_guard()

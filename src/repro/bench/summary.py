@@ -116,10 +116,44 @@ def _obs_headlines(data: dict[str, Any]) -> dict[str, Any]:
     return out
 
 
+def _robust_headlines(data: dict[str, Any]) -> dict[str, Any]:
+    grid = data.get("experiments", {}).get("E20_storm_grid", {}).get("grid", {})
+    out: dict[str, Any] = {"smoke": data.get("smoke")}
+    for engine, cells in grid.items():
+        if not isinstance(cells, dict):
+            continue
+        storm = cells.get("storm", {})
+        calm = cells.get("calm", {})
+        out[engine] = {
+            "storm_success_rate": storm.get("with_ladder", {}).get("success_rate"),
+            "storm_ladder_wall_ratio": storm.get("ladder_wall_ratio"),
+            "calm_ladder_wall_ratio": calm.get("ladder_wall_ratio"),
+        }
+    return out
+
+
+def _partition_headlines(data: dict[str, Any]) -> dict[str, Any]:
+    runs = data.get("experiments", {}).get("E21_partition_pruning", {})
+    out: dict[str, Any] = {"smoke": data.get("smoke"), "parts": data.get("parts")}
+    for label, point in runs.items():
+        if not isinstance(point, dict):
+            continue
+        out[label] = {
+            "wall_speedup": point.get("wall_speedup"),
+            "affected_key_fraction": point.get("affected_key_fraction"),
+            "partitions_touched": point.get("partitioned", {}).get("partitions_touched"),
+            "partition_fallbacks": point.get("partitioned", {}).get("partition_fallbacks"),
+            "digest_identical": point.get("digest_identical"),
+        }
+    return out
+
+
 _COLLECTORS = {
     "BENCH_exec.json": ("exec", _exec_headlines),
     "BENCH_group.json": ("group", _group_headlines),
     "BENCH_obs.json": ("obs", _obs_headlines),
+    "BENCH_robust.json": ("robust", _robust_headlines),
+    "BENCH_partition.json": ("partition", _partition_headlines),
 }
 
 

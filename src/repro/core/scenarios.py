@@ -79,6 +79,10 @@ class Scenario(ABC):
         #: When True, install-time lint findings raise instead of warn.
         self.strict = strict
         self._installed = False
+        #: Partition-pruned fast path (see :mod:`repro.core.partition_refresh`);
+        #: set at install time by the deferred scenarios when the database
+        #: is partitioned and the maintenance plan is prunable.
+        self._pmaint = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -366,6 +370,9 @@ class BaseLogScenario(Scenario):
     def _install_auxiliary(self) -> None:
         self.log.install()
         self._prime_refresh_path()
+        from repro.core.partition_refresh import PartitionedMaintenance
+
+        self._pmaint = PartitionedMaintenance.probe(self)
 
     def _prime_refresh_path(self) -> None:
         """Compile the refresh deltas and pre-build their indexes *now*.
@@ -395,7 +402,12 @@ class BaseLogScenario(Scenario):
         The incremental queries are computed here, under the view's
         exclusive lock — this is why refresh time can be high in this
         scenario (motivating ``INV_C``).
+
+        On a partitioned database with a prunable plan, the whole
+        operation is delegated to the affected-partition fast path.
         """
+        if self._pmaint is not None and self._pmaint.refresh_log(self):
+            return
         with obs.span(
             "refresh",
             view=self.view.name,
@@ -424,6 +436,21 @@ class BaseLogScenario(Scenario):
     def group_refresh_task(self, *, order: int):
         """This view's contribution to a group-refresh epoch."""
         return _log_delta_task(self, order=order)
+
+    def partitioned_group_tasks(self, *, order: int, hot_threshold: int = 64):
+        """Partition-chunked group tasks, or ``None`` when ineligible.
+
+        On a partitioned database with a chunk-safe plan this replaces
+        the single whole-log task with one read-only compute task per
+        affected partition chunk (declared under partition-granular
+        resources, so independent chunks evaluate in parallel) plus one
+        finalize task running the normal group apply.
+        """
+        if self._pmaint is None:
+            return None
+        return self._pmaint.chunked_group_tasks(
+            self, order=order, hot_threshold=hot_threshold
+        )
 
     def _group_writes(self) -> frozenset[str]:
         return frozenset((self.view.mv_table, *self.log.table_names()))
@@ -480,17 +507,25 @@ class BaseLogScenario(Scenario):
             delta_rows=len(delete_bag) + len(insert_bag),
             counter=self.counter,
         ):
-            plan = MaintenancePlan(assignments=self.log.clear_assignments())
-            plan.add_patch(
-                self.view.mv_table,
-                Literal(delete_bag, self.view.schema),
-                Literal(insert_bag, self.view.schema),
-            )
             with self._refresh_lock("refresh_BL"):
                 fault_point("crash-mid-refresh")
-                # The bags were already evaluated (and counted) in the task's
-                # compute step; this plan only re-emits them as literals.
-                plan.execute(self.db)
+                if self._pmaint is not None:
+                    self.db.apply_parts(
+                        {self.view.mv_table: (delete_bag, insert_bag)},
+                        clears=self._pmaint.log_clears(),
+                        counter=self.counter,
+                    )
+                else:
+                    plan = MaintenancePlan(assignments=self.log.clear_assignments())
+                    plan.add_patch(
+                        self.view.mv_table,
+                        Literal(delete_bag, self.view.schema),
+                        Literal(insert_bag, self.view.schema),
+                    )
+                    # The bags were already evaluated (and counted) in the
+                    # task's compute step; this plan only re-emits them as
+                    # literals.
+                    plan.execute(self.db)
         self._note_fresh(0)
 
     def staleness_entries(self) -> int:
@@ -569,6 +604,13 @@ class DiffTableScenario(Scenario):
         plan.add_assignment(self.view.dt_insert_table, self._empty_literal())
         return plan
 
+    def _apply_dt(self) -> None:
+        """Apply-and-clear the differentials, partition-at-a-time when possible."""
+        if self._pmaint is not None:
+            self._pmaint.apply_differentials(self)
+        else:
+            self._apply_dt_plan().execute(self.db, counter=self.counter)
+
     def refresh(self) -> None:
         """``refresh_DT``: apply precomputed differentials — minimal downtime."""
         with obs.span(
@@ -580,7 +622,7 @@ class DiffTableScenario(Scenario):
         ):
             with self._refresh_lock("refresh_DT"):
                 fault_point("crash-mid-refresh")
-                self._apply_dt_plan().execute(self.db, counter=self.counter)
+                self._apply_dt()
         self._note_fresh(0)
 
     def _pending_dt_rows(self) -> int:
@@ -656,6 +698,9 @@ class CombinedScenario(DiffTableScenario):
         # the propagate deltas while the logs are empty.
         view_delete, view_insert = post_update_delta(self.log, self.view.query)
         self.db.prime(view_delete, view_insert, counter=self.counter)
+        from repro.core.partition_refresh import PartitionedMaintenance
+
+        self._pmaint = PartitionedMaintenance.probe(self)
 
     def _uninstall_auxiliary(self) -> None:
         super()._uninstall_auxiliary()
@@ -672,6 +717,23 @@ class CombinedScenario(DiffTableScenario):
     def post_execute(self) -> None:
         """Transactions only touch the log; differentials are untouched."""
 
+    def _propagate_deltas(self) -> tuple[Expr, Expr]:
+        """Post-update deltas over the log, pruned to affected partitions.
+
+        On a partitioned database with a prunable plan, base-table
+        references in the deltas are replaced by restrictions to the
+        partitions holding this epoch's affected keys; otherwise (or when
+        a reference unexpectedly fails to prune) the whole-table
+        expressions are returned unchanged.
+        """
+        if self._pmaint is not None:
+            pending = self._pmaint.pending_deltas()
+            keys = self._pmaint.affected_keys(pending) if pending else {}
+            pruned = self._pmaint.pruned_deltas(keys, counter=self.counter)
+            if pruned is not None:
+                return pruned
+        return post_update_delta(self.log, self.view.query)
+
     def propagate(self) -> None:
         """``propagate_C``: log → differential tables, no view lock taken."""
         with obs.span(
@@ -681,7 +743,7 @@ class CombinedScenario(DiffTableScenario):
             log_watermark=self.log.recorded_changes() if obs.telemetry_enabled() else 0,
             counter=self.counter,
         ):
-            view_delete, view_insert = post_update_delta(self.log, self.view.query)
+            view_delete, view_insert = self._propagate_deltas()
             plan = MaintenancePlan(assignments=self.log.clear_assignments())
             self._fold_into_dt(plan, view_delete, view_insert)
             fault_point("crash-mid-propagate")
@@ -701,7 +763,7 @@ class CombinedScenario(DiffTableScenario):
         ):
             with self._refresh_lock("partial_refresh_C"):
                 fault_point("crash-mid-refresh")
-                self._apply_dt_plan().execute(self.db, counter=self.counter)
+                self._apply_dt()
         # Policy 2 leaves the still-unpropagated log behind: the view is
         # a bounded k ticks out of date, never fully current.
         self._note_fresh(self.log.recorded_changes() if obs.telemetry_enabled() else 0)
@@ -727,15 +789,15 @@ class CombinedScenario(DiffTableScenario):
         ), self._refresh_lock("refresh_C"):
             fault_point("crash-mid-refresh")
             if order == "propagate_first":
-                view_delete, view_insert = post_update_delta(self.log, self.view.query)
+                view_delete, view_insert = self._propagate_deltas()
                 propagate_plan = MaintenancePlan(assignments=self.log.clear_assignments())
                 self._fold_into_dt(propagate_plan, view_delete, view_insert)
                 propagate_plan.execute(self.db, counter=self.counter)
-                self._apply_dt_plan().execute(self.db, counter=self.counter)
+                self._apply_dt()
             else:
-                self._apply_dt_plan().execute(self.db, counter=self.counter)
+                self._apply_dt()
                 # refresh_BL tail: deltas for the remaining log.
-                view_delete, view_insert = post_update_delta(self.log, self.view.query)
+                view_delete, view_insert = self._propagate_deltas()
                 tail = MaintenancePlan(assignments=self.log.clear_assignments())
                 tail.add_patch(self.view.mv_table, view_delete, view_insert)
                 tail.execute(self.db, counter=self.counter)
@@ -754,6 +816,14 @@ class CombinedScenario(DiffTableScenario):
         differs (fold through the differential tables).
         """
         return _log_delta_task(self, order=order)
+
+    def partitioned_group_tasks(self, *, order: int, hot_threshold: int = 64):
+        """Partition-chunked group tasks, or ``None`` when ineligible (see BL)."""
+        if self._pmaint is None:
+            return None
+        return self._pmaint.chunked_group_tasks(
+            self, order=order, hot_threshold=hot_threshold
+        )
 
     def _group_writes(self) -> frozenset[str]:
         return frozenset(
@@ -839,7 +909,7 @@ class CombinedScenario(DiffTableScenario):
                 propagate_plan = MaintenancePlan(assignments=self.log.clear_assignments())
                 self._fold_into_dt(propagate_plan, lit_delete, lit_insert)
                 propagate_plan.execute(self.db, counter=self.counter)
-                self._apply_dt_plan().execute(self.db, counter=self.counter)
+                self._apply_dt()
         self._note_fresh(0)
 
     def staleness_entries(self) -> int:

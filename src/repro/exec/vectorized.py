@@ -69,6 +69,26 @@ __all__ = ["VectorizedExecutor", "TableBatchCache"]
 _COMPACT_FACTOR = 2
 
 
+def _filter_project_shape(
+    steps: list[tuple[str, object]],
+) -> tuple[list, tuple[int, ...] | None] | None:
+    """Recognize a fused chain of filters with at most one trailing project.
+
+    Returns ``(predicates, positions)`` when the chain is columnar-safe
+    (``positions`` is ``None`` for a pure filter chain), else ``None``.
+    """
+    predicates = []
+    positions: tuple[int, ...] | None = None
+    for index, (kind, payload) in enumerate(steps):
+        if kind == "filter":
+            predicates.append(payload)
+        elif kind == "project" and index == len(steps) - 1:
+            positions = payload  # type: ignore[assignment]
+        else:
+            return None
+    return predicates, positions
+
+
 class TableBatchCache:
     """Column batches for stored tables, maintained through writes.
 
@@ -203,8 +223,37 @@ class VectorizedExecutor(Executor):
 
     def _k_pipeline(self, node: PPipeline, ctx) -> ColumnBatch:
         base = self._scan_batch(node.access.table, ctx)
-        apply = node.access.apply
         out_arity = len(node.access.out_map)
+        fast = _filter_project_shape(node.access.steps)
+        if fast is not None and base.arity:
+            # Columnar fast path for the dominant σ*→Π chain: predicates
+            # run once per physical row to build a mask, then values move
+            # column-wise — no per-row output tuples, no pair transpose.
+            predicates, positions = fast
+            read = len(base)
+            if predicates:
+                if len(predicates) == 1:
+                    predicate = predicates[0]
+                    mask = [predicate(row) for row in zip(*base.columns)]
+                else:
+                    mask = [
+                        all(predicate(row) for predicate in predicates)
+                        for row in zip(*base.columns)
+                    ]
+                columns = tuple(
+                    [value for value, keep in zip(column, mask) if keep]
+                    for column in base.columns
+                )
+                mults = [count for count, keep in zip(base.mults, mask) if keep]
+                batch = ColumnBatch(columns, mults, base.arity)
+            else:
+                batch = base
+            if positions is not None:
+                batch = batch.gather(positions)
+            if ctx.counter is not None:
+                ctx.counter.record("scan", read)
+            return batch
+        apply = node.access.apply
         pairs = []
         read = 0
         for row, count in base.rows():

@@ -35,6 +35,7 @@ crash-after-checkpoint  durable op, checkpoint durable, before the journal commi
 crash-after-commit      durable op, journal committed, before returning
 crash-mid-consolidate   columnar consolidation, staged rows built, before the swap
 crash-mid-delta-cache   ``EpochDeltaCache.store``, before the entry installs
+crash-mid-partition-apply ``PartitionedDatabase.apply_parts``, between partitions
 flaky-save              ``save_database``, start of a (retried) write attempt
 flaky-mirror-upsert     ``SQLiteMirror._apply_net``, before the UPSERT batch
 flaky-mirror-adopt      ``SQLiteMirror._adopt``, before the eager table create
@@ -96,6 +97,7 @@ FAULT_POINTS: frozenset[str] = frozenset(
         "crash-after-commit",
         "crash-mid-consolidate",
         "crash-mid-delta-cache",
+        "crash-mid-partition-apply",
         "flaky-save",
         "flaky-mirror-upsert",
         "flaky-mirror-adopt",

@@ -453,7 +453,18 @@ class ViewManager:
             elif hasattr(scenario, "group_refresh_task"):
                 if compact and hasattr(scenario, "compact_log"):
                     scenario.compact_log()
-                tasks.append(scenario.group_refresh_task(order=order))
+                chunked = (
+                    scenario.partitioned_group_tasks(order=order)
+                    if hasattr(scenario, "partitioned_group_tasks")
+                    else None
+                )
+                if chunked is not None:
+                    # Partitioned database + chunk-safe plan: the view's
+                    # epoch splits into per-partition compute tasks that
+                    # batch at partition granularity.
+                    tasks.extend(chunked)
+                else:
+                    tasks.append(scenario.group_refresh_task(order=order))
             else:
                 fallback.append(name)
         for group, group_members in shared.values():

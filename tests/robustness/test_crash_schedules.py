@@ -73,10 +73,11 @@ def test_every_fault_point_is_reachable(tmp_path):
 
     The default-engine workload covers the classic journal/checkpoint
     points; the governed sqlite engine adds the mirror and pushdown
-    seams.  Three points need targeted drivers: consolidation only
+    seams.  Four points need targeted drivers: consolidation only
     triggers past a compaction threshold, the epoch delta cache only
-    fills under a *group* refresh, and the probe seam only fires while
-    a breaker is half-open — each is exercised below.
+    fills under a *group* refresh, the probe seam only fires while
+    a breaker is half-open, and the partition-apply seam only exists
+    on a `PartitionedDatabase` — each is exercised below.
     """
     harness = RetailCrashHarness(tmp_path / "wh1.db")
     harness.run(trace=True)
@@ -86,7 +87,12 @@ def test_every_fault_point_is_reachable(tmp_path):
     sqlite_harness.run(trace=True)
     visited |= set(INJECTOR.hits)
     INJECTOR.reset()
-    targeted = {"crash-mid-consolidate", "crash-mid-delta-cache", "flaky-governor-probe"}
+    targeted = {
+        "crash-mid-consolidate",
+        "crash-mid-delta-cache",
+        "flaky-governor-probe",
+        "crash-mid-partition-apply",
+    }
     assert FAULT_POINTS - targeted <= visited
 
 
@@ -145,6 +151,20 @@ def test_governor_probe_point_is_reachable():
     db.evaluate(ref)  # demotes: retry budget exhausted
     db.evaluate(ref)  # cooldown of 1 expires; half-open probe fires
     visits = INJECTOR.hits.get("flaky-governor-probe", 0)
+    INJECTOR.reset()
+    assert visits >= 1
+
+
+def test_partition_apply_point_is_reachable():
+    from repro.algebra.bag import Bag
+    from repro.storage.partition import PartitionedDatabase
+
+    db = PartitionedDatabase()
+    db.create_table("R", ("k", "v"), rows=[(i, "x") for i in range(8)])
+    db.declare_partitioning("R", "k", parts=8)
+    INJECTOR.trace()
+    db.apply_parts({"R": (Bag(), Bag([(i, "y") for i in range(8)]))})
+    visits = INJECTOR.hits.get("crash-mid-partition-apply", 0)
     INJECTOR.reset()
     assert visits >= 1
 

@@ -138,6 +138,7 @@ class TestCatalog:
             "crash-after-commit",
             "crash-mid-consolidate",
             "crash-mid-delta-cache",
+            "crash-mid-partition-apply",
             "flaky-save",
             "flaky-mirror-upsert",
             "flaky-mirror-adopt",
