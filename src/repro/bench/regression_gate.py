@@ -23,6 +23,14 @@ sanitizer's wall-clock overhead must stay within
 ``--sanitizer-tolerance`` (default 1.05×, judged on the median wall
 ratio over ``--repeats`` interleaved plain/sanitized run pairs).
 
+``--serve-guard`` judges a :mod:`repro.bench.serve_bench` report
+(``BENCH_serve.json``): snapshot reads must be bit-identical to the
+interpreted oracle, readers must acquire **zero** exclusive view locks,
+concurrent readers must observe only legitimate prefix states, staleness
+must stay within Policy 2's ``(k, m)`` bounds, and p99 read latency must
+stay within ``--tolerance`` of the pinned SLO in
+``bench/baselines/serve_slo.json``.
+
 ``--governor-guard`` gates the engine governor
 (:mod:`repro.robustness.governor`) the same way: on a pinned retail
 maintenance workload, run per engine with the governor disabled and
@@ -40,10 +48,11 @@ import sys
 import time
 from pathlib import Path
 
-__all__ = ["check", "sanitizer_guard", "governor_guard", "main"]
+__all__ = ["check", "sanitizer_guard", "governor_guard", "serve_guard", "main"]
 
 _REPO_ROOT = Path(__file__).resolve().parents[3]
 _SANITIZER_BASELINE = _REPO_ROOT / "bench" / "baselines" / "sanitizer_ops.json"
+_SERVE_BASELINE = _REPO_ROOT / "bench" / "baselines" / "serve_slo.json"
 
 _EXPERIMENT_WALLS = {
     "E7_refresh": lambda run: run["refresh_wall_s"],
@@ -224,6 +233,93 @@ def sanitizer_guard(
 
 
 # ----------------------------------------------------------------------
+# View-server SLO guard
+# ----------------------------------------------------------------------
+
+
+def serve_guard(
+    data: dict, baseline: dict, *, tolerance: float = 1.2
+) -> list[str]:
+    """Violation messages for the view-server SLO gate (empty = pass).
+
+    Judges a ``BENCH_serve.json`` artifact against the pinned SLOs in
+    ``bench/baselines/serve_slo.json``:
+
+    * **Correctness is strict** — snapshot reads must be bit-identical
+      to the interpreted oracle, zero reader-attributed exclusive lock
+      sections, zero isolation violations under concurrent workers, and
+      staleness within Policy 2's ``(k, m)`` bounds.
+    * **Latency is tolerant** — p99 read latency must stay within
+      ``tolerance ×`` the pinned baseline (CI runners are noisy; the
+      pin itself carries ~100x headroom over a quiet local run).
+    """
+    violations: list[str] = []
+    serving_run = data.get("experiments", {}).get("E22_serving")
+    if not isinstance(serving_run, dict):
+        return ["no E22_serving experiment in report"]
+    serving = serving_run.get("serving", {})
+
+    observable = serving.get("reader_observable", {})
+    if observable.get("lock_sections", -1) != 0 or observable.get("lock_ops", -1) != 0:
+        violations.append(
+            "E22_serving: readers observed exclusive view locks "
+            f"(sections={observable.get('lock_sections')}, "
+            f"ops={observable.get('lock_ops')}); snapshot reads must never "
+            "touch the maintenance lock path"
+        )
+
+    digests = serving.get("digests", {})
+    if digests.get("mismatches", -1) != 0 or not digests.get("matches"):
+        violations.append(
+            f"E22_serving: {digests.get('mismatches')} digest mismatch(es) over "
+            f"{digests.get('matches', 0)} checks; snapshot reads must be "
+            "bit-identical to the interpreted oracle"
+        )
+
+    staleness = serving.get("staleness_ticks", {})
+    if staleness.get("max", 1 << 30) > staleness.get("bound_overall", 0):
+        violations.append(
+            f"E22_serving: staleness max {staleness.get('max')} ticks exceeds "
+            f"the k+m bound {staleness.get('bound_overall')}"
+        )
+    if staleness.get("post_refresh_max", 1 << 30) > staleness.get("bound_post_refresh", 0):
+        violations.append(
+            f"E22_serving: post-refresh staleness {staleness.get('post_refresh_max')} "
+            f"ticks exceeds the k bound {staleness.get('bound_post_refresh')}"
+        )
+
+    for flag, value in serving_run.get("ordering", {}).items():
+        if not value:
+            violations.append(f"E22_serving: ordering check {flag!r} failed")
+
+    p99 = serving.get("latency_s", {}).get("p99_s")
+    pinned = baseline.get("p99_read_latency_s")
+    if p99 is None or pinned is None:
+        violations.append("E22_serving: p99 read latency missing from report or baseline")
+    elif p99 > tolerance * pinned:
+        violations.append(
+            f"E22_serving: p99 read latency {p99}s exceeds {tolerance}x the "
+            f"pinned SLO {pinned}s"
+        )
+
+    concurrent = data.get("experiments", {}).get("E22_concurrent_isolation")
+    if not isinstance(concurrent, dict):
+        violations.append("no E22_concurrent_isolation experiment in report")
+    else:
+        if concurrent.get("isolation_violations", -1) != 0:
+            violations.append(
+                f"E22_concurrent_isolation: {concurrent.get('isolation_violations')} "
+                "read(s) observed a state outside the legitimate prefix-state set"
+            )
+        if concurrent.get("reader_lock_sections", -1) != 0:
+            violations.append(
+                f"E22_concurrent_isolation: {concurrent.get('reader_lock_sections')} "
+                "exclusive lock section(s) attributed to reader threads"
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
 # Engine-governor purity guard
 # ----------------------------------------------------------------------
 
@@ -324,6 +420,26 @@ def main(argv: list[str] | None = None) -> int:
         help="partition_bench JSON for --partition-guard",
     )
     parser.add_argument(
+        "--serve-guard",
+        action="store_true",
+        help="judge a serve_bench report (zero reader lock acquisitions, "
+        "digests bit-identical to the oracle, staleness within (k, m), p99 "
+        "read latency within --tolerance of the pinned SLO) instead of the "
+        "exec-bench gate",
+    )
+    parser.add_argument(
+        "--serve-report",
+        type=Path,
+        default=Path(__file__).resolve().parents[3] / "BENCH_serve.json",
+        help="serve_bench JSON for --serve-guard",
+    )
+    parser.add_argument(
+        "--serve-baseline",
+        type=Path,
+        default=_SERVE_BASELINE,
+        help="pinned read-latency SLO for the serve guard",
+    )
+    parser.add_argument(
         "--sanitizer-baseline",
         type=Path,
         default=_SANITIZER_BASELINE,
@@ -353,6 +469,24 @@ def main(argv: list[str] | None = None) -> int:
             "gate passed: partitioned digests bit-identical to the interpreted "
             "oracle, zero whole-table fallbacks, every epoch within its "
             f"affected-partition bound ({args.partition_report.name})"
+        )
+        return 0
+
+    if args.serve_guard:
+        violations = serve_guard(
+            json.loads(args.serve_report.read_text()),
+            json.loads(args.serve_baseline.read_text()),
+            tolerance=args.tolerance,
+        )
+        if violations:
+            for violation in violations:
+                print(f"REGRESSION: {violation}", file=sys.stderr)
+            return 1
+        print(
+            "gate passed: zero reader-observable lock acquisitions, snapshot "
+            "digests bit-identical to the interpreted oracle, staleness within "
+            f"(k, m), p99 read latency within {args.tolerance}x the pinned SLO "
+            f"({args.serve_report.name})"
         )
         return 0
 

@@ -148,12 +148,45 @@ def _partition_headlines(data: dict[str, Any]) -> dict[str, Any]:
     return out
 
 
+def _serve_headlines(data: dict[str, Any]) -> dict[str, Any]:
+    experiments = data.get("experiments", {})
+    out: dict[str, Any] = {"smoke": data.get("smoke")}
+    serving = experiments.get("E22_serving", {})
+    if serving:
+        arm = serving.get("serving", {})
+        out["serving"] = {
+            "p50_read_latency_s": arm.get("latency_s", {}).get("p50_s"),
+            "p99_read_latency_s": arm.get("latency_s", {}).get("p99_s"),
+            "reader_lock_sections": arm.get("reader_observable", {}).get("lock_sections"),
+            "max_staleness_ticks": arm.get("staleness_ticks", {}).get("max"),
+            "digest_mismatches": arm.get("digests", {}).get("mismatches"),
+        }
+        out["synchronous"] = {
+            "p99_read_latency_s": serving.get("synchronous", {})
+            .get("latency_s", {})
+            .get("p99_s"),
+            "reader_lock_sections": serving.get("synchronous", {})
+            .get("reader_observable", {})
+            .get("lock_sections"),
+        }
+    concurrent = experiments.get("E22_concurrent_isolation", {})
+    if concurrent:
+        out["concurrent"] = {
+            "threaded_reads": concurrent.get("latency_s", {}).get("reads"),
+            "isolation_violations": concurrent.get("isolation_violations"),
+            "reader_lock_sections": concurrent.get("reader_lock_sections"),
+            "distinct_states_observed": concurrent.get("distinct_states_observed"),
+        }
+    return out
+
+
 _COLLECTORS = {
     "BENCH_exec.json": ("exec", _exec_headlines),
     "BENCH_group.json": ("group", _group_headlines),
     "BENCH_obs.json": ("obs", _obs_headlines),
     "BENCH_robust.json": ("robust", _robust_headlines),
     "BENCH_partition.json": ("partition", _partition_headlines),
+    "BENCH_serve.json": ("serve", _serve_headlines),
 }
 
 

@@ -329,7 +329,7 @@ def run_stream(shell: WarehouseShell, lines: Iterable[str], out) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: ``python -m repro [lint …| recover FILE | trace … | script.sql …]``."""
+    """Entry point: ``python -m repro [lint …| recover FILE | trace … | serve … | script.sql …]``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "lint":
         from repro.analysis.lint import main as lint_main
@@ -343,6 +343,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.render import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.demo import main as serve_main
+
+        return serve_main(argv[1:])
     shell = WarehouseShell()
     if argv:
         for path in argv:

@@ -1,0 +1,138 @@
+"""``python -m repro serve --demo`` — a live view-serving walkthrough.
+
+Spins up a :class:`~repro.serve.ViewServer` over the seeded retail
+workload with a background worker pool, runs a few writer epochs while
+reader threads hammer the snapshot path, and prints what Section 5.3's
+downtime argument looks like from the serving side: reads never wait on
+the maintenance lock, staleness stays within Policy 2's ``(k, m)``, and
+superseded snapshots are collected as readers move on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+from repro.serve.server import ServeConfig, ViewServer
+
+__all__ = ["main"]
+
+
+def _build_retail_server(*, k: int, m: int, seed: int):
+    from repro.storage.database import Database
+    from repro.warehouse.manager import ViewManager
+    from repro.workloads.retail import VIEW_SQL, RetailConfig, RetailWorkload
+
+    workload = RetailWorkload(
+        RetailConfig(customers=60, initial_sales=300, txn_inserts=6, seed=seed)
+    )
+    db = Database()
+    workload.setup_database(db)
+    server = ViewServer(ServeConfig(k=k, m=m), manager=ViewManager(db))
+    server.define_view("V", VIEW_SQL, scenario="combined")
+    return server, workload
+
+
+def _run_demo(
+    *, ticks: int, readers: int, workers: int, k: int, m: int, seed: int, out
+) -> int:
+    server, workload = _build_retail_server(k=k, m=m, seed=seed)
+    print(
+        f"serving demo: retail workload, Policy 2 (k={k}, m={m}), "
+        f"{workers} maintenance worker(s), {readers} reader thread(s)",
+        file=out,
+    )
+    server.start_workers(workers)
+    stop = threading.Event()
+    reads = {"count": 0}
+
+    def _reader(index: int) -> None:
+        mine = 0
+        while not stop.is_set():
+            server.read("V")
+            mine += 1
+            time.sleep(0.001)
+        with server._write_mutex:  # only to total the counter safely
+            reads["count"] += mine
+
+    threads = [
+        threading.Thread(target=_reader, args=(i,), name=f"reader-{i}", daemon=True)
+        for i in range(readers)
+    ]
+    for thread in threads:
+        thread.start()
+
+    try:
+        for _ in range(ticks):
+            txns = [workload.next_transaction(server.db) for _ in range(3)]
+            ran = server.tick(txns)
+            server.wait_idle()
+            snapshot = server.current
+            rows = len(server.read("V"))
+            actions = ",".join(action for _, action in ran) or "-"
+            print(
+                f"tick {server.now:>3} | V: {rows} rows | staleness "
+                f"{server.staleness_ticks('V')} tick(s) | maintenance: {actions} "
+                f"| snapshot #{snapshot.snapshot_id}",
+                file=out,
+            )
+            time.sleep(0.005)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=2.0)
+        server.stop_workers()
+
+    registry = server.registry.stats()
+    sections = server.reader_lock_sections()
+    print(
+        f"\n{reads['count']} reads served from pinned snapshots; "
+        f"reader-held exclusive lock sections: {sections}",
+        file=out,
+    )
+    print(
+        f"snapshots: {registry['pins_total']} pinned, "
+        f"{registry['collected_total']} collected, {registry['live']} live",
+        file=out,
+    )
+    print(
+        "reader-observable downtime is zero by construction: reads resolve "
+        "against immutable snapshot cuts, never the maintenance lock.",
+        file=out,
+    )
+    return 0 if sections == 0 else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--demo", action="store_true", help="run the scripted serving walkthrough"
+    )
+    parser.add_argument("--ticks", type=int, default=14, help="writer epochs to run")
+    parser.add_argument("--readers", type=int, default=4, help="concurrent reader threads")
+    parser.add_argument("--workers", type=int, default=2, help="maintenance workers")
+    parser.add_argument("--k", type=int, default=2, help="propagate every k ticks")
+    parser.add_argument("--m", type=int, default=7, help="partial_refresh every m ticks")
+    parser.add_argument("--seed", type=int, default=96, help="workload seed")
+    args = parser.parse_args(argv)
+    if not args.demo:
+        parser.print_help()
+        print("\nuse --demo to run the serving walkthrough", file=sys.stderr)
+        return 2
+    return _run_demo(
+        ticks=args.ticks,
+        readers=args.readers,
+        workers=args.workers,
+        k=args.k,
+        m=args.m,
+        seed=args.seed,
+        out=sys.stdout,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,224 @@
+"""Immutable snapshot handles and the pin registry (MVCC for readers).
+
+The storage layer already stores every table as an immutable
+:class:`~repro.algebra.bag.Bag`, so a *snapshot* of the whole database
+is nothing more than a dict of references plus the version stamps it was
+cut at — O(#tables), never O(data).  What the serving layer adds is the
+discipline around that copy:
+
+* :meth:`~repro.storage.database.Database.consistent_cut` takes the copy
+  under the commit mutex, so a pin can never observe half of a
+  simultaneous transaction's install loop (no torn reads);
+* :class:`SnapshotHandle` freezes the cut and answers reads and ad-hoc
+  queries against it forever, no matter what the live database does
+  next;
+* :class:`SnapshotRegistry` refcounts pins and collects superseded
+  snapshots the moment their last reader releases them, so memory held
+  by old versions is bounded by the number of *live* readers, not by
+  write traffic.
+
+Handles evaluate ad-hoc expressions with the **interpreted oracle**
+against their own frozen tables.  The compiled engines' plan caches and
+indexes are keyed to the live database's version stamps; consulting them
+with a pinned state would be exactly the plan-cache staleness bug the
+exec-layer tests guard against, so pinned evaluation never goes near an
+executor.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping
+
+from repro.algebra.bag import Bag
+from repro.algebra.evaluation import CostCounter, evaluate
+from repro.algebra.expr import Expr
+from repro.errors import UnknownTableError
+from repro.robustness.journal import bag_digest
+
+__all__ = ["SnapshotHandle", "SnapshotRegistry"]
+
+
+class SnapshotHandle:
+    """One immutable ``(tables, versions, clock)`` cut of a database.
+
+    Handles are created by :meth:`SnapshotRegistry.pin` and stay readable
+    until every pin is :meth:`release`-d — and, since the tables are
+    plain references to immutable bags, they stay readable even then; the
+    registry merely stops *retaining* them.  Use as a context manager to
+    release on exit.
+    """
+
+    __slots__ = ("snapshot_id", "clock", "tick", "reflects", "_tables", "_versions", "_registry")
+
+    def __init__(
+        self,
+        snapshot_id: int,
+        tables: Mapping[str, Bag],
+        versions: Mapping[str, int],
+        clock: int,
+        *,
+        tick: int = 0,
+        reflects: int = 0,
+        registry: SnapshotRegistry | None = None,
+    ) -> None:
+        #: Monotonic pin identifier (registry-scoped).
+        self.snapshot_id = snapshot_id
+        #: The database's global write clock at the cut.
+        self.clock = clock
+        #: Simulated time the server published this snapshot at.
+        self.tick = tick
+        #: Simulated time of the database state the view tables in this
+        #: snapshot reflect (Policy 2's ``mv_reflects`` at publish).
+        self.reflects = reflects
+        self._tables = dict(tables)
+        self._versions = dict(versions)
+        self._registry = registry
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def table(self, name: str) -> Bag:
+        """The pinned contents of ``name`` (never reflects later writes)."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(f"no such table in snapshot: {name!r}") from None
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def version_of(self, name: str) -> int:
+        """The pinned version stamp of ``name``."""
+        return self._versions.get(name, -1)
+
+    def evaluate(self, expr: Expr, *, counter: CostCounter | None = None) -> Bag:
+        """Evaluate an ad-hoc query against the pinned state.
+
+        Always runs the interpreted evaluator over the frozen tables:
+        engine plan caches and indexes are stamped against the *live*
+        database and must never serve a pinned read.
+        """
+        return evaluate(expr, self._tables, counter=counter)
+
+    def digest(self, name: str) -> str:
+        """Order-insensitive content digest of a pinned table."""
+        return bag_digest(self.table(name))
+
+    def total_rows(self) -> int:
+        return sum(len(bag) for bag in self._tables.values())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def release(self) -> None:
+        """Drop one pin; idempotent once the registry forgot the handle."""
+        if self._registry is not None:
+            self._registry.release(self)
+
+    def __enter__(self) -> SnapshotHandle:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotHandle(id={self.snapshot_id}, clock={self.clock}, "
+            f"tick={self.tick}, tables={len(self._tables)})"
+        )
+
+
+class SnapshotRegistry:
+    """Refcounted pin registry with GC of superseded snapshots.
+
+    Thread-safe: readers pin/release concurrently with the writer
+    publishing new cuts.  A snapshot is *live* while any pin holds it;
+    when the last pin releases a snapshot that is no longer the newest,
+    the registry drops its reference (``collected_total``) and Python's
+    own refcounting reclaims the dict — the bags themselves are shared
+    with the live database and every other snapshot that references
+    them, so collection is O(#tables) too.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pins: dict[int, int] = {}
+        self._handles: dict[int, SnapshotHandle] = {}
+        self._next_id = 0
+        self._newest_id = -1
+        self.pins_total = 0
+        self.releases_total = 0
+        self.collected_total = 0
+
+    # ------------------------------------------------------------------
+    # Pinning
+    # ------------------------------------------------------------------
+
+    def pin(self, db, *, tick: int = 0, reflects: int = 0) -> SnapshotHandle:
+        """Cut and pin a fresh snapshot of ``db`` (O(#tables))."""
+        tables, versions, clock = db.consistent_cut()
+        with self._lock:
+            self._next_id += 1
+            handle = SnapshotHandle(
+                self._next_id, tables, versions, clock,
+                tick=tick, reflects=reflects, registry=self,
+            )
+            self._pins[handle.snapshot_id] = 1
+            self._handles[handle.snapshot_id] = handle
+            self._newest_id = handle.snapshot_id
+            self.pins_total += 1
+            return handle
+
+    def repin(self, handle: SnapshotHandle) -> SnapshotHandle:
+        """Add one pin to an existing live handle (a reader joining it)."""
+        with self._lock:
+            if handle.snapshot_id not in self._pins:
+                raise ValueError(f"snapshot {handle.snapshot_id} is no longer retained")
+            self._pins[handle.snapshot_id] += 1
+            self.pins_total += 1
+            return handle
+
+    def release(self, handle: SnapshotHandle) -> None:
+        """Drop one pin; collect the snapshot when superseded and unpinned."""
+        with self._lock:
+            count = self._pins.get(handle.snapshot_id)
+            if count is None:
+                return
+            self.releases_total += 1
+            if count > 1:
+                self._pins[handle.snapshot_id] = count - 1
+                return
+            del self._pins[handle.snapshot_id]
+            del self._handles[handle.snapshot_id]
+            self.collected_total += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def live_count(self) -> int:
+        """Snapshots currently retained (pinned by at least one reader)."""
+        with self._lock:
+            return len(self._pins)
+
+    def pin_count(self, handle: SnapshotHandle) -> int:
+        with self._lock:
+            return self._pins.get(handle.snapshot_id, 0)
+
+    def retained_rows(self) -> int:
+        """Total rows referenced across live snapshots (shared, not copied)."""
+        with self._lock:
+            handles = list(self._handles.values())
+        return sum(handle.total_rows() for handle in handles)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "live": len(self._pins),
+                "pins_total": self.pins_total,
+                "releases_total": self.releases_total,
+                "collected_total": self.collected_total,
+            }

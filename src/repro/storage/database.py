@@ -20,6 +20,7 @@ assignment sets executed this way.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Mapping
 
 from repro import obs
@@ -71,6 +72,12 @@ class Database:
         self._tables: dict[str, Bag] = {}
         self._schemas: dict[str, Schema] = {}
         self._internal: set[str] = set()
+        #: Guards every multi-table commit section against a concurrent
+        #: :meth:`consistent_cut`.  The critical sections are O(#tables
+        #: touched) reference installs — never O(data) — so holding the
+        #: mutex costs a writer nothing measurable, and a snapshot pin
+        #: can never observe half of a simultaneous transaction.
+        self._commit_mutex = threading.RLock()
         self._exec_mode = default_exec_mode() if exec_mode is None else resolve_exec_mode(exec_mode)
         self._versions: dict[str, int] = {}
         self._clock = 0
@@ -201,21 +208,23 @@ class Database:
         bag = Bag(rows)
         if bag.arity is not None and bag.arity != schema.arity:
             raise SchemaError(f"initial rows have arity {bag.arity}, schema has arity {schema.arity}")
-        self._tables[name] = bag
-        self._schemas[name] = schema
-        if internal:
-            self._internal.add(name)
-        self._bump(name)
+        with self._commit_mutex:
+            self._tables[name] = bag
+            self._schemas[name] = schema
+            if internal:
+                self._internal.add(name)
+            self._bump(name)
         return TableRef(name, schema)
 
     def drop_table(self, name: str) -> None:
         """Remove a table from the catalog."""
         self._require(name)
-        del self._tables[name]
-        del self._schemas[name]
-        self._internal.discard(name)
-        self._versions.pop(name, None)
-        self._indexes.drop(name)
+        with self._commit_mutex:
+            del self._tables[name]
+            del self._schemas[name]
+            self._internal.discard(name)
+            self._versions.pop(name, None)
+            self._indexes.drop(name)
         if self._listeners:
             self._notify_drop(name)
 
@@ -287,8 +296,9 @@ class Database:
             raise SchemaError(
                 f"cannot set {name!r}: bag arity {bag.arity} vs schema arity {self._schemas[name].arity}"
             )
-        self._tables[name] = bag
-        self._bump(name)
+        with self._commit_mutex:
+            self._tables[name] = bag
+            self._bump(name)
         self._indexes.on_replace(name, bag)
         if self._listeners:
             self._notify_replace(name, bag)
@@ -428,36 +438,37 @@ class Database:
         old_values = {name: self._tables[name] for name in new_values}
         old_versions = {name: self._versions.get(name) for name in new_values}
         old_clock = self._clock
-        try:
-            for name, bag in new_values.items():
-                fault_point("crash-mid-apply")
-                self._tables[name] = bag
-                self._bump(name)
-                delta = patch_deltas.get(name)
-                if delta is not None:
-                    self._indexes.on_patch(name, delta[0], delta[1], counter=counter)
+        with self._commit_mutex:
+            try:
+                for name, bag in new_values.items():
+                    fault_point("crash-mid-apply")
+                    self._tables[name] = bag
+                    self._bump(name)
+                    delta = patch_deltas.get(name)
+                    if delta is not None:
+                        self._indexes.on_patch(name, delta[0], delta[1], counter=counter)
+                        if self._listeners:
+                            self._notify_patch(name, delta[0], delta[1], old_values[name], bag)
+                    else:
+                        self._indexes.on_replace(name, bag, counter=counter)
+                        if self._listeners:
+                            self._notify_replace(name, bag)
+            except BaseException:
+                for name, old_bag in old_values.items():
+                    self._tables[name] = old_bag
+                    old_version = old_versions[name]
+                    if old_version is None:
+                        self._versions.pop(name, None)
+                    else:
+                        self._versions[name] = old_version
+                    # A failed incremental index update may have left the
+                    # table's indexes half-maintained; rebuild them from the
+                    # restored value.  Engine mirrors get the same signal.
+                    self._indexes.on_replace(name, old_bag)
                     if self._listeners:
-                        self._notify_patch(name, delta[0], delta[1], old_values[name], bag)
-                else:
-                    self._indexes.on_replace(name, bag, counter=counter)
-                    if self._listeners:
-                        self._notify_replace(name, bag)
-        except BaseException:
-            for name, old_bag in old_values.items():
-                self._tables[name] = old_bag
-                old_version = old_versions[name]
-                if old_version is None:
-                    self._versions.pop(name, None)
-                else:
-                    self._versions[name] = old_version
-                # A failed incremental index update may have left the
-                # table's indexes half-maintained; rebuild them from the
-                # restored value.  Engine mirrors get the same signal.
-                self._indexes.on_replace(name, old_bag)
-                if self._listeners:
-                    self._notify_replace(name, old_bag)
-            self._clock = old_clock
-            raise
+                        self._notify_replace(name, old_bag)
+                self._clock = old_clock
+                raise
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -467,13 +478,28 @@ class Database:
         """Capture the current state (bags are immutable, so this is cheap)."""
         return dict(self._tables)
 
+    def consistent_cut(self) -> tuple[dict[str, Bag], dict[str, int], int]:
+        """Atomically capture ``(tables, versions, clock)`` for a snapshot pin.
+
+        Unlike :meth:`snapshot`, the copy is taken under the commit mutex,
+        so it can never interleave with the install loop of a simultaneous
+        transaction: the cut either wholly precedes or wholly follows every
+        multi-table commit.  Bags are immutable, so this is an O(#tables)
+        reference copy — no data is duplicated.  This is the seam
+        :class:`repro.serve.SnapshotRegistry` pins reader snapshots on.
+        """
+        with self._commit_mutex:
+            return dict(self._tables), dict(self._versions), self._clock
+
     def restore(self, snapshot: Mapping[str, Bag]) -> None:
         """Restore a state previously captured with :meth:`snapshot`."""
         for name in snapshot:
             self._require(name)
-        self._tables.update(snapshot)
+        with self._commit_mutex:
+            self._tables.update(snapshot)
+            for name, bag in snapshot.items():
+                self._bump(name)
         for name, bag in snapshot.items():
-            self._bump(name)
             self._indexes.on_replace(name, bag)
             if self._listeners:
                 self._notify_replace(name, bag)

@@ -16,6 +16,7 @@ the lowest downtime) agree between the two measures.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -35,6 +36,12 @@ class LockSection:
     label: str
     wall_seconds: float
     tuple_ops: int
+    #: Name of the thread that held the section.  This is the seam the
+    #: online-serving tests assert reader non-blocking on: under
+    #: snapshot-isolated reads, no section may ever be attributed to a
+    #: reader thread (the RVM601 read-path discipline, extended to the
+    #: server), which is deterministic where wall-clock timing is not.
+    thread: str = ""
 
 
 @dataclass
@@ -69,6 +76,7 @@ class LockLedger:
                     label=label,
                     wall_seconds=elapsed,
                     tuple_ops=ops,
+                    thread=threading.current_thread().name,
                 )
             )
             if obs.telemetry_enabled():
@@ -103,6 +111,24 @@ class LockLedger:
 
     def section_count(self, resource: str) -> int:
         return sum(1 for section in self.sections if section.resource == resource)
+
+    def acquiring_threads(self, resource: str | None = None) -> frozenset[str]:
+        """Names of every thread that held an exclusive section.
+
+        Restricted to one ``resource`` when given.  The serving tests use
+        this to prove readers never blocked: a reader thread's name must
+        not appear here, an ops-counted fact that cannot flake the way a
+        wall-clock overlap measurement would.
+        """
+        return frozenset(
+            section.thread
+            for section in self.sections
+            if resource is None or section.resource == resource
+        )
+
+    def sections_for_thread(self, prefix: str) -> list[LockSection]:
+        """All sections held by threads whose name starts with ``prefix``."""
+        return [section for section in self.sections if section.thread.startswith(prefix)]
 
     def reset(self) -> None:
         self.sections.clear()

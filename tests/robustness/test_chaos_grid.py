@@ -25,6 +25,12 @@ from repro.robustness.harness import RetailCrashHarness, random_schedule
 from repro.robustness.journal import bag_digest
 from repro.robustness.recovery import recover
 
+# Every test derives its rng from (SEED, engine, batch) alone, so the
+# grid is order-independent: safe under pytest-randomly shuffling, and
+# `-m chaos -p no:randomly` with REPRO_CHAOS_SCHEDULES pinned replays
+# CI's exact matrix.
+pytestmark = pytest.mark.chaos
+
 SEED = 1996  # pinned: the year of the paper
 # The acceptance bar is 50 schedules per engine; CI's chaos-grid job
 # dials this down (REPRO_CHAOS_SCHEDULES) to keep the matrix quick.

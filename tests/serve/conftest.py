@@ -1,0 +1,35 @@
+"""Shared builders for the serving-layer suite."""
+
+from __future__ import annotations
+
+from repro.serve import ServeConfig, ViewServer
+from repro.storage.database import Database
+from repro.warehouse.manager import ViewManager
+from repro.workloads.retail import VIEW_SQL, RetailConfig, RetailWorkload
+
+
+def build_server(
+    engine: str | None = None,
+    *,
+    k: int = 2,
+    m: int = 5,
+    seed: int = 96,
+    policy=None,
+    customers: int = 12,
+    initial_sales: int = 40,
+    txn_inserts: int = 4,
+) -> tuple[ViewServer, RetailWorkload]:
+    """A small retail-backed server with one combined-scenario view."""
+    workload = RetailWorkload(
+        RetailConfig(
+            customers=customers,
+            initial_sales=initial_sales,
+            txn_inserts=txn_inserts,
+            seed=seed,
+        )
+    )
+    db = Database(exec_mode=engine) if engine is not None else Database()
+    workload.setup_database(db)
+    server = ViewServer(ServeConfig(k=k, m=m, policy=policy), manager=ViewManager(db))
+    server.define_view("V", VIEW_SQL, scenario="combined")
+    return server, workload

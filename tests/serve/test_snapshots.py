@@ -1,0 +1,182 @@
+"""Snapshot handles and the pin registry: lifecycle, GC, torn-read safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.algebra.bag import Bag
+from repro.algebra.expr import Literal
+from repro.errors import UnknownTableError
+from repro.robustness.journal import bag_digest
+from repro.serve import SnapshotRegistry
+from repro.storage.database import Database
+
+
+def _db(rows=((1, 10), (2, 20))) -> Database:
+    db = Database()
+    db.create_table("t", ("a", "b"), rows=rows)
+    return db
+
+
+class TestSnapshotHandle:
+    def test_table_is_frozen_against_later_writes(self):
+        db = _db()
+        registry = SnapshotRegistry()
+        handle = registry.pin(db)
+        before = bag_digest(handle.table("t"))
+        db.load("t", [(3, 30)])
+        assert bag_digest(handle.table("t")) == before
+        assert bag_digest(db["t"]) != before
+
+    def test_unknown_table_raises(self):
+        registry = SnapshotRegistry()
+        handle = registry.pin(_db())
+        with pytest.raises(UnknownTableError):
+            handle.table("nope")
+
+    def test_version_and_names(self):
+        db = _db()
+        registry = SnapshotRegistry()
+        handle = registry.pin(db)
+        assert handle.table_names() == ("t",)
+        assert handle.version_of("t") == db.version_of("t")
+        assert handle.version_of("nope") == -1
+        db.load("t", [(9, 90)])
+        assert handle.version_of("t") != db.version_of("t")
+
+    def test_evaluate_runs_against_pinned_state(self):
+        db = _db()
+        registry = SnapshotRegistry()
+        handle = registry.pin(db)
+        expr = db.ref("t")
+        before = len(handle.evaluate(expr))
+        db.load("t", [(3, 30)])
+        assert len(handle.evaluate(expr)) == before
+        assert len(db.evaluate(expr)) == before + 1
+
+    def test_digest_and_total_rows(self):
+        registry = SnapshotRegistry()
+        handle = registry.pin(_db())
+        assert handle.digest("t") == bag_digest(handle.table("t"))
+        assert handle.total_rows() == 2
+
+    def test_context_manager_releases(self):
+        registry = SnapshotRegistry()
+        with registry.pin(_db()) as handle:
+            assert registry.pin_count(handle) == 1
+        assert registry.pin_count(handle) == 0
+
+    def test_release_is_idempotent_after_collection(self):
+        registry = SnapshotRegistry()
+        handle = registry.pin(_db())
+        handle.release()
+        handle.release()  # must not raise or corrupt counters
+        assert registry.stats()["releases_total"] == 1
+
+
+class TestSnapshotRegistry:
+    def test_refcount_collects_at_zero(self):
+        db = _db()
+        registry = SnapshotRegistry()
+        handle = registry.pin(db)
+        registry.repin(handle)
+        assert registry.pin_count(handle) == 2
+        handle.release()
+        assert registry.live_count() == 1
+        handle.release()
+        assert registry.live_count() == 0
+        assert registry.stats() == {
+            "live": 0,
+            "pins_total": 2,
+            "releases_total": 2,
+            "collected_total": 1,
+        }
+
+    def test_repin_collected_snapshot_rejected(self):
+        registry = SnapshotRegistry()
+        handle = registry.pin(_db())
+        handle.release()
+        with pytest.raises(ValueError):
+            registry.repin(handle)
+
+    def test_superseded_snapshots_survive_while_pinned(self):
+        db = _db()
+        registry = SnapshotRegistry()
+        old = registry.pin(db)
+        db.load("t", [(3, 30)])
+        new = registry.pin(db)
+        assert registry.live_count() == 2
+        assert len(old.table("t")) == 2
+        assert len(new.table("t")) == 3
+        old.release()
+        new.release()
+        assert registry.live_count() == 0
+
+    def test_retained_rows_counts_live_snapshots(self):
+        db = _db()
+        registry = SnapshotRegistry()
+        handle = registry.pin(db)
+        assert registry.retained_rows() == 2
+        handle.release()
+        assert registry.retained_rows() == 0
+
+
+class TestConsistentCut:
+    def test_cut_never_tears_a_multi_table_install(self):
+        """Concurrent pins must see both tables of a txn or neither.
+
+        The writer repeatedly applies a delta that keeps ``x`` and ``y``
+        the same size; a torn cut (pinned between the two table
+        installs) would show different sizes.
+        """
+        db = Database()
+        db.create_table("x", ("a",), rows=[(0,)])
+        db.create_table("y", ("a",), rows=[(0,)])
+        registry = SnapshotRegistry()
+        stop = threading.Event()
+        torn: list[tuple[int, int]] = []
+
+        def _insert(name: str, value: int):
+            schema = db.schema_of(name)
+            return (Literal(Bag.empty(), schema), Literal(Bag([(value,)]), schema))
+
+        def _writer() -> None:
+            value = 1
+            while not stop.is_set():
+                db.apply(patches={"x": _insert("x", value), "y": _insert("y", value)})
+                value += 1
+
+        def _pinner() -> None:
+            while not stop.is_set():
+                handle = registry.pin(db)
+                sizes = (len(handle.table("x")), len(handle.table("y")))
+                if sizes[0] != sizes[1]:
+                    torn.append(sizes)
+                handle.release()
+
+        writer = threading.Thread(target=_writer, name="writer", daemon=True)
+        pinners = [
+            threading.Thread(target=_pinner, name=f"pinner-{i}", daemon=True)
+            for i in range(3)
+        ]
+        writer.start()
+        for pinner in pinners:
+            pinner.start()
+        import time
+
+        time.sleep(0.25)
+        stop.set()
+        writer.join(timeout=5.0)
+        for pinner in pinners:
+            pinner.join(timeout=5.0)
+        assert torn == []
+
+    def test_cut_matches_live_state_when_quiescent(self):
+        db = _db()
+        tables, versions, clock = db.consistent_cut()
+        assert set(tables) == {"t"}
+        assert bag_digest(tables["t"]) == bag_digest(db["t"])
+        assert versions["t"] == db.version_of("t")
+        assert clock >= versions["t"]

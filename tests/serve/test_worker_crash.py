@@ -1,0 +1,116 @@
+"""Worker crash containment: pinned snapshots stay readable, retry heals.
+
+A maintenance action that dies mid-epoch must behave like the paper's
+failure model everywhere else in the robustness layer: the storage
+install has already rolled back, so the crash is invisible to readers —
+the published snapshot and every pinned one keep answering — and the
+action returns to the queue so a healthy worker (or a synchronous
+drain) retries it to the exact state a crash-free run reaches.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.robustness.faults import INJECTOR
+from repro.robustness.journal import bag_digest
+
+from tests.serve.conftest import build_server
+
+
+@pytest.fixture(autouse=True)
+def _reset_injector():
+    INJECTOR.reset()
+    yield
+    INJECTOR.reset()
+
+
+def _wait_for_crash(pool, timeout_s: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if pool.crashes():
+            return
+        time.sleep(0.002)
+    raise AssertionError("worker never hit the armed fault")
+
+
+@pytest.mark.parametrize("point", ["crash-mid-propagate", "crash-mid-refresh"])
+def test_crash_mid_action_leaves_snapshots_readable(point):
+    server, workload = build_server(k=1, m=2)
+    server.tick([workload.next_transaction(server.db)])  # healthy warm-up
+    pinned = server.pin()
+    pinned_digest = bag_digest(server.read_at(pinned, "V"))
+    published_digest = bag_digest(server.read("V"))
+
+    pool = server.start_workers(1)
+    INJECTOR.arm(point, hit=1)
+    server.tick([workload.next_transaction(server.db)])  # queues the doomed action
+    _wait_for_crash(pool)
+
+    # The crash killed the worker, not the server: the published snapshot
+    # republished on the tick but its view table is untouched, and the
+    # pinned snapshot is bit-identical to its pin-time state.
+    worker = pool.workers[0]
+    assert worker.crashed is not None
+    assert pool.alive() == 0
+    assert bag_digest(server.read_at(pinned, "V")) == pinned_digest
+    assert bag_digest(server.read("V")) == published_digest
+
+    # The doomed action went back on the queue for retry.
+    assert server.pending_maintenance() >= 1
+    assert not server.wait_idle(timeout_s=0.05)
+
+    # stop_workers skips the synchronous drain after a crash...
+    server.stop_workers()
+    assert server.pending_maintenance() >= 1
+
+    # ...and once the fault is disarmed, a retry heals to the crash-free state.
+    oracle, oracle_workload = build_server(k=1, m=2)
+    oracle.tick([oracle_workload.next_transaction(oracle.db)])
+    oracle.tick([oracle_workload.next_transaction(oracle.db)])
+    server.drain_maintenance()
+    assert server.pending_maintenance() == 0
+    assert bag_digest(server.read("V")) == bag_digest(oracle.read("V"))
+    pinned.release()
+
+
+def test_surviving_workers_keep_draining_after_a_crash():
+    server, workload = build_server(k=1, m=3)
+    pool = server.start_workers(2, poll_interval_s=0.002)
+    INJECTOR.arm("crash-mid-propagate", hit=1)
+    try:
+        server.tick([workload.next_transaction(server.db)])
+        _wait_for_crash(pool)
+        INJECTOR.reset()
+        # One worker is dead; the other retries the re-queued propagate.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and server.pending_maintenance():
+            pool.kick()
+            time.sleep(0.002)
+        assert server.pending_maintenance() == 0
+        assert pool.alive() == 1
+    finally:
+        server.stop_workers()
+
+    oracle, oracle_workload = build_server(k=1, m=3)
+    oracle.tick([oracle_workload.next_transaction(oracle.db)])
+    assert bag_digest(server.read("V")) == bag_digest(oracle.read("V"))
+
+
+def test_crash_during_synchronous_drain_requeues_and_propagates():
+    from repro.robustness.faults import InjectedCrash
+
+    server, workload = build_server(k=1, m=2)
+    INJECTOR.arm("crash-mid-propagate", hit=1)
+    with pytest.raises(InjectedCrash):
+        server.tick([workload.next_transaction(server.db)])
+    assert server.pending_maintenance() >= 1
+    INJECTOR.reset()
+    server.drain_maintenance()
+    assert server.pending_maintenance() == 0
+
+    oracle, oracle_workload = build_server(k=1, m=2)
+    oracle.tick([oracle_workload.next_transaction(oracle.db)])
+    assert bag_digest(server.read("V")) == bag_digest(oracle.read("V"))
